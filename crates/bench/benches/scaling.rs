@@ -1,0 +1,40 @@
+//! Criterion benchmark of whole sampling trajectories at increasing
+//! population size on the scalar vs. the parallel executor — the measured
+//! host-side counterpart of the paper's Figure 4 scaling study.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lms_bench::{load_target, shared_kb};
+use lms_core::{MoscemSampler, SamplerConfig};
+use lms_simt::Executor;
+use std::hint::black_box;
+
+fn bench_population_scaling(c: &mut Criterion) {
+    let target = load_target("1cex");
+    let kb = shared_kb();
+    let mut group = c.benchmark_group("scaling/population");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &pop in &[32usize, 64, 128] {
+        let cfg = SamplerConfig {
+            population_size: pop,
+            n_complexes: (pop / 32).max(1),
+            iterations: 2,
+            seed: 11,
+            ..SamplerConfig::default()
+        };
+        let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
+        group.bench_with_input(BenchmarkId::new("scalar", pop), &pop, |b, _| {
+            b.iter(|| black_box(sampler.run(&Executor::scalar()).acceptance_rate))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", pop), &pop, |b, _| {
+            b.iter(|| black_box(sampler.run(&Executor::parallel()).acceptance_rate))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_population_scaling);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's fig1 cpu profile experiment.
+//! Usage: `cargo run --release -p lms-bench --bin fig1_cpu_profile [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::fig1_cpu_profile(scale));
+}

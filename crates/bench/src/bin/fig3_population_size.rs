@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's fig3 population size experiment.
+//! Usage: `cargo run --release -p lms-bench --bin fig3_population_size [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::fig3_population_size(scale));
+}

@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's fig4 speedup scaling experiment.
+//! Usage: `cargo run --release -p lms-bench --bin fig4_speedup_scaling [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::fig4_speedup_scaling(scale));
+}

@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's fig5 front evolution experiment.
+//! Usage: `cargo run --release -p lms-bench --bin fig5_front_evolution [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::fig5_front_evolution(scale));
+}

@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's fig6 best decoys experiment.
+//! Usage: `cargo run --release -p lms-bench --bin fig6_best_decoys [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::fig6_best_decoys(scale));
+}

@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's table1 speedup experiment.
+//! Usage: `cargo run --release -p lms-bench --bin table1_speedup [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::table1_speedup(scale));
+}

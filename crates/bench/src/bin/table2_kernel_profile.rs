@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's table2 kernel profile experiment.
+//! Usage: `cargo run --release -p lms-bench --bin table2_kernel_profile [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::table2_kernel_profile(scale));
+}

@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's table3 occupancy experiment.
+//! Usage: `cargo run --release -p lms-bench --bin table3_occupancy [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::table3_occupancy(scale));
+}

@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's table4 benchmark experiment.
+//! Usage: `cargo run --release -p lms-bench --bin table4_benchmark [--scale quick|standard|paper]`
+
+fn main() {
+    let scale = lms_bench::Scale::from_args();
+    println!("scale: {scale:?}");
+    println!("{}", lms_bench::experiments::table4_benchmark(scale));
+}

@@ -1,0 +1,230 @@
+//! Sampler configuration.
+
+use crate::annealing::TemperatureSchedule;
+use crate::mutation::MutationConfig;
+use lms_closure::CcdConfig;
+use lms_scoring::Objective;
+
+/// How the initial population's torsions are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitMode {
+    /// Torsions drawn uniformly from `(-π, π]` — the paper's literal
+    /// "initialize N conformations randomly".
+    UniformRandom,
+    /// Torsions drawn from the per-residue Ramachandran mixture.  This is
+    /// the default: it preserves the algorithm (random, independent
+    /// initialisation followed by CCD closure) while letting the scaled-down
+    /// populations used on a CPU-only host reach the paper's decoy quality;
+    /// switch to [`InitMode::UniformRandom`] to match the paper exactly.
+    Ramachandran,
+}
+
+/// How the sampler turns the three scoring functions into the quantity the
+/// Metropolis test acts on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObjectiveMode {
+    /// The paper's approach: Pareto-strength fitness over all three scoring
+    /// functions (MOSCEM).
+    MultiScoring,
+    /// Global optimisation of a single scoring function — the baseline the
+    /// paper argues against (Section II); used by the ablation benches.
+    Single(Objective),
+    /// Global optimisation of a fixed weighted sum of the three scoring
+    /// functions — the "single complicated scoring function" alternative.
+    WeightedSum([f64; 3]),
+}
+
+/// Full configuration of one sampling trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerConfig {
+    /// Population size (the paper's headline configuration is 15,360).
+    pub population_size: usize,
+    /// Number of complexes the population is partitioned into (the paper
+    /// uses 120 at population 15,360, i.e. 128 members per complex).
+    pub n_complexes: usize,
+    /// Number of MCMC iterations.
+    pub iterations: usize,
+    /// Threads per block for the device model (the paper uses 128).
+    pub threads_per_block: usize,
+    /// Master random seed; every conformation derives its own stream.
+    pub seed: u64,
+    /// Initial Metropolis temperature on the fitness landscape.
+    pub initial_temperature: f64,
+    /// Lower bound for the adaptive temperature.
+    pub min_temperature: f64,
+    /// Upper bound for the adaptive temperature.
+    pub max_temperature: f64,
+    /// Acceptance-rate band (low, high); outside it the temperature is
+    /// adjusted by `temperature_adjust`.
+    pub acceptance_band: (f64, f64),
+    /// Multiplicative temperature adjustment factor (> 1).
+    pub temperature_adjust: f64,
+    /// Optional explicit temperature schedule.  When set it overrides the
+    /// adaptive parameters above (which remain as the default behaviour and
+    /// match the paper's acceptance-rate adjustment).
+    pub temperature_schedule: Option<TemperatureSchedule>,
+    /// Mutation (reproduction) move configuration.
+    pub mutation: MutationConfig,
+    /// CCD loop-closure configuration used inside the sampling loop.
+    pub ccd: CcdConfig,
+    /// Objective handling (multi-scoring Pareto sampling vs. baselines).
+    pub objective_mode: ObjectiveMode,
+    /// How the initial population is drawn.
+    pub init_mode: InitMode,
+    /// Iterations at which to record a population snapshot (Figure 5 uses
+    /// 0, 20 and 100).  Iteration 0 is the initial population.
+    pub snapshot_iterations: Vec<usize>,
+    /// Decoy structural-distinctness threshold in degrees (the paper uses
+    /// a maximum torsion deviation of at least 30°).
+    pub distinct_threshold_deg: f64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            population_size: 256,
+            n_complexes: 2,
+            iterations: 30,
+            threads_per_block: 128,
+            seed: 2010,
+            initial_temperature: 0.25,
+            min_temperature: 1e-3,
+            max_temperature: 10.0,
+            acceptance_band: (0.2, 0.5),
+            temperature_adjust: 1.15,
+            temperature_schedule: None,
+            mutation: MutationConfig::default(),
+            ccd: CcdConfig { max_sweeps: 24, tolerance: 0.25, start_index: 0 },
+            objective_mode: ObjectiveMode::MultiScoring,
+            init_mode: InitMode::Ramachandran,
+            snapshot_iterations: Vec::new(),
+            distinct_threshold_deg: 30.0,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// The paper's headline configuration: population 15,360 in 120
+    /// complexes, 100 iterations, 128 threads per block.
+    pub fn paper_scale() -> Self {
+        SamplerConfig {
+            population_size: 15_360,
+            n_complexes: 120,
+            iterations: 100,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration scaled for quick tests.
+    pub fn test_scale() -> Self {
+        SamplerConfig {
+            population_size: 48,
+            n_complexes: 2,
+            iterations: 6,
+            ..Default::default()
+        }
+    }
+
+    /// Number of population members per complex (rounded up; the final
+    /// complex may be smaller when the population does not divide evenly).
+    pub fn complex_size(&self) -> usize {
+        self.population_size.div_ceil(self.n_complexes.max(1))
+    }
+
+    /// The effective temperature schedule: the explicit one when set,
+    /// otherwise the paper's adaptive scheme built from the scalar fields.
+    pub fn effective_temperature_schedule(&self) -> TemperatureSchedule {
+        self.temperature_schedule.clone().unwrap_or(TemperatureSchedule::Adaptive {
+            initial: self.initial_temperature,
+            band: self.acceptance_band,
+            factor: self.temperature_adjust,
+            min: self.min_temperature,
+            max: self.max_temperature,
+        })
+    }
+
+    /// Basic sanity checks; returns a human-readable error for impossible
+    /// configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population_size == 0 {
+            return Err("population_size must be positive".into());
+        }
+        if self.n_complexes == 0 {
+            return Err("n_complexes must be positive".into());
+        }
+        if self.n_complexes > self.population_size {
+            return Err(format!(
+                "n_complexes ({}) cannot exceed population_size ({})",
+                self.n_complexes, self.population_size
+            ));
+        }
+        if self.threads_per_block == 0 {
+            return Err("threads_per_block must be positive".into());
+        }
+        if !(self.initial_temperature > 0.0) {
+            return Err("initial_temperature must be positive".into());
+        }
+        if self.acceptance_band.0 >= self.acceptance_band.1 {
+            return Err("acceptance band must satisfy low < high".into());
+        }
+        if self.temperature_adjust <= 1.0 {
+            return Err("temperature_adjust must exceed 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SamplerConfig::default().validate().is_ok());
+        assert!(SamplerConfig::test_scale().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_scale_matches_headline_numbers() {
+        let c = SamplerConfig::paper_scale();
+        assert_eq!(c.population_size, 15_360);
+        assert_eq!(c.n_complexes, 120);
+        assert_eq!(c.iterations, 100);
+        assert_eq!(c.threads_per_block, 128);
+        assert_eq!(c.complex_size(), 128);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = SamplerConfig::default();
+        c.population_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SamplerConfig::default();
+        c.n_complexes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SamplerConfig::default();
+        c.n_complexes = c.population_size + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = SamplerConfig::default();
+        c.acceptance_band = (0.5, 0.2);
+        assert!(c.validate().is_err());
+
+        let mut c = SamplerConfig::default();
+        c.temperature_adjust = 0.9;
+        assert!(c.validate().is_err());
+
+        let mut c = SamplerConfig::default();
+        c.initial_temperature = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn complex_size_rounds_up() {
+        let c = SamplerConfig { population_size: 10, n_complexes: 3, ..Default::default() };
+        assert_eq!(c.complex_size(), 4);
+    }
+}

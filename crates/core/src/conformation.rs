@@ -1,0 +1,88 @@
+//! The per-member state of the sampling population.
+
+use lms_protein::Torsions;
+use lms_scoring::ScoreVector;
+
+/// One member of the MOSCEM population: a loop conformation in torsion
+/// space together with its three objective scores and bookkeeping used by
+/// the sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conformation {
+    /// The torsion-angle vector (φ1, ψ1, …, φn, ψn).
+    pub torsions: Torsions,
+    /// The (VDW, DIST, TRIPLET) scores of the built, closed structure.
+    pub scores: ScoreVector,
+    /// Loop-closure deviation of the built structure (Å).
+    pub closure_deviation: f64,
+    /// Fitness from the latest population-wide assignment (Eq. 1); lower is
+    /// better, `< 1` means on the Pareto front.
+    pub fitness: f64,
+    /// Backbone RMSD to the native loop (Å).  Available because the
+    /// benchmark is synthetic; the sampler never uses it for decisions —
+    /// it is recorded purely for evaluation.
+    pub rmsd_to_native: f64,
+    /// Number of proposal moves this slot has accepted.
+    pub accepted_moves: usize,
+    /// Number of proposal moves this slot has seen.
+    pub proposed_moves: usize,
+}
+
+impl Conformation {
+    /// Create a new member with unset scores.
+    pub fn new(torsions: Torsions) -> Self {
+        Conformation {
+            torsions,
+            scores: ScoreVector::default(),
+            closure_deviation: f64::INFINITY,
+            fitness: f64::INFINITY,
+            rmsd_to_native: f64::INFINITY,
+            accepted_moves: 0,
+            proposed_moves: 0,
+        }
+    }
+
+    /// Acceptance ratio of this member so far (0 when nothing proposed).
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.proposed_moves == 0 {
+            0.0
+        } else {
+            self.accepted_moves as f64 / self.proposed_moves as f64
+        }
+    }
+
+    /// Whether the member currently satisfies the loop-closure condition.
+    pub fn is_closed(&self, tolerance: f64) -> bool {
+        self.closure_deviation <= tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_conformation_has_unset_state() {
+        let c = Conformation::new(Torsions::zeros(5));
+        assert_eq!(c.torsions.n_residues(), 5);
+        assert!(c.fitness.is_infinite());
+        assert!(c.closure_deviation.is_infinite());
+        assert!(!c.is_closed(0.5));
+        assert_eq!(c.acceptance_ratio(), 0.0);
+    }
+
+    #[test]
+    fn acceptance_ratio_tracks_counts() {
+        let mut c = Conformation::new(Torsions::zeros(3));
+        c.proposed_moves = 10;
+        c.accepted_moves = 4;
+        assert!((c.acceptance_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closure_check_uses_tolerance() {
+        let mut c = Conformation::new(Torsions::zeros(3));
+        c.closure_deviation = 0.2;
+        assert!(c.is_closed(0.25));
+        assert!(!c.is_closed(0.1));
+    }
+}

@@ -1,0 +1,61 @@
+//! # lms-core
+//!
+//! The paper's core contribution: **multi-scoring-functions protein loop
+//! structure sampling** with the MOSCEM (Multiobjective Shuffled Complex
+//! Evolution Metropolis) algorithm, expressed as per-conformation kernels
+//! over a population and executed on the heterogeneous platform substitute
+//! provided by [`lms_simt`].
+//!
+//! The crate provides:
+//!
+//! * [`pareto`] — Pareto dominance and the strength-based fitness of Eq. 1;
+//! * [`mutation`] — the torsion mutation (reproduction) move set;
+//! * [`sampler`] — the MOSCEM sampling trajectory (initialisation, fitness
+//!   assignment, complex partitioning, evolution with CCD closure and
+//!   three-objective scoring, Metropolis acceptance, temperature control),
+//!   with full device-model instrumentation;
+//! * [`decoyset`] — accumulation of structurally distinct non-dominated
+//!   decoys across trajectories (the paper's decoy-production protocol).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lms_core::{MoscemSampler, SamplerConfig};
+//! use lms_protein::BenchmarkLibrary;
+//! use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
+//! use lms_simt::Executor;
+//!
+//! let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
+//! let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+//! let config = SamplerConfig { population_size: 16, iterations: 2, ..SamplerConfig::test_scale() };
+//! let sampler = MoscemSampler::new(target, kb, config);
+//! let result = sampler.run(&Executor::parallel());
+//! assert_eq!(result.population.len(), 16);
+//! assert!(result.non_dominated_count() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod config;
+pub mod conformation;
+pub mod convergence;
+pub mod decoyset;
+pub mod mutation;
+pub mod pareto;
+pub mod sampler;
+
+pub use annealing::{TemperatureController, TemperatureSchedule};
+pub use config::{InitMode, ObjectiveMode, SamplerConfig};
+pub use convergence::{
+    autocorrelation, effective_sample_size, gelman_rubin, FrontProgress,
+};
+pub use conformation::Conformation;
+pub use decoyset::{Decoy, DecoySet};
+pub use mutation::{MutationConfig, MutationOutcome, Mutator};
+pub use pareto::{
+    count_non_dominated, fitness_against, fitness_assignment, non_dominated_indices, strengths,
+};
+pub use sampler::{
+    ComponentTimes, DecoyProduction, IterationSnapshot, MoscemSampler, TrajectoryResult,
+};

@@ -1,0 +1,227 @@
+//! Pareto dominance and the MOSCEM strength-based fitness assignment.
+//!
+//! MOSCEM converts the three-objective scoring space into a single fitness
+//! value per conformation (paper Eq. 1):
+//!
+//! * every **non-dominated** conformation `Lᵢ` gets fitness `fᵢ = sᵢ`, where
+//!   the *strength* `sᵢ` is the fraction of the population it dominates;
+//! * every **dominated** conformation gets `fᵢ = 1 + Σ sⱼ` over the
+//!   non-dominated conformations `Lⱼ` that dominate it.
+//!
+//! Lower fitness is better; conformations with `fᵢ < 1` are exactly the
+//! current Pareto-optimal front.
+
+use lms_scoring::ScoreVector;
+
+/// Indices of the non-dominated members of a population of score vectors.
+pub fn non_dominated_indices(scores: &[ScoreVector]) -> Vec<usize> {
+    (0..scores.len())
+        .filter(|&i| !scores.iter().enumerate().any(|(j, s)| j != i && s.dominates(&scores[i])))
+        .collect()
+}
+
+/// The strength of each member: the fraction of the population it dominates.
+pub fn strengths(scores: &[ScoreVector]) -> Vec<f64> {
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    scores
+        .iter()
+        .map(|si| {
+            let dominated = scores.iter().filter(|sj| si.dominates(sj)).count();
+            dominated as f64 / n as f64
+        })
+        .collect()
+}
+
+/// MOSCEM fitness assignment (paper Eq. 1) for a whole population.
+/// Lower is better; values `< 1` mark the Pareto front.
+pub fn fitness_assignment(scores: &[ScoreVector]) -> Vec<f64> {
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let s = strengths(scores);
+    let non_dominated: Vec<bool> = {
+        let nd = non_dominated_indices(scores);
+        let mut mask = vec![false; n];
+        for i in nd {
+            mask[i] = true;
+        }
+        mask
+    };
+    (0..n)
+        .map(|i| {
+            if non_dominated[i] {
+                s[i]
+            } else {
+                1.0 + scores
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, sj)| non_dominated[*j] && sj.dominates(&scores[i]))
+                    .map(|(j, _)| s[j])
+                    .sum::<f64>()
+            }
+        })
+        .collect()
+}
+
+/// Fitness of one candidate score vector evaluated against a reference set
+/// (used for the Metropolis test of an offspring against its complex).  The
+/// candidate's fitness follows the same Eq. 1 rule with the reference set
+/// playing the role of the population.
+pub fn fitness_against(candidate: &ScoreVector, reference: &[ScoreVector]) -> f64 {
+    // The candidate is treated as a (prospective) member of the population,
+    // so strengths are fractions of the reference-plus-candidate set.  This
+    // keeps front-member fitness strictly below 1 even for a candidate that
+    // dominates the entire reference set.
+    let n = reference.len() + 1;
+    let dominated_by_candidate =
+        reference.iter().filter(|r| candidate.dominates(r)).count() as f64 / n as f64;
+    let dominators: Vec<usize> = (0..reference.len())
+        .filter(|&j| reference[j].dominates(candidate))
+        .collect();
+    if dominators.is_empty() {
+        dominated_by_candidate
+    } else {
+        // Eq. 1 sums the strengths of the *non-dominated* members that
+        // dominate the candidate, with strengths measured within the
+        // reference set.
+        1.0 + dominators
+            .iter()
+            .filter(|&&j| {
+                !reference
+                    .iter()
+                    .enumerate()
+                    .any(|(k, rk)| k != j && rk.dominates(&reference[j]))
+            })
+            .map(|&j| {
+                reference.iter().filter(|r| reference[j].dominates(r)).count() as f64 / n as f64
+            })
+            .sum::<f64>()
+    }
+}
+
+/// Count the distinct non-dominated score vectors (used by Figure 3/5
+/// statistics: structurally distinct counting is done at the torsion level
+/// by the decoy set; this is the score-space count).
+pub fn count_non_dominated(scores: &[ScoreVector]) -> usize {
+    non_dominated_indices(scores).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(a: f64, b: f64, c: f64) -> ScoreVector {
+        ScoreVector::new(a, b, c)
+    }
+
+    #[test]
+    fn empty_population() {
+        assert!(non_dominated_indices(&[]).is_empty());
+        assert!(strengths(&[]).is_empty());
+        assert!(fitness_assignment(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_member_is_non_dominated_with_zero_strength() {
+        let pop = vec![sv(1.0, 2.0, 3.0)];
+        assert_eq!(non_dominated_indices(&pop), vec![0]);
+        assert_eq!(strengths(&pop), vec![0.0]);
+        assert_eq!(fitness_assignment(&pop), vec![0.0]);
+    }
+
+    #[test]
+    fn clear_dominance_chain() {
+        // p0 dominates p1 dominates p2.
+        let pop = vec![sv(1.0, 1.0, 1.0), sv(2.0, 2.0, 2.0), sv(3.0, 3.0, 3.0)];
+        assert_eq!(non_dominated_indices(&pop), vec![0]);
+        let s = strengths(&pop);
+        assert!((s[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s[2], 0.0);
+        let f = fitness_assignment(&pop);
+        // Non-dominated front: fitness < 1.
+        assert!(f[0] < 1.0);
+        // Dominated members: 1 + sum of the strengths of their non-dominated
+        // dominators (only p0 is non-dominated).
+        assert!((f[1] - (1.0 + 2.0 / 3.0)).abs() < 1e-12);
+        assert!((f[2] - (1.0 + 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomparable_members_are_all_non_dominated() {
+        let pop = vec![sv(1.0, 3.0, 2.0), sv(3.0, 1.0, 2.0), sv(2.0, 2.0, 1.0)];
+        assert_eq!(non_dominated_indices(&pop), vec![0, 1, 2]);
+        let f = fitness_assignment(&pop);
+        assert!(f.iter().all(|&x| x < 1.0), "all on the front: {f:?}");
+        assert_eq!(count_non_dominated(&pop), 3);
+    }
+
+    #[test]
+    fn mixed_front_and_dominated() {
+        let pop = vec![
+            sv(1.0, 5.0, 1.0), // front
+            sv(5.0, 1.0, 1.0), // front
+            sv(6.0, 6.0, 6.0), // dominated by both
+            sv(1.5, 5.5, 1.5), // dominated by 0 only
+        ];
+        let nd = non_dominated_indices(&pop);
+        assert_eq!(nd, vec![0, 1]);
+        let f = fitness_assignment(&pop);
+        let s = strengths(&pop);
+        assert!(f[0] < 1.0 && f[1] < 1.0);
+        assert!((f[2] - (1.0 + s[0] + s[1])).abs() < 1e-12);
+        assert!((f[3] - (1.0 + s[0])).abs() < 1e-12);
+        // Fitness of a dominated member exceeds every front member's.
+        assert!(f[2] > f[0] && f[2] > f[1]);
+    }
+
+    #[test]
+    fn front_members_have_fitness_below_one() {
+        // Paper: "solutions with fitness fi < 1.0 correspond to the ones at
+        // the Pareto optimal front".
+        let pop: Vec<ScoreVector> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                sv(x, 19.0 - x, 10.0 + (x - 9.5).abs())
+            })
+            .collect();
+        let f = fitness_assignment(&pop);
+        let nd = non_dominated_indices(&pop);
+        for i in 0..pop.len() {
+            if nd.contains(&i) {
+                assert!(f[i] < 1.0, "front member {i} has fitness {}", f[i]);
+            } else {
+                assert!(f[i] >= 1.0, "dominated member {i} has fitness {}", f[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn fitness_against_matches_population_fitness_semantics() {
+        let reference = vec![sv(1.0, 5.0, 1.0), sv(5.0, 1.0, 1.0), sv(6.0, 6.0, 6.0)];
+        // A candidate that dominates everything.
+        let champion = sv(0.5, 0.5, 0.5);
+        assert!(fitness_against(&champion, &reference) < 1.0);
+        assert!((fitness_against(&champion, &reference) - 1.0).abs() > 1e-9);
+        // A candidate dominated by the first member.
+        let loser = sv(1.5, 5.5, 1.5);
+        let f = fitness_against(&loser, &reference);
+        assert!(f >= 1.0);
+        // A candidate incomparable to all front members.
+        let incomparable = sv(0.5, 10.0, 2.0);
+        assert!(fitness_against(&incomparable, &reference) < 1.0);
+    }
+
+    #[test]
+    fn duplicate_scores_do_not_dominate_each_other() {
+        let pop = vec![sv(1.0, 1.0, 1.0), sv(1.0, 1.0, 1.0)];
+        assert_eq!(non_dominated_indices(&pop), vec![0, 1]);
+        let f = fitness_assignment(&pop);
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[1], 0.0);
+    }
+}

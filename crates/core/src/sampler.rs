@@ -1,0 +1,954 @@
+//! The MOSCEM multi-scoring-functions loop sampler.
+//!
+//! This module is the paper's core contribution: a population-based
+//! multi-objective MCMC sampler over the loop torsion space.  One sampling
+//! *trajectory* follows the paper's pseudo-code:
+//!
+//! 1. **Initialization** — every population member gets random torsions,
+//!    is closed with CCD and scored with the three scoring functions.
+//! 2. **Iterations** — fitness assignment (Eq. 1) over the population,
+//!    sorting and stride-partition into complexes (host side), then the
+//!    per-conformation evolution kernel (mutation → CCD → scoring →
+//!    Metropolis against the complex), reassembly, and adaptive temperature
+//!    adjustment.
+//!
+//! The per-conformation work is expressed as kernels over the population and
+//! executed by an [`Executor`] — sequentially (the CPU baseline) or
+//! data-parallel (the device role) — while every launch is also fed to the
+//! analytic device/host [`TimingModel`] so the experiment harness can report
+//! the paper's modeled GPU-vs-CPU timings alongside the measured host times.
+
+use crate::config::{InitMode, ObjectiveMode, SamplerConfig};
+use crate::conformation::Conformation;
+use crate::decoyset::DecoySet;
+use crate::mutation::Mutator;
+use crate::pareto::{fitness_against, non_dominated_indices};
+use lms_closure::CcdCloser;
+use lms_geometry::{random_torsion, StreamRngFactory};
+use lms_protein::{LoopBuilder, LoopTarget, RamaClass, RamaLibrary, Torsions};
+use lms_scoring::{KnowledgeBase, MultiScorer, ScoreVector};
+use lms_simt::{Executor, KernelKind, LaunchConfig, Profiler, TimingModel, TransferKind};
+use rand::Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Host-measured time spent in each algorithm component, summed over all
+/// population members (the quantity behind the paper's Figure 1 pie chart).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComponentTimes {
+    /// Time in CCD loop closure (µs).
+    pub ccd_us: f64,
+    /// Time in the three scoring-function evaluations (µs).
+    pub scoring_us: f64,
+    /// Time in fitness assignment (µs).
+    pub fitness_us: f64,
+    /// Everything else: initialization bookkeeping, sorting, partitioning,
+    /// assembling, temperature control (µs).
+    pub other_us: f64,
+}
+
+impl ComponentTimes {
+    /// Total accounted time (µs).
+    pub fn total_us(&self) -> f64 {
+        self.ccd_us + self.scoring_us + self.fitness_us + self.other_us
+    }
+
+    /// Fractions of the total in the order (CCD, scoring, fitness, other).
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_us().max(1e-12);
+        [
+            self.ccd_us / t,
+            self.scoring_us / t,
+            self.fitness_us / t,
+            self.other_us / t,
+        ]
+    }
+}
+
+/// A snapshot of the population at a chosen iteration (Figure 5 data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationSnapshot {
+    /// Iteration index (0 = the initial population).
+    pub iteration: usize,
+    /// Number of non-dominated conformations in the population.
+    pub non_dominated_count: usize,
+    /// `(scores, rmsd_to_native)` of each non-dominated conformation.
+    pub front: Vec<(ScoreVector, f64)>,
+    /// Best RMSD to native anywhere in the population (Å).
+    pub best_rmsd: f64,
+    /// Metropolis temperature at the snapshot.
+    pub temperature: f64,
+}
+
+/// The result of one sampling trajectory.
+#[derive(Debug, Clone)]
+pub struct TrajectoryResult {
+    /// Final population.
+    pub population: Vec<Conformation>,
+    /// Snapshots at the configured iterations.
+    pub snapshots: Vec<IterationSnapshot>,
+    /// Host-measured component times (Figure 1).
+    pub component_times: ComponentTimes,
+    /// Modeled device time of the whole trajectory (µs) — the "CPU-GPU
+    /// implementation" column of Figure 4 / Table I.
+    pub modeled_gpu_us: f64,
+    /// Modeled single-core CPU time of the whole trajectory (µs) — the
+    /// "CPU implementation" column of Figure 4 / Table I.
+    pub modeled_cpu_us: f64,
+    /// Measured wall-clock duration of the trajectory on the host.
+    pub host_wall: Duration,
+    /// Final Metropolis temperature.
+    pub final_temperature: f64,
+    /// Overall acceptance rate across all proposals.
+    pub acceptance_rate: f64,
+    /// The device profiler with per-kernel and per-memcpy statistics
+    /// (Tables II and III).
+    pub profiler: Arc<Profiler>,
+    /// Per-complex trace of the mean VDW score after every iteration; the
+    /// complexes act as parallel chains for convergence diagnostics.
+    pub complex_traces: Vec<Vec<f64>>,
+}
+
+impl TrajectoryResult {
+    /// Number of non-dominated conformations in the final population.
+    pub fn non_dominated_count(&self) -> usize {
+        let scores: Vec<ScoreVector> = self.population.iter().map(|c| c.scores).collect();
+        non_dominated_indices(&scores).len()
+    }
+
+    /// Best RMSD to native anywhere in the final population (Å).
+    pub fn best_rmsd(&self) -> f64 {
+        self.population
+            .iter()
+            .map(|c| c.rmsd_to_native)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Modeled GPU-over-CPU speedup for the trajectory.
+    pub fn modeled_speedup(&self) -> f64 {
+        self.modeled_cpu_us / self.modeled_gpu_us.max(1e-12)
+    }
+
+    /// Harvest this trajectory's distinct non-dominated conformations into a
+    /// decoy set, tagging them with `trajectory_index`.
+    pub fn harvest_into(&self, set: &mut DecoySet, trajectory_index: usize) -> usize {
+        set.harvest_population(&self.population, trajectory_index)
+    }
+
+    /// Gelman–Rubin R̂ of the per-complex mean VDW traces — the "MCMC
+    /// equilibrium analysis" the paper alludes to.  `None` when the run had
+    /// fewer than two complexes or two iterations.
+    pub fn gelman_rubin_vdw(&self) -> Option<f64> {
+        crate::convergence::gelman_rubin(&self.complex_traces)
+    }
+}
+
+/// Outcome of the decoy-production protocol (repeated trajectories until
+/// the decoy set reaches its target size).
+#[derive(Debug)]
+pub struct DecoyProduction {
+    /// The accumulated decoy set.
+    pub decoys: DecoySet,
+    /// Number of trajectories that were run.
+    pub trajectories_run: usize,
+    /// Per-trajectory results.
+    pub trajectories: Vec<TrajectoryResult>,
+}
+
+/// Abstract work-unit model of one conformation's kernels on a given target,
+/// used to convert measured work into modeled device/CPU time.
+#[derive(Debug, Clone, Copy)]
+struct WorkModel {
+    /// Atom placements per CCD rotation (rebuild of the whole loop).
+    ccd_per_rotation: f64,
+    /// Scored atom pairs for DIST.
+    dist_work: f64,
+    /// Examined contacts for VDW.
+    vdw_work: f64,
+    /// Table lookups for TRIPLET.
+    trip_work: f64,
+}
+
+impl WorkModel {
+    fn for_target(target: &LoopTarget) -> WorkModel {
+        let n = target.n_residues();
+        // DIST: 16 atom-kind pairs per residue pair at separation >= 2.
+        let res_pairs_sep2: usize = (2..n).map(|d| n - d).sum();
+        let dist_work = (res_pairs_sep2 * 16) as f64;
+        // VDW: intra-loop sites plus environment contacts near the loop.
+        let centroids = target.sequence.iter().filter(|a| !a.is_glycine()).count();
+        let sites = (4 * n + centroids) as f64;
+        let env_neighbors: f64 = {
+            let atoms = target.native_structure.backbone_atoms();
+            let total: usize = atoms.iter().map(|a| target.environment.burial_count(*a, 7.0)).sum();
+            total as f64 / atoms.len().max(1) as f64
+        };
+        let vdw_work = sites * (sites - 1.0) / 2.0 + sites * env_neighbors;
+        WorkModel {
+            ccd_per_rotation: (n * 5) as f64,
+            dist_work,
+            vdw_work,
+            trip_work: n as f64,
+        }
+    }
+}
+
+/// Internal per-member scratch used inside the population kernels.
+#[derive(Debug, Clone)]
+struct Member {
+    conf: Conformation,
+    ccd_us: f64,
+    scoring_us: f64,
+    ccd_rotations: f64,
+    accepted_last: bool,
+}
+
+/// The MOSCEM multi-scoring-functions loop sampler.
+#[derive(Debug, Clone)]
+pub struct MoscemSampler {
+    target: LoopTarget,
+    scorer: MultiScorer,
+    config: SamplerConfig,
+    builder: LoopBuilder,
+    mutator: Mutator,
+    timing: TimingModel,
+}
+
+impl MoscemSampler {
+    /// Create a sampler for one target over a pre-built knowledge base.
+    pub fn new(target: LoopTarget, kb: Arc<KnowledgeBase>, config: SamplerConfig) -> Self {
+        config.validate().expect("invalid sampler configuration");
+        MoscemSampler {
+            target,
+            scorer: MultiScorer::new(kb),
+            mutator: Mutator::new(config.mutation.clone()),
+            config,
+            builder: LoopBuilder::default(),
+            timing: TimingModel::default(),
+        }
+    }
+
+    /// The sampling configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+
+    /// The loop target being sampled.
+    pub fn target(&self) -> &LoopTarget {
+        &self.target
+    }
+
+    /// Replace the timing model (e.g. to model a different device).
+    pub fn with_timing_model(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Run one sampling trajectory with the configured seed.
+    pub fn run(&self, executor: &Executor) -> TrajectoryResult {
+        self.run_with_seed(executor, self.config.seed)
+    }
+
+    /// Run one sampling trajectory with an explicit seed (used when
+    /// repeating trajectories to fill a decoy set).
+    pub fn run_with_seed(&self, executor: &Executor, seed: u64) -> TrajectoryResult {
+        let cfg = &self.config;
+        let n = cfg.population_size;
+        let n_res = self.target.n_residues();
+        let classes: Vec<RamaClass> =
+            self.target.sequence.iter().map(|aa| aa.rama_class()).collect();
+        let factory = StreamRngFactory::new(seed);
+        let launch = LaunchConfig::with_block_size(n, cfg.threads_per_block);
+        let profiler = Arc::new(Profiler::new());
+        let work = WorkModel::for_target(&self.target);
+        let closer = CcdCloser::new(self.builder, cfg.ccd);
+        let spec = &self.timing.device;
+
+        let wall_start = Instant::now();
+        let mut component = ComponentTimes::default();
+        let mut modeled_gpu = 0.0f64;
+        let mut modeled_cpu = 0.0f64;
+        let mut snapshots = Vec::new();
+        let mut total_proposed = 0usize;
+        let mut total_accepted = 0usize;
+
+        // --- Stage the pre-calculated data onto the device (texture /
+        // constant memory), as the paper does at program start. ------------
+        let kb_bytes = 27 * 36 * 36 * 4 + 16 * 3 * 32 * 4;
+        for _ in 0..8 {
+            profiler.record_transfer(spec, TransferKind::HtoA, kb_bytes / 8);
+        }
+        profiler.record_transfer(spec, TransferKind::HtoA, self.target.environment.len() * 16);
+        profiler.record_transfer(spec, TransferKind::HtoA, n_res * 8);
+        profiler.record_transfer(spec, TransferKind::HtoD, n * 2 * n_res * 4);
+        modeled_gpu += 0.0; // transfer time is accounted inside the profiler totals
+
+        // --- Initialization kernel -----------------------------------------
+        let mut members: Vec<Member> = (0..n)
+            .map(|_| Member {
+                conf: Conformation::new(Torsions::zeros(n_res)),
+                ccd_us: 0.0,
+                scoring_us: 0.0,
+                ccd_rotations: 0.0,
+                accepted_last: false,
+            })
+            .collect();
+
+        let init_factory = factory.derive(0xC0);
+        let rama = RamaLibrary::default();
+        let init_mode = cfg.init_mode;
+        executor.for_each_indexed(&mut members, |i, m| {
+            let mut rng = init_factory.stream(i as u64, 0);
+            let mut torsions = Torsions::zeros(n_res);
+            match init_mode {
+                InitMode::UniformRandom => {
+                    for k in 0..torsions.n_angles() {
+                        torsions.set_angle(k, random_torsion(&mut rng));
+                    }
+                }
+                InitMode::Ramachandran => {
+                    for (r, &class) in classes.iter().enumerate() {
+                        let (phi, psi) = rama.model(class).sample(&mut rng);
+                        torsions.set_phi(r, phi);
+                        torsions.set_psi(r, psi);
+                    }
+                }
+            }
+            let t_ccd = Instant::now();
+            let ccd = closer.close(&self.target.frame, &self.target.sequence, &mut torsions);
+            let ccd_us = t_ccd.elapsed().as_secs_f64() * 1e6;
+
+            let t_score = Instant::now();
+            let structure = self.target.build(&self.builder, &torsions);
+            let scores = self.scorer.evaluate(&self.target, &structure, &torsions);
+            let rmsd = self.target.rmsd_to_native(&structure);
+            let scoring_us = t_score.elapsed().as_secs_f64() * 1e6;
+
+            m.conf.torsions = torsions;
+            m.conf.scores = scores;
+            m.conf.closure_deviation = ccd.final_deviation;
+            m.conf.rmsd_to_native = rmsd;
+            m.ccd_us = ccd_us;
+            m.scoring_us = scoring_us;
+            m.ccd_rotations = ccd.rotations_applied as f64;
+        });
+        self.account_population_kernels(
+            &members,
+            &work,
+            launch,
+            n,
+            &profiler,
+            &mut component,
+            &mut modeled_gpu,
+            &mut modeled_cpu,
+        );
+
+        // --- Initial fitness + snapshot 0 ----------------------------------
+        let mut temperature_controller = cfg.effective_temperature_schedule().controller();
+        let mut temperature = temperature_controller.temperature();
+        let mut schedule_rng = factory.derive(0xA7).stream(0, 0);
+        let mut complex_traces: Vec<Vec<f64>> = vec![Vec::new(); cfg.n_complexes];
+        let scores_snapshot: Vec<ScoreVector> = members.iter().map(|m| m.conf.scores).collect();
+        let fitness = self.population_fitness(executor, &scores_snapshot, launch, &profiler, &mut component, &mut modeled_gpu, &mut modeled_cpu);
+        for (m, f) in members.iter_mut().zip(fitness.iter()) {
+            m.conf.fitness = *f;
+        }
+        if cfg.snapshot_iterations.contains(&0) {
+            snapshots.push(self.snapshot(0, &members, temperature));
+        }
+
+        // --- MCMC iterations ------------------------------------------------
+        for iter in 1..=cfg.iterations {
+            let other_start = Instant::now();
+            // Sorting (best fitness first) and stride partition into
+            // complexes, exactly as in the paper's pseudo-code; both stay on
+            // the host because they are a negligible share of the work.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                members[a]
+                    .conf
+                    .fitness
+                    .partial_cmp(&members[b].conf.fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let m_complexes = cfg.n_complexes;
+            let mut complex_of = vec![0usize; n];
+            let mut complex_scores: Vec<Vec<ScoreVector>> = vec![Vec::new(); m_complexes];
+            for (pos, &idx) in order.iter().enumerate() {
+                let c = pos % m_complexes;
+                complex_of[idx] = c;
+                complex_scores[c].push(members[idx].conf.scores);
+            }
+            let complex_scores = Arc::new(complex_scores);
+            let complex_of = Arc::new(complex_of);
+            component.other_us += other_start.elapsed().as_secs_f64() * 1e6;
+
+            // Evolution kernel: reproduction, CCD, scoring, Metropolis — one
+            // thread per conformation, against its complex's snapshot.
+            let evo_factory = factory.derive(1);
+            let mode = cfg.objective_mode;
+            let temperature_now = temperature;
+            executor.for_each_indexed(&mut members, |i, m| {
+                let mut rng = evo_factory.stream(i as u64, iter as u64);
+                let proposal = self.mutator.mutate(&m.conf.torsions, &classes, &mut rng);
+                let mut cand = proposal.torsions;
+
+                let t_ccd = Instant::now();
+                let ccd = closer.close_with_start(
+                    &self.target.frame,
+                    &self.target.sequence,
+                    &mut cand,
+                    proposal.ccd_start_index,
+                );
+                let ccd_us = t_ccd.elapsed().as_secs_f64() * 1e6;
+
+                let t_score = Instant::now();
+                let structure = self.target.build(&self.builder, &cand);
+                let cand_scores = self.scorer.evaluate(&self.target, &structure, &cand);
+                let cand_rmsd = self.target.rmsd_to_native(&structure);
+                let scoring_us = t_score.elapsed().as_secs_f64() * 1e6;
+
+                let reference = &complex_scores[complex_of[i]];
+                let cand_fit = candidate_fitness(mode, &cand_scores, reference);
+                let curr_fit = candidate_fitness(mode, &m.conf.scores, reference);
+                let accept = if cand_fit <= curr_fit {
+                    true
+                } else {
+                    let p = ((curr_fit - cand_fit) / temperature_now).exp();
+                    rng.gen::<f64>() < p
+                };
+
+                m.conf.proposed_moves += 1;
+                if accept {
+                    m.conf.torsions = cand;
+                    m.conf.scores = cand_scores;
+                    m.conf.closure_deviation = ccd.final_deviation;
+                    m.conf.rmsd_to_native = cand_rmsd;
+                    m.conf.accepted_moves += 1;
+                }
+                m.accepted_last = accept;
+                m.ccd_us = ccd_us;
+                m.scoring_us = scoring_us;
+                m.ccd_rotations = ccd.rotations_applied as f64;
+            });
+            self.account_population_kernels(
+                &members,
+                &work,
+                launch,
+                n,
+                &profiler,
+                &mut component,
+                &mut modeled_gpu,
+                &mut modeled_cpu,
+            );
+            // Reproduction + Metropolis kernels (cheap; recorded for the
+            // profiler's completeness).
+            self.account_simple_kernel(KernelKind::Reproduction, launch, n, cfg.mutation.max_mutations as f64 * 5.0, &profiler, &mut modeled_gpu, &mut modeled_cpu);
+            self.account_simple_kernel(KernelKind::Metropolis, launch, n, 2.0, &profiler, &mut modeled_gpu, &mut modeled_cpu);
+            // Fitness against the complex inside the evolution kernel.
+            let complex_work = 2.0 * cfg.complex_size() as f64 * 3.0;
+            self.account_simple_kernel(KernelKind::FitAssgComplex, launch, n, complex_work, &profiler, &mut modeled_gpu, &mut modeled_cpu);
+
+            // Acceptance statistics and adaptive temperature.
+            let other_start = Instant::now();
+            let accepted_now = members.iter().filter(|m| m.accepted_last).count();
+            total_accepted += accepted_now;
+            total_proposed += n;
+            let rate = accepted_now as f64 / n as f64;
+            temperature = temperature_controller.update(rate, &mut schedule_rng);
+
+            // Per-complex mean VDW trace for convergence diagnostics.
+            let mut sums = vec![(0.0f64, 0usize); cfg.n_complexes];
+            for (i, m) in members.iter().enumerate() {
+                let c = complex_of[i];
+                sums[c].0 += m.conf.scores.vdw;
+                sums[c].1 += 1;
+            }
+            for (c, (sum, count)) in sums.into_iter().enumerate() {
+                complex_traces[c].push(if count == 0 { 0.0 } else { sum / count as f64 });
+            }
+
+            // Per-iteration host/device traffic mirroring the paper's
+            // Table II memcpy pattern.
+            let conf_bytes = n * 2 * n_res * 4;
+            let score_bytes = n * 3 * 4;
+            for _ in 0..5 {
+                profiler.record_transfer(spec, TransferKind::HtoD, 64);
+            }
+            profiler.record_transfer(spec, TransferKind::DtoA, conf_bytes);
+            profiler.record_transfer(spec, TransferKind::DtoA, score_bytes);
+            for _ in 0..7 {
+                profiler.record_transfer(spec, TransferKind::DtoH, score_bytes);
+            }
+            for _ in 0..3 {
+                profiler.record_transfer(spec, TransferKind::DtoD, score_bytes);
+            }
+            component.other_us += other_start.elapsed().as_secs_f64() * 1e6;
+
+            // Population-wide fitness for the next iteration's sorting.
+            let scores_snapshot: Vec<ScoreVector> = members.iter().map(|m| m.conf.scores).collect();
+            let fitness = self.population_fitness(executor, &scores_snapshot, launch, &profiler, &mut component, &mut modeled_gpu, &mut modeled_cpu);
+            for (m, f) in members.iter_mut().zip(fitness.iter()) {
+                m.conf.fitness = *f;
+            }
+
+            if cfg.snapshot_iterations.contains(&iter) {
+                snapshots.push(self.snapshot(iter, &members, temperature));
+            }
+        }
+
+        // Include modeled transfer time in the GPU total.
+        let transfer_us: f64 = profiler.transfer_stats().values().map(|t| t.device_us).sum();
+        modeled_gpu += transfer_us;
+
+        let population: Vec<Conformation> = members.into_iter().map(|m| m.conf).collect();
+        TrajectoryResult {
+            population,
+            snapshots,
+            component_times: component,
+            modeled_gpu_us: modeled_gpu,
+            modeled_cpu_us: modeled_cpu,
+            host_wall: wall_start.elapsed(),
+            final_temperature: temperature,
+            acceptance_rate: if total_proposed == 0 {
+                0.0
+            } else {
+                total_accepted as f64 / total_proposed as f64
+            },
+            profiler,
+            complex_traces,
+        }
+    }
+
+    /// Run repeated trajectories (fresh seed each time) harvesting distinct
+    /// non-dominated decoys until the set reaches `target_decoys` or
+    /// `max_trajectories` have been run — the paper's decoy-production
+    /// protocol.
+    pub fn produce_decoys(
+        &self,
+        executor: &Executor,
+        target_decoys: usize,
+        max_trajectories: usize,
+    ) -> DecoyProduction {
+        let mut decoys = DecoySet::new(self.config.distinct_threshold_deg);
+        let mut trajectories = Vec::new();
+        let mut t = 0usize;
+        while decoys.len() < target_decoys && t < max_trajectories {
+            let seed = StreamRngFactory::new(self.config.seed).derive(t as u64 + 1).master_seed();
+            let result = self.run_with_seed(executor, seed);
+            result.harvest_into(&mut decoys, t);
+            trajectories.push(result);
+            t += 1;
+        }
+        DecoyProduction { decoys, trajectories_run: t, trajectories }
+    }
+
+    fn snapshot(&self, iteration: usize, members: &[Member], temperature: f64) -> IterationSnapshot {
+        let scores: Vec<ScoreVector> = members.iter().map(|m| m.conf.scores).collect();
+        let nd = non_dominated_indices(&scores);
+        let front: Vec<(ScoreVector, f64)> = nd
+            .iter()
+            .map(|&i| (members[i].conf.scores, members[i].conf.rmsd_to_native))
+            .collect();
+        let best_rmsd = members
+            .iter()
+            .map(|m| m.conf.rmsd_to_native)
+            .fold(f64::INFINITY, f64::min);
+        IterationSnapshot {
+            iteration,
+            non_dominated_count: nd.len(),
+            front,
+            best_rmsd,
+            temperature,
+        }
+    }
+
+    /// Population-wide fitness assignment (Eq. 1), executed as two passes of
+    /// a data-parallel kernel and recorded as the paper's
+    /// `[FitAssg] within Population` kernel.
+    #[allow(clippy::too_many_arguments)]
+    fn population_fitness(
+        &self,
+        executor: &Executor,
+        scores: &[ScoreVector],
+        launch: LaunchConfig,
+        profiler: &Profiler,
+        component: &mut ComponentTimes,
+        modeled_gpu: &mut f64,
+        modeled_cpu: &mut f64,
+    ) -> Vec<f64> {
+        let n = scores.len();
+        let mode = self.config.objective_mode;
+        let start = Instant::now();
+        let fitness = match mode {
+            ObjectiveMode::MultiScoring => {
+                // Pass 1: strength and non-dominated flag per member.
+                let (pass1, _) = executor.map_indexed(scores, |i, si| {
+                    let dominated = scores.iter().filter(|sj| si.dominates(sj)).count();
+                    let is_nd = !scores
+                        .iter()
+                        .enumerate()
+                        .any(|(j, sj)| j != i && sj.dominates(si));
+                    (dominated as f64 / n as f64, is_nd)
+                });
+                // Pass 2: Eq. 1.
+                let pass1 = Arc::new(pass1);
+                let p1 = Arc::clone(&pass1);
+                let (fitness, _) = executor.map_indexed(scores, move |i, si| {
+                    if p1[i].1 {
+                        p1[i].0
+                    } else {
+                        1.0 + scores
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, sj)| p1[*j].1 && sj.dominates(si))
+                            .map(|(j, _)| p1[j].0)
+                            .sum::<f64>()
+                    }
+                });
+                fitness
+            }
+            ObjectiveMode::Single(obj) => scores.iter().map(|s| obj.value(s)).collect(),
+            ObjectiveMode::WeightedSum(w) => scores
+                .iter()
+                .map(|s| {
+                    let a = s.as_array();
+                    w[0] * a[0] + w[1] * a[1] + w[2] * a[2]
+                })
+                .collect(),
+        };
+        let host_us = start.elapsed().as_secs_f64() * 1e6;
+        component.fitness_us += host_us;
+
+        let work_per_thread = 2.0 * n as f64 * 3.0;
+        let occ = launch.occupancy(&self.timing.device, KernelKind::FitAssgPopulation);
+        let gpu_us = self
+            .timing
+            .kernel_time_us(KernelKind::FitAssgPopulation, launch, work_per_thread);
+        let cpu_us = self
+            .timing
+            .cpu_time_us(KernelKind::FitAssgPopulation, n, work_per_thread);
+        profiler.record_kernel(KernelKind::FitAssgPopulation, gpu_us, host_us, work_per_thread * n as f64, occ);
+        *modeled_gpu += gpu_us;
+        *modeled_cpu += cpu_us;
+        fitness
+    }
+
+    /// Record the CCD and the three scoring kernels for one population-wide
+    /// launch, using the members' measured times and the work model.
+    #[allow(clippy::too_many_arguments)]
+    fn account_population_kernels(
+        &self,
+        members: &[Member],
+        work: &WorkModel,
+        launch: LaunchConfig,
+        population: usize,
+        profiler: &Profiler,
+        component: &mut ComponentTimes,
+        modeled_gpu: &mut f64,
+        modeled_cpu: &mut f64,
+    ) {
+        let n = population.max(1);
+        let ccd_host_us: f64 = members.iter().map(|m| m.ccd_us).sum();
+        let scoring_host_us: f64 = members.iter().map(|m| m.scoring_us).sum();
+        component.ccd_us += ccd_host_us;
+        component.scoring_us += scoring_host_us;
+
+        let mean_rotations: f64 =
+            members.iter().map(|m| m.ccd_rotations).sum::<f64>() / n as f64;
+        let ccd_work = (mean_rotations + 1.0) * work.ccd_per_rotation;
+
+        // Split the measured scoring time across the three evaluation
+        // kernels in proportion to their modeled work so the host columns of
+        // Table II stay meaningful.
+        let eval_total_work = work.dist_work + work.vdw_work + work.trip_work;
+        let kernels: [(KernelKind, f64); 4] = [
+            (KernelKind::Ccd, ccd_work),
+            (KernelKind::EvalDist, work.dist_work),
+            (KernelKind::EvalVdw, work.vdw_work),
+            (KernelKind::EvalTrip, work.trip_work),
+        ];
+        for (kind, per_thread_work) in kernels {
+            let occ = launch.occupancy(&self.timing.device, kind);
+            let gpu_us = self.timing.kernel_time_us(kind, launch, per_thread_work);
+            let cpu_us = self.timing.cpu_time_us(kind, n, per_thread_work);
+            let host_us = match kind {
+                KernelKind::Ccd => ccd_host_us,
+                _ => scoring_host_us * per_thread_work / eval_total_work.max(1e-12),
+            };
+            profiler.record_kernel(kind, gpu_us, host_us, per_thread_work * n as f64, occ);
+            *modeled_gpu += gpu_us;
+            *modeled_cpu += cpu_us;
+        }
+    }
+
+    /// Record one lightweight kernel launch that has no separately measured
+    /// host time.
+    #[allow(clippy::too_many_arguments)]
+    fn account_simple_kernel(
+        &self,
+        kind: KernelKind,
+        launch: LaunchConfig,
+        population: usize,
+        work_per_thread: f64,
+        profiler: &Profiler,
+        modeled_gpu: &mut f64,
+        modeled_cpu: &mut f64,
+    ) {
+        let occ = launch.occupancy(&self.timing.device, kind);
+        let gpu_us = self.timing.kernel_time_us(kind, launch, work_per_thread);
+        let cpu_us = self.timing.cpu_time_us(kind, population, work_per_thread);
+        profiler.record_kernel(kind, gpu_us, 0.0, work_per_thread * population as f64, occ);
+        *modeled_gpu += gpu_us;
+        *modeled_cpu += cpu_us;
+    }
+}
+
+/// Fitness of a candidate against a reference set under the configured
+/// objective handling.
+fn candidate_fitness(mode: ObjectiveMode, scores: &ScoreVector, reference: &[ScoreVector]) -> f64 {
+    match mode {
+        ObjectiveMode::MultiScoring => fitness_against(scores, reference),
+        ObjectiveMode::Single(obj) => obj.value(scores),
+        ObjectiveMode::WeightedSum(w) => {
+            let a = scores.as_array();
+            w[0] * a[0] + w[1] * a[1] + w[2] * a[2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_scoring::{KnowledgeBaseConfig, Objective};
+    use lms_protein::BenchmarkLibrary;
+
+    fn fast_kb() -> Arc<KnowledgeBase> {
+        KnowledgeBase::build(KnowledgeBaseConfig::fast())
+    }
+
+    fn small_sampler(name: &str, cfg: SamplerConfig) -> MoscemSampler {
+        let target = BenchmarkLibrary::standard().target_by_name(name).unwrap();
+        MoscemSampler::new(target, fast_kb(), cfg)
+    }
+
+    #[test]
+    fn trajectory_produces_closed_scored_population() {
+        let cfg = SamplerConfig { population_size: 24, n_complexes: 2, iterations: 3, ..SamplerConfig::test_scale() };
+        let sampler = small_sampler("1cex", cfg);
+        let result = sampler.run(&Executor::scalar());
+        assert_eq!(result.population.len(), 24);
+        for c in &result.population {
+            assert!(c.scores.is_finite());
+            assert!(c.closure_deviation.is_finite());
+            assert!(
+                c.closure_deviation <= 1.5,
+                "population member far from closure: {}",
+                c.closure_deviation
+            );
+            assert!(c.rmsd_to_native.is_finite());
+            assert!(c.proposed_moves >= 3);
+        }
+        assert!(result.non_dominated_count() >= 1);
+        assert!(result.best_rmsd().is_finite());
+        assert!(result.acceptance_rate >= 0.0 && result.acceptance_rate <= 1.0);
+    }
+
+    #[test]
+    fn scalar_and_parallel_executors_agree_exactly() {
+        let cfg = SamplerConfig { population_size: 16, n_complexes: 2, iterations: 2, ..SamplerConfig::test_scale() };
+        let sampler = small_sampler("5pti", cfg);
+        let a = sampler.run(&Executor::scalar());
+        let b = sampler.run(&Executor::parallel());
+        assert_eq!(a.population.len(), b.population.len());
+        for (x, y) in a.population.iter().zip(b.population.iter()) {
+            assert_eq!(x.torsions, y.torsions, "executor changed the sampled trajectory");
+            assert_eq!(x.scores, y.scores);
+            assert_eq!(x.accepted_moves, y.accepted_moves);
+        }
+        assert_eq!(a.final_temperature, b.final_temperature);
+        assert_eq!(a.acceptance_rate, b.acceptance_rate);
+    }
+
+    #[test]
+    fn different_seeds_give_different_populations() {
+        let cfg = SamplerConfig { population_size: 12, n_complexes: 2, iterations: 2, ..SamplerConfig::test_scale() };
+        let sampler = small_sampler("3pte", cfg);
+        let a = sampler.run_with_seed(&Executor::scalar(), 1);
+        let b = sampler.run_with_seed(&Executor::scalar(), 2);
+        assert_ne!(
+            a.population.iter().map(|c| c.scores).collect::<Vec<_>>(),
+            b.population.iter().map(|c| c.scores).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn snapshots_are_recorded_at_requested_iterations() {
+        let cfg = SamplerConfig {
+            population_size: 16,
+            n_complexes: 2,
+            iterations: 4,
+            snapshot_iterations: vec![0, 2, 4],
+            ..SamplerConfig::test_scale()
+        };
+        let sampler = small_sampler("1akz", cfg);
+        let result = sampler.run(&Executor::scalar());
+        assert_eq!(result.snapshots.len(), 3);
+        assert_eq!(result.snapshots[0].iteration, 0);
+        assert_eq!(result.snapshots[1].iteration, 2);
+        assert_eq!(result.snapshots[2].iteration, 4);
+        for s in &result.snapshots {
+            assert!(s.non_dominated_count >= 1);
+            assert_eq!(s.front.len(), s.non_dominated_count);
+            assert!(s.best_rmsd.is_finite());
+        }
+    }
+
+    #[test]
+    fn component_times_are_dominated_by_ccd_and_scoring() {
+        // The paper's Figure 1: loop closure and scoring evaluation occupy
+        // ~99% of the CPU-only run.
+        let cfg = SamplerConfig { population_size: 24, n_complexes: 2, iterations: 3, ..SamplerConfig::test_scale() };
+        let sampler = small_sampler("1cex", cfg);
+        let result = sampler.run(&Executor::scalar());
+        let f = result.component_times.fractions();
+        let heavy = f[0] + f[1];
+        assert!(heavy > 0.80, "CCD+scoring fraction {heavy} too small: {f:?}");
+        assert!(f[0] > f[1], "CCD should dominate scoring: {f:?}");
+    }
+
+    #[test]
+    fn modeled_times_favor_the_device_at_large_population() {
+        let cfg = SamplerConfig { population_size: 128, n_complexes: 2, iterations: 1, ..SamplerConfig::test_scale() };
+        let sampler = small_sampler("1dim", cfg);
+        let result = sampler.run(&Executor::parallel());
+        assert!(result.modeled_cpu_us > 0.0);
+        assert!(result.modeled_gpu_us > 0.0);
+        assert!(result.modeled_speedup() > 1.0);
+    }
+
+    #[test]
+    fn profiler_records_the_papers_kernels_and_transfers() {
+        let cfg = SamplerConfig { population_size: 16, n_complexes: 2, iterations: 2, ..SamplerConfig::test_scale() };
+        let sampler = small_sampler("1ixh", cfg);
+        let result = sampler.run(&Executor::scalar());
+        let kernels = result.profiler.kernel_stats();
+        for kind in [
+            KernelKind::Ccd,
+            KernelKind::EvalDist,
+            KernelKind::EvalVdw,
+            KernelKind::EvalTrip,
+            KernelKind::FitAssgPopulation,
+            KernelKind::FitAssgComplex,
+        ] {
+            assert!(kernels.contains_key(&kind), "missing kernel {kind:?}");
+        }
+        // CCD dominates device time, TRIPLET is negligible — Table II shape.
+        assert!(kernels[&KernelKind::Ccd].device_us > kernels[&KernelKind::EvalDist].device_us);
+        assert!(kernels[&KernelKind::EvalDist].device_us > kernels[&KernelKind::EvalTrip].device_us);
+        let transfers = result.profiler.transfer_stats();
+        assert!(transfers.contains_key(&TransferKind::HtoA));
+        assert!(transfers.contains_key(&TransferKind::DtoH));
+        // Transfers are a small share of total device time.
+        let transfer_us: f64 = transfers.values().map(|t| t.device_us).sum();
+        assert!(transfer_us < 0.05 * result.profiler.total_device_us());
+    }
+
+    #[test]
+    fn sampling_improves_the_population() {
+        // After a few iterations the population should contain better
+        // (lower) scores than the random initialisation on at least one
+        // objective, and usually a better best-RMSD.
+        let cfg = SamplerConfig {
+            population_size: 32,
+            n_complexes: 2,
+            iterations: 8,
+            snapshot_iterations: vec![0, 8],
+            ..SamplerConfig::test_scale()
+        };
+        let sampler = small_sampler("1cex", cfg);
+        let result = sampler.run(&Executor::parallel());
+        let first = &result.snapshots[0];
+        let last = &result.snapshots[1];
+        // The front should not collapse, and the best decoy should not get
+        // substantially worse (Metropolis allows bounded uphill moves).
+        assert!(last.non_dominated_count >= 1);
+        assert!(
+            last.non_dominated_count * 3 >= first.non_dominated_count,
+            "front collapsed: {} -> {}",
+            first.non_dominated_count,
+            last.non_dominated_count
+        );
+        assert!(last.best_rmsd <= first.best_rmsd + 0.5, "best RMSD should not blow up");
+        // The median VDW of the population improves as clashes are resolved.
+        let median_vdw = |snap: &IterationSnapshot| {
+            let mut v: Vec<f64> = snap.front.iter().map(|(s, _)| s.vdw).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        assert!(median_vdw(last) <= median_vdw(first) * 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_objective_mode_runs_and_differs_from_multi() {
+        let base = SamplerConfig { population_size: 16, n_complexes: 2, iterations: 3, ..SamplerConfig::test_scale() };
+        let multi = small_sampler("153l", base.clone());
+        let single = small_sampler(
+            "153l",
+            SamplerConfig { objective_mode: ObjectiveMode::Single(Objective::Vdw), ..base },
+        );
+        let a = multi.run(&Executor::scalar());
+        let b = single.run(&Executor::scalar());
+        // Different acceptance dynamics ⇒ different trajectories.
+        assert_ne!(
+            a.population.iter().map(|c| c.scores).collect::<Vec<_>>(),
+            b.population.iter().map(|c| c.scores).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn convergence_traces_and_schedule_override() {
+        use crate::annealing::TemperatureSchedule;
+        let base = SamplerConfig { population_size: 24, n_complexes: 3, iterations: 6, ..SamplerConfig::test_scale() };
+        let sampler = small_sampler("1cex", base.clone());
+        let result = sampler.run(&Executor::parallel());
+        // One trace per complex, one point per iteration.
+        assert_eq!(result.complex_traces.len(), 3);
+        for trace in &result.complex_traces {
+            assert_eq!(trace.len(), 6);
+            assert!(trace.iter().all(|v| v.is_finite()));
+        }
+        assert!(result.gelman_rubin_vdw().is_some());
+
+        // A geometric schedule ends colder than it starts and overrides the
+        // adaptive default.
+        let annealed_cfg = SamplerConfig {
+            temperature_schedule: Some(TemperatureSchedule::Geometric {
+                initial: 1.0,
+                ratio: 0.5,
+                min: 0.01,
+            }),
+            ..base
+        };
+        let annealed = small_sampler("1cex", annealed_cfg).run(&Executor::parallel());
+        assert!(annealed.final_temperature < 0.1);
+    }
+
+    #[test]
+    fn produce_decoys_accumulates_distinct_decoys() {
+        let cfg = SamplerConfig { population_size: 16, n_complexes: 2, iterations: 2, ..SamplerConfig::test_scale() };
+        let sampler = small_sampler("1bhe", cfg);
+        let production = sampler.produce_decoys(&Executor::parallel(), 6, 4);
+        assert!(production.trajectories_run >= 1);
+        assert!(production.trajectories_run <= 4);
+        assert!(!production.decoys.is_empty());
+        assert_eq!(production.trajectories.len(), production.trajectories_run);
+        // Every harvested decoy respects the 30-degree distinctness rule.
+        let decoys = production.decoys.decoys();
+        for (i, a) in decoys.iter().enumerate() {
+            for b in &decoys[(i + 1)..] {
+                assert!(a.torsions.max_deviation_deg(&b.torsions) >= 30.0 - 1e-9);
+            }
+        }
+    }
+}

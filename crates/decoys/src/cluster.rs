@@ -1,0 +1,255 @@
+//! Structural clustering of decoys.
+//!
+//! The paper argues the CPU and CPU-GPU implementations are "functionally
+//! equivalent" because, although they consume different random number
+//! sequences, the decoys they generate "lead to similar structure clusters".
+//! This module provides the greedy leader-style clustering (in torsion space
+//! or in backbone-RMSD space) used to make that comparison quantitative.
+
+use lms_core::Decoy;
+use lms_geometry::rmsd_direct;
+use lms_protein::{LoopBuilder, LoopTarget, Torsions};
+
+/// How decoy-to-decoy distances are measured during clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterMetric {
+    /// Maximum torsion deviation (degrees); matches the decoy-distinctness
+    /// rule.
+    TorsionDeg,
+    /// Backbone RMSD (Å) in the shared anchor frame.
+    RmsdAngstrom,
+}
+
+/// One cluster of decoys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Index (into the clustered slice) of the leader/representative decoy.
+    pub representative: usize,
+    /// Indices of all members, including the representative.
+    pub members: Vec<usize>,
+}
+
+impl Cluster {
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Greedy leader clustering: decoys are visited in order; each joins the
+/// first cluster whose representative is within `radius`, otherwise it
+/// founds a new cluster.
+pub fn cluster_decoys(
+    target: &LoopTarget,
+    decoys: &[Decoy],
+    metric: ClusterMetric,
+    radius: f64,
+) -> Vec<Cluster> {
+    let builder = LoopBuilder::default();
+    // Pre-build coordinates once when clustering by RMSD.
+    let coords: Vec<Vec<lms_geometry::Vec3>> = match metric {
+        ClusterMetric::RmsdAngstrom => decoys
+            .iter()
+            .map(|d| target.build(&builder, &d.torsions).backbone_atoms())
+            .collect(),
+        ClusterMetric::TorsionDeg => Vec::new(),
+    };
+    let distance = |a: usize, b: usize| -> f64 {
+        match metric {
+            ClusterMetric::TorsionDeg => decoys[a].torsions.max_deviation_deg(&decoys[b].torsions),
+            ClusterMetric::RmsdAngstrom => rmsd_direct(&coords[a], &coords[b]),
+        }
+    };
+
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for i in 0..decoys.len() {
+        match clusters.iter_mut().find(|c| distance(c.representative, i) <= radius) {
+            Some(c) => c.members.push(i),
+            None => clusters.push(Cluster { representative: i, members: vec![i] }),
+        }
+    }
+    clusters
+}
+
+/// Summary of a cross-comparison between two decoy sets (e.g. produced by
+/// the scalar and the parallel executor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivalenceReport {
+    /// Number of clusters found in set A.
+    pub clusters_a: usize,
+    /// Number of clusters found in set B.
+    pub clusters_b: usize,
+    /// Fraction of A's clusters that contain at least one B decoy within the
+    /// matching radius of their representative.
+    pub coverage_a_by_b: f64,
+    /// Fraction of B's clusters covered by A.
+    pub coverage_b_by_a: f64,
+}
+
+impl EquivalenceReport {
+    /// Symmetric coverage: the mean of the two directional coverages.
+    pub fn symmetric_coverage(&self) -> f64 {
+        0.5 * (self.coverage_a_by_b + self.coverage_b_by_a)
+    }
+}
+
+/// Compare two decoy sets for structural equivalence: cluster each set, then
+/// measure how well the other set covers each cluster's representative.
+pub fn compare_decoy_sets(
+    target: &LoopTarget,
+    set_a: &[Decoy],
+    set_b: &[Decoy],
+    metric: ClusterMetric,
+    radius: f64,
+) -> EquivalenceReport {
+    let clusters_a = cluster_decoys(target, set_a, metric, radius);
+    let clusters_b = cluster_decoys(target, set_b, metric, radius);
+
+    let builder = LoopBuilder::default();
+    let coords = |decoys: &[Decoy]| -> Vec<Vec<lms_geometry::Vec3>> {
+        match metric {
+            ClusterMetric::RmsdAngstrom => decoys
+                .iter()
+                .map(|d| target.build(&builder, &d.torsions).backbone_atoms())
+                .collect(),
+            ClusterMetric::TorsionDeg => Vec::new(),
+        }
+    };
+    let ca = coords(set_a);
+    let cb = coords(set_b);
+    let cross_distance = |a_idx: usize, b_idx: usize| -> f64 {
+        match metric {
+            ClusterMetric::TorsionDeg => {
+                set_a[a_idx].torsions.max_deviation_deg(&set_b[b_idx].torsions)
+            }
+            ClusterMetric::RmsdAngstrom => rmsd_direct(&ca[a_idx], &cb[b_idx]),
+        }
+    };
+
+    let coverage_a_by_b = if clusters_a.is_empty() {
+        0.0
+    } else {
+        clusters_a
+            .iter()
+            .filter(|c| (0..set_b.len()).any(|j| cross_distance(c.representative, j) <= radius))
+            .count() as f64
+            / clusters_a.len() as f64
+    };
+    let coverage_b_by_a = if clusters_b.is_empty() {
+        0.0
+    } else {
+        clusters_b
+            .iter()
+            .filter(|c| (0..set_a.len()).any(|i| cross_distance(i, c.representative) <= radius))
+            .count() as f64
+            / clusters_b.len() as f64
+    };
+
+    EquivalenceReport {
+        clusters_a: clusters_a.len(),
+        clusters_b: clusters_b.len(),
+        coverage_a_by_b,
+        coverage_b_by_a,
+    }
+}
+
+/// Helper used by tests and examples: wrap raw torsion vectors as decoys.
+pub fn decoys_from_torsions(torsions: &[Torsions]) -> Vec<Decoy> {
+    torsions
+        .iter()
+        .map(|t| Decoy {
+            torsions: t.clone(),
+            scores: lms_scoring::ScoreVector::default(),
+            rmsd_to_native: f64::NAN,
+            trajectory: 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_geometry::deg_to_rad;
+    use lms_protein::BenchmarkLibrary;
+
+    fn target() -> LoopTarget {
+        BenchmarkLibrary::standard().target_by_name("1cex").unwrap()
+    }
+
+    fn torsions_around(target: &LoopTarget, offsets_deg: &[f64]) -> Vec<Torsions> {
+        offsets_deg
+            .iter()
+            .map(|&off| {
+                let mut t = target.native_torsions.clone();
+                t.rotate_angle(0, deg_to_rad(off));
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clustering_groups_nearby_decoys() {
+        let tgt = target();
+        // Two groups: offsets near 0 and offsets near 120 degrees.
+        let decoys = decoys_from_torsions(&torsions_around(&tgt, &[0.0, 5.0, -4.0, 120.0, 124.0]));
+        let clusters = cluster_decoys(&tgt, &decoys, ClusterMetric::TorsionDeg, 30.0);
+        assert_eq!(clusters.len(), 2);
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.size()).collect();
+        assert!(sizes.contains(&3));
+        assert!(sizes.contains(&2));
+        // Every decoy is in exactly one cluster.
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, decoys.len());
+    }
+
+    #[test]
+    fn rmsd_metric_clusters_identical_structures_together() {
+        let tgt = target();
+        let decoys = decoys_from_torsions(&torsions_around(&tgt, &[0.0, 0.0, 90.0]));
+        let clusters = cluster_decoys(&tgt, &decoys, ClusterMetric::RmsdAngstrom, 0.5);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].members, vec![0, 1]);
+        assert_eq!(clusters[1].members, vec![2]);
+    }
+
+    #[test]
+    fn empty_decoy_set_gives_no_clusters() {
+        let tgt = target();
+        assert!(cluster_decoys(&tgt, &[], ClusterMetric::TorsionDeg, 30.0).is_empty());
+    }
+
+    #[test]
+    fn equivalent_sets_have_high_mutual_coverage() {
+        let tgt = target();
+        // Two "implementations" sampling the same two basins with slightly
+        // different random offsets.
+        let a = decoys_from_torsions(&torsions_around(&tgt, &[0.0, 3.0, 118.0]));
+        let b = decoys_from_torsions(&torsions_around(&tgt, &[-4.0, 122.0, 1.5]));
+        let report = compare_decoy_sets(&tgt, &a, &b, ClusterMetric::TorsionDeg, 30.0);
+        assert_eq!(report.clusters_a, 2);
+        assert_eq!(report.clusters_b, 2);
+        assert!((report.coverage_a_by_b - 1.0).abs() < 1e-12);
+        assert!((report.coverage_b_by_a - 1.0).abs() < 1e-12);
+        assert!((report.symmetric_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_have_low_coverage() {
+        let tgt = target();
+        let a = decoys_from_torsions(&torsions_around(&tgt, &[0.0, 4.0]));
+        let b = decoys_from_torsions(&torsions_around(&tgt, &[150.0, 155.0]));
+        let report = compare_decoy_sets(&tgt, &a, &b, ClusterMetric::TorsionDeg, 30.0);
+        assert_eq!(report.coverage_a_by_b, 0.0);
+        assert_eq!(report.coverage_b_by_a, 0.0);
+        assert_eq!(report.symmetric_coverage(), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_report_zero_coverage_without_panicking() {
+        let tgt = target();
+        let a = decoys_from_torsions(&torsions_around(&tgt, &[0.0]));
+        let report = compare_decoy_sets(&tgt, &a, &[], ClusterMetric::TorsionDeg, 30.0);
+        assert_eq!(report.clusters_b, 0);
+        assert_eq!(report.coverage_a_by_b, 0.0);
+    }
+}

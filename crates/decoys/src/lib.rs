@@ -1,0 +1,36 @@
+//! # lms-decoys
+//!
+//! Analysis of loop decoy sets produced by the MOSCEM sampler: ensemble
+//! statistics for the population-size study (Figure 3), greedy structural
+//! clustering and cross-implementation equivalence checks, and plain-text
+//! report formatting shared by the experiment harness.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lms_decoys::{MinMaxMean, TextTable};
+//!
+//! let rmsds = [0.8, 1.4, 2.1];
+//! let summary = MinMaxMean::of(&rmsds).unwrap();
+//! assert_eq!(summary.min, 0.8);
+//!
+//! let mut table = TextTable::new(vec!["Population", "Best RMSD (A)"]);
+//! table.add_row(vec!["100".to_string(), format!("{:.2}", summary.min)]);
+//! assert!(table.render().contains("0.80"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod report;
+pub mod stats;
+
+pub use cluster::{
+    cluster_decoys, compare_decoy_sets, decoys_from_torsions, Cluster, ClusterMetric,
+    EquivalenceReport,
+};
+pub use report::{format_percent, format_us, section, TextTable};
+pub use stats::{
+    count_structurally_distinct, distinct_non_dominated, ensemble_stats, MinMaxMean,
+    TrajectoryEnsembleStats,
+};

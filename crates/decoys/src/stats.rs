@@ -1,0 +1,146 @@
+//! Trajectory and decoy-set statistics.
+//!
+//! These are the aggregations the paper's Figure 3 plots: the number of
+//! *structurally distinct* non-dominated conformations produced by a
+//! trajectory, and the minimum / maximum / average of the best-decoy RMSD
+//! over a set of independent trajectories.
+
+use lms_core::TrajectoryResult;
+use lms_protein::Torsions;
+use lms_scoring::ScoreVector;
+
+/// Count the structurally distinct members of a set of torsion vectors
+/// under the paper's rule: a conformation is distinct if its maximum torsion
+/// deviation from every *previously kept* conformation is at least
+/// `threshold_deg`.
+pub fn count_structurally_distinct(torsions: &[&Torsions], threshold_deg: f64) -> usize {
+    let mut kept: Vec<&Torsions> = Vec::new();
+    for t in torsions {
+        if kept.iter().all(|k| k.is_distinct_from(t, threshold_deg)) {
+            kept.push(t);
+        }
+    }
+    kept.len()
+}
+
+/// The number of structurally distinct non-dominated conformations in a
+/// finished trajectory's population.
+pub fn distinct_non_dominated(result: &TrajectoryResult, threshold_deg: f64) -> usize {
+    let scores: Vec<ScoreVector> = result.population.iter().map(|c| c.scores).collect();
+    let nd = lms_core::non_dominated_indices(&scores);
+    let torsions: Vec<&Torsions> = nd.iter().map(|&i| &result.population[i].torsions).collect();
+    count_structurally_distinct(&torsions, threshold_deg)
+}
+
+/// Min / max / mean summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinMaxMean {
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl MinMaxMean {
+    /// Summarise a sample; returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<MinMaxMean> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(MinMaxMean { min, max, mean: sum / values.len() as f64 })
+    }
+}
+
+/// Aggregated statistics over a set of independent trajectories on the same
+/// target — one point of the paper's Figure 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEnsembleStats {
+    /// Number of trajectories aggregated.
+    pub trajectories: usize,
+    /// Average number of structurally distinct non-dominated conformations
+    /// per trajectory.
+    pub avg_distinct_non_dominated: f64,
+    /// Min/max/mean of the best (lowest) RMSD found per trajectory (Å).
+    pub best_rmsd: MinMaxMean,
+}
+
+/// Aggregate independent trajectories (Figure 3's per-population-size
+/// statistics).
+pub fn ensemble_stats(results: &[TrajectoryResult], threshold_deg: f64) -> Option<TrajectoryEnsembleStats> {
+    if results.is_empty() {
+        return None;
+    }
+    let distinct: Vec<f64> = results
+        .iter()
+        .map(|r| distinct_non_dominated(r, threshold_deg) as f64)
+        .collect();
+    let best: Vec<f64> = results.iter().map(|r| r.best_rmsd()).collect();
+    Some(TrajectoryEnsembleStats {
+        trajectories: results.len(),
+        avg_distinct_non_dominated: distinct.iter().sum::<f64>() / distinct.len() as f64,
+        best_rmsd: MinMaxMean::of(&best)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_geometry::deg_to_rad;
+
+    fn t(phis_deg: &[f64]) -> Torsions {
+        Torsions::from_pairs(
+            &phis_deg.iter().map(|&p| (deg_to_rad(p), deg_to_rad(p * 0.5))).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn min_max_mean_basics() {
+        let s = MinMaxMean::of(&[1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(MinMaxMean::of(&[]).is_none());
+        let single = MinMaxMean::of(&[5.0]).unwrap();
+        assert_eq!(single.min, 5.0);
+        assert_eq!(single.max, 5.0);
+        assert_eq!(single.mean, 5.0);
+    }
+
+    #[test]
+    fn distinct_counting_respects_threshold() {
+        let a = t(&[-60.0, -60.0]);
+        let b = t(&[-65.0, -58.0]); // within 30 deg of a
+        let c = t(&[-120.0, -60.0]); // far from a and b in the first torsion
+        let d = t(&[-118.0, -62.0]); // close to c
+        let set = [&a, &b, &c, &d];
+        assert_eq!(count_structurally_distinct(&set, 30.0), 2);
+        assert_eq!(count_structurally_distinct(&set, 1.0), 4);
+        assert_eq!(count_structurally_distinct(&set, 400.0), 1);
+        assert_eq!(count_structurally_distinct(&[], 30.0), 0);
+    }
+
+    #[test]
+    fn distinct_counting_order_keeps_first_representative() {
+        let a = t(&[0.0]);
+        let b = t(&[20.0]);
+        let c = t(&[40.0]);
+        // a and b are within 30 deg; c is 40 deg from a but 20 from b.
+        // Greedy keeps a, skips b, then c is distinct from a -> kept.
+        assert_eq!(count_structurally_distinct(&[&a, &b, &c], 30.0), 2);
+    }
+
+    #[test]
+    fn ensemble_stats_empty_is_none() {
+        assert!(ensemble_stats(&[], 30.0).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Reproducible random-number streams.
+//!
+//! The paper assigns each conformation to one GPU thread and each thread
+//! consumes its own random stream; the CPU and GPU versions therefore use
+//! different sequences but must be *individually* reproducible.  We mirror
+//! that with ChaCha8 streams derived from a master seed and a stream index:
+//! stream `i` of seed `s` is always the same sequence, independent of how
+//! many other streams exist or which worker thread runs it.  This is what
+//! makes the `ScalarExecutor` and `ParallelExecutor` produce bit-identical
+//! populations for the same seed (verified by property tests in `lms-core`).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Factory for per-conformation random streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRngFactory {
+    master_seed: u64,
+}
+
+impl StreamRngFactory {
+    /// Create a factory from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        StreamRngFactory { master_seed }
+    }
+
+    /// The master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Deterministically derive the RNG for stream `stream` at epoch
+    /// `epoch`.  Different `(stream, epoch)` pairs give statistically
+    /// independent sequences; the same pair always gives the same sequence.
+    pub fn stream(&self, stream: u64, epoch: u64) -> ChaCha8Rng {
+        // Build a 256-bit ChaCha seed from (master_seed, stream, epoch) with
+        // SplitMix64 expansion, so every pair gets an unrelated key rather
+        // than a different position in one key's stream.
+        let mut state = self
+            .master_seed
+            .wrapping_add(stream.wrapping_mul(0xA24BAED4963EE407))
+            .wrapping_add(epoch.wrapping_mul(0x9FB21C651E98DF25));
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            state = splitmix64(state);
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+        ChaCha8Rng::from_seed(seed)
+    }
+
+    /// Derive a new factory for an independent phase of the computation
+    /// (e.g. population initialization vs. sampling iterations).
+    pub fn derive(&self, label: u64) -> StreamRngFactory {
+        StreamRngFactory {
+            master_seed: splitmix64(
+                self.master_seed
+                    .wrapping_add(label.wrapping_mul(0x9E3779B97F4A7C15)),
+            ),
+        }
+    }
+}
+
+/// One SplitMix64 scrambling step, used to spread seeds.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Sample a torsion angle uniformly in `(-π, π]` (radians).
+pub fn random_torsion<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    use std::f64::consts::PI;
+    // gen::<f64>() is in [0, 1); map to (-pi, pi].
+    PI - rng.gen::<f64>() * 2.0 * PI
+}
+
+/// Sample from a wrapped normal distribution on the circle: a normal
+/// perturbation of `mean` with standard deviation `sigma` (radians), wrapped
+/// to `(-π, π]`.
+pub fn wrapped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    // Box-Muller transform; avoids a distribution dependency.
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    crate::angles::wrap_rad(mean + sigma * z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn same_stream_same_sequence() {
+        let f = StreamRngFactory::new(42);
+        let a: Vec<f64> = {
+            let mut r = f.stream(7, 3);
+            (0..32).map(|_| r.gen::<f64>()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = f.stream(7, 3);
+            (0..32).map(|_| r.gen::<f64>()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let f = StreamRngFactory::new(42);
+        let a: Vec<u64> = {
+            let mut r = f.stream(0, 0);
+            (0..16).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = f.stream(1, 0);
+            (0..16).map(|_| r.gen::<u64>()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = f.stream(0, 1);
+            (0..16).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn derived_factories_differ_from_parent() {
+        let f = StreamRngFactory::new(1234);
+        let g = f.derive(1);
+        let h = f.derive(2);
+        assert_ne!(f.master_seed(), g.master_seed());
+        assert_ne!(g.master_seed(), h.master_seed());
+        // Deterministic derivation.
+        assert_eq!(f.derive(1).master_seed(), g.master_seed());
+    }
+
+    #[test]
+    fn random_torsion_in_range() {
+        let f = StreamRngFactory::new(7);
+        let mut r = f.stream(0, 0);
+        for _ in 0..10_000 {
+            let t = random_torsion(&mut r);
+            assert!(t > -PI - 1e-12 && t <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_torsion_covers_both_halves() {
+        let f = StreamRngFactory::new(9);
+        let mut r = f.stream(0, 0);
+        let samples: Vec<f64> = (0..2000).map(|_| random_torsion(&mut r)).collect();
+        let pos = samples.iter().filter(|&&t| t > 0.0).count();
+        assert!(pos > 600 && pos < 1400, "suspiciously skewed: {pos}/2000 positive");
+    }
+
+    #[test]
+    fn wrapped_normal_stays_near_mean_for_small_sigma() {
+        let f = StreamRngFactory::new(11);
+        let mut r = f.stream(3, 0);
+        let mean = 2.0;
+        for _ in 0..1000 {
+            let v = wrapped_normal(&mut r, mean, 0.05);
+            assert!((v - mean).abs() < 0.5, "sample {v} too far from mean");
+        }
+    }
+
+    #[test]
+    fn wrapped_normal_wraps_into_range() {
+        let f = StreamRngFactory::new(13);
+        let mut r = f.stream(0, 0);
+        for _ in 0..5000 {
+            let v = wrapped_normal(&mut r, PI - 0.01, 1.0);
+            assert!(v > -PI - 1e-9 && v <= PI + 1e-9);
+        }
+    }
+}

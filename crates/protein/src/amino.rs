@@ -1,0 +1,405 @@
+//! Amino-acid types and the per-residue parameters the backbone scoring
+//! functions need (side chains are only represented implicitly, through a
+//! per-residue-type centroid pseudo-atom, exactly as in the paper's
+//! backbone-only scoring functions).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The twenty standard amino acids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum AminoAcid {
+    Ala,
+    Arg,
+    Asn,
+    Asp,
+    Cys,
+    Gln,
+    Glu,
+    Gly,
+    His,
+    Ile,
+    Leu,
+    Lys,
+    Met,
+    Phe,
+    Pro,
+    Ser,
+    Thr,
+    Trp,
+    Tyr,
+    Val,
+}
+
+/// Error returned when parsing an amino-acid code fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAminoAcidError(pub String);
+
+impl fmt::Display for ParseAminoAcidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown amino acid code: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAminoAcidError {}
+
+impl AminoAcid {
+    /// All twenty amino acids, in alphabetical three-letter-code order.
+    pub const ALL: [AminoAcid; 20] = [
+        AminoAcid::Ala,
+        AminoAcid::Arg,
+        AminoAcid::Asn,
+        AminoAcid::Asp,
+        AminoAcid::Cys,
+        AminoAcid::Gln,
+        AminoAcid::Glu,
+        AminoAcid::Gly,
+        AminoAcid::His,
+        AminoAcid::Ile,
+        AminoAcid::Leu,
+        AminoAcid::Lys,
+        AminoAcid::Met,
+        AminoAcid::Phe,
+        AminoAcid::Pro,
+        AminoAcid::Ser,
+        AminoAcid::Thr,
+        AminoAcid::Trp,
+        AminoAcid::Tyr,
+        AminoAcid::Val,
+    ];
+
+    /// One-letter code.
+    pub fn one_letter(self) -> char {
+        match self {
+            AminoAcid::Ala => 'A',
+            AminoAcid::Arg => 'R',
+            AminoAcid::Asn => 'N',
+            AminoAcid::Asp => 'D',
+            AminoAcid::Cys => 'C',
+            AminoAcid::Gln => 'Q',
+            AminoAcid::Glu => 'E',
+            AminoAcid::Gly => 'G',
+            AminoAcid::His => 'H',
+            AminoAcid::Ile => 'I',
+            AminoAcid::Leu => 'L',
+            AminoAcid::Lys => 'K',
+            AminoAcid::Met => 'M',
+            AminoAcid::Phe => 'F',
+            AminoAcid::Pro => 'P',
+            AminoAcid::Ser => 'S',
+            AminoAcid::Thr => 'T',
+            AminoAcid::Trp => 'W',
+            AminoAcid::Tyr => 'Y',
+            AminoAcid::Val => 'V',
+        }
+    }
+
+    /// Three-letter code (upper case, as used in PDB files).
+    pub fn three_letter(self) -> &'static str {
+        match self {
+            AminoAcid::Ala => "ALA",
+            AminoAcid::Arg => "ARG",
+            AminoAcid::Asn => "ASN",
+            AminoAcid::Asp => "ASP",
+            AminoAcid::Cys => "CYS",
+            AminoAcid::Gln => "GLN",
+            AminoAcid::Glu => "GLU",
+            AminoAcid::Gly => "GLY",
+            AminoAcid::His => "HIS",
+            AminoAcid::Ile => "ILE",
+            AminoAcid::Leu => "LEU",
+            AminoAcid::Lys => "LYS",
+            AminoAcid::Met => "MET",
+            AminoAcid::Phe => "PHE",
+            AminoAcid::Pro => "PRO",
+            AminoAcid::Ser => "SER",
+            AminoAcid::Thr => "THR",
+            AminoAcid::Trp => "TRP",
+            AminoAcid::Tyr => "TYR",
+            AminoAcid::Val => "VAL",
+        }
+    }
+
+    /// Parse a one-letter code.
+    pub fn from_one_letter(c: char) -> Result<AminoAcid, ParseAminoAcidError> {
+        AminoAcid::ALL
+            .iter()
+            .copied()
+            .find(|aa| aa.one_letter() == c.to_ascii_uppercase())
+            .ok_or_else(|| ParseAminoAcidError(c.to_string()))
+    }
+
+    /// Index in `[0, 20)`, stable across runs; used by the knowledge-based
+    /// scoring tables.
+    pub fn index(self) -> usize {
+        AminoAcid::ALL.iter().position(|&aa| aa == self).expect("amino acid in ALL")
+    }
+
+    /// Build from an index in `[0, 20)`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 20`.
+    pub fn from_index(idx: usize) -> AminoAcid {
+        AminoAcid::ALL[idx]
+    }
+
+    /// Whether this residue type has no side chain beyond Cβ hydrogens.
+    pub fn is_glycine(self) -> bool {
+        self == AminoAcid::Gly
+    }
+
+    /// Whether this residue type is proline (restricted φ).
+    pub fn is_proline(self) -> bool {
+        self == AminoAcid::Pro
+    }
+
+    /// Radius (Å) of the soft-sphere side-chain centroid pseudo-atom used by
+    /// the VDW scoring function.  Values follow the spirit of Zhang et al.
+    /// (1997): larger side chains get larger spheres; glycine has no
+    /// centroid (radius 0).
+    pub fn centroid_radius(self) -> f64 {
+        match self {
+            AminoAcid::Gly => 0.0,
+            AminoAcid::Ala => 1.9,
+            AminoAcid::Ser => 2.0,
+            AminoAcid::Cys => 2.1,
+            AminoAcid::Thr => 2.2,
+            AminoAcid::Val => 2.3,
+            AminoAcid::Pro => 2.3,
+            AminoAcid::Asp => 2.4,
+            AminoAcid::Asn => 2.4,
+            AminoAcid::Ile => 2.5,
+            AminoAcid::Leu => 2.5,
+            AminoAcid::Glu => 2.6,
+            AminoAcid::Gln => 2.6,
+            AminoAcid::Met => 2.6,
+            AminoAcid::His => 2.7,
+            AminoAcid::Lys => 2.8,
+            AminoAcid::Phe => 2.9,
+            AminoAcid::Arg => 2.9,
+            AminoAcid::Tyr => 3.0,
+            AminoAcid::Trp => 3.2,
+        }
+    }
+
+    /// Distance (Å) from Cα at which the side-chain centroid pseudo-atom is
+    /// placed along the Cβ direction.  Glycine returns 0 (no centroid).
+    pub fn centroid_distance(self) -> f64 {
+        match self {
+            AminoAcid::Gly => 0.0,
+            AminoAcid::Ala => 1.5,
+            AminoAcid::Ser | AminoAcid::Cys | AminoAcid::Thr | AminoAcid::Val | AminoAcid::Pro => {
+                1.9
+            }
+            AminoAcid::Asp | AminoAcid::Asn | AminoAcid::Ile | AminoAcid::Leu => 2.3,
+            AminoAcid::Glu | AminoAcid::Gln | AminoAcid::Met | AminoAcid::His => 2.7,
+            AminoAcid::Lys | AminoAcid::Phe => 3.0,
+            AminoAcid::Arg | AminoAcid::Tyr => 3.4,
+            AminoAcid::Trp => 3.3,
+        }
+    }
+
+    /// Kyte-Doolittle hydropathy index, used by the synthetic benchmark
+    /// generator to bias buried loops towards hydrophobic sequences.
+    pub fn hydropathy(self) -> f64 {
+        match self {
+            AminoAcid::Ile => 4.5,
+            AminoAcid::Val => 4.2,
+            AminoAcid::Leu => 3.8,
+            AminoAcid::Phe => 2.8,
+            AminoAcid::Cys => 2.5,
+            AminoAcid::Met => 1.9,
+            AminoAcid::Ala => 1.8,
+            AminoAcid::Gly => -0.4,
+            AminoAcid::Thr => -0.7,
+            AminoAcid::Ser => -0.8,
+            AminoAcid::Trp => -0.9,
+            AminoAcid::Tyr => -1.3,
+            AminoAcid::Pro => -1.6,
+            AminoAcid::His => -3.2,
+            AminoAcid::Glu => -3.5,
+            AminoAcid::Gln => -3.5,
+            AminoAcid::Asp => -3.5,
+            AminoAcid::Asn => -3.5,
+            AminoAcid::Lys => -3.9,
+            AminoAcid::Arg => -4.5,
+        }
+    }
+
+    /// The Ramachandran residue class used by the torsion statistics.
+    pub fn rama_class(self) -> RamaClass {
+        match self {
+            AminoAcid::Gly => RamaClass::Glycine,
+            AminoAcid::Pro => RamaClass::Proline,
+            _ => RamaClass::General,
+        }
+    }
+}
+
+impl fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.three_letter())
+    }
+}
+
+impl FromStr for AminoAcid {
+    type Err = ParseAminoAcidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let up = s.trim().to_ascii_uppercase();
+        if up.len() == 1 {
+            return AminoAcid::from_one_letter(up.chars().next().unwrap());
+        }
+        AminoAcid::ALL
+            .iter()
+            .copied()
+            .find(|aa| aa.three_letter() == up)
+            .ok_or(ParseAminoAcidError(up))
+    }
+}
+
+/// Torsion-statistics class of a residue: glycine and proline have their own
+/// backbone torsion distributions; every other residue type shares the
+/// "general" distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RamaClass {
+    /// All residues except glycine and proline.
+    General,
+    /// Glycine (no Cβ, symmetric Ramachandran map).
+    Glycine,
+    /// Proline (φ restricted near -65°).
+    Proline,
+}
+
+impl RamaClass {
+    /// Stable index in `[0, 3)` used by the scoring tables.
+    pub fn index(self) -> usize {
+        match self {
+            RamaClass::General => 0,
+            RamaClass::Glycine => 1,
+            RamaClass::Proline => 2,
+        }
+    }
+
+    /// Number of distinct classes.
+    pub const COUNT: usize = 3;
+}
+
+/// Parse a protein sequence given in one-letter codes.
+pub fn parse_sequence(s: &str) -> Result<Vec<AminoAcid>, ParseAminoAcidError> {
+    s.chars()
+        .filter(|c| !c.is_whitespace())
+        .map(AminoAcid::from_one_letter)
+        .collect()
+}
+
+/// Format a sequence as one-letter codes.
+pub fn format_sequence(seq: &[AminoAcid]) -> String {
+    seq.iter().map(|aa| aa.one_letter()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_amino_acids_with_unique_codes() {
+        assert_eq!(AminoAcid::ALL.len(), 20);
+        let mut ones: Vec<char> = AminoAcid::ALL.iter().map(|a| a.one_letter()).collect();
+        ones.sort_unstable();
+        ones.dedup();
+        assert_eq!(ones.len(), 20, "one-letter codes must be unique");
+        let mut threes: Vec<&str> = AminoAcid::ALL.iter().map(|a| a.three_letter()).collect();
+        threes.sort_unstable();
+        threes.dedup();
+        assert_eq!(threes.len(), 20, "three-letter codes must be unique");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for aa in AminoAcid::ALL {
+            assert_eq!(AminoAcid::from_index(aa.index()), aa);
+        }
+    }
+
+    #[test]
+    fn one_letter_roundtrip() {
+        for aa in AminoAcid::ALL {
+            assert_eq!(AminoAcid::from_one_letter(aa.one_letter()).unwrap(), aa);
+            // lower case accepted too
+            assert_eq!(
+                AminoAcid::from_one_letter(aa.one_letter().to_ascii_lowercase()).unwrap(),
+                aa
+            );
+        }
+        assert!(AminoAcid::from_one_letter('X').is_err());
+        assert!(AminoAcid::from_one_letter('B').is_err());
+    }
+
+    #[test]
+    fn from_str_accepts_both_code_lengths() {
+        assert_eq!("ALA".parse::<AminoAcid>().unwrap(), AminoAcid::Ala);
+        assert_eq!("trp".parse::<AminoAcid>().unwrap(), AminoAcid::Trp);
+        assert_eq!("G".parse::<AminoAcid>().unwrap(), AminoAcid::Gly);
+        assert!("XYZ".parse::<AminoAcid>().is_err());
+        assert!("".parse::<AminoAcid>().is_err());
+    }
+
+    #[test]
+    fn glycine_and_proline_flags() {
+        assert!(AminoAcid::Gly.is_glycine());
+        assert!(!AminoAcid::Ala.is_glycine());
+        assert!(AminoAcid::Pro.is_proline());
+        assert!(!AminoAcid::Gly.is_proline());
+    }
+
+    #[test]
+    fn centroid_parameters_are_sane() {
+        for aa in AminoAcid::ALL {
+            let r = aa.centroid_radius();
+            let d = aa.centroid_distance();
+            if aa.is_glycine() {
+                assert_eq!(r, 0.0);
+                assert_eq!(d, 0.0);
+            } else {
+                assert!(r > 1.0 && r < 4.0, "{aa} radius {r}");
+                assert!(d > 1.0 && d < 4.0, "{aa} distance {d}");
+            }
+        }
+        // Bigger side chains get bigger spheres.
+        assert!(AminoAcid::Trp.centroid_radius() > AminoAcid::Ala.centroid_radius());
+    }
+
+    #[test]
+    fn rama_classes() {
+        assert_eq!(AminoAcid::Gly.rama_class(), RamaClass::Glycine);
+        assert_eq!(AminoAcid::Pro.rama_class(), RamaClass::Proline);
+        assert_eq!(AminoAcid::Leu.rama_class(), RamaClass::General);
+        assert_eq!(RamaClass::COUNT, 3);
+        let mut idx: Vec<usize> = [RamaClass::General, RamaClass::Glycine, RamaClass::Proline]
+            .iter()
+            .map(|c| c.index())
+            .collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sequence_parse_format_roundtrip() {
+        let seq = parse_sequence("ACDEFGHIKLMNPQRSTVWY").unwrap();
+        assert_eq!(seq.len(), 20);
+        assert_eq!(format_sequence(&seq), "ACDEFGHIKLMNPQRSTVWY");
+        // Whitespace is ignored.
+        let seq2 = parse_sequence("AC DE\nFG").unwrap();
+        assert_eq!(format_sequence(&seq2), "ACDEFG");
+        assert!(parse_sequence("AB").is_err());
+    }
+
+    #[test]
+    fn hydropathy_ordering() {
+        assert!(AminoAcid::Ile.hydropathy() > AminoAcid::Arg.hydropathy());
+        assert!(AminoAcid::Val.hydropathy() > 0.0);
+        assert!(AminoAcid::Lys.hydropathy() < 0.0);
+    }
+}

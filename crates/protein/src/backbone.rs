@@ -1,0 +1,508 @@
+//! Backbone construction from torsion angles.
+//!
+//! The paper keeps ω at 180° and all bond lengths/angles at their ideal
+//! values, so a loop conformation is fully determined by its `(φ, ψ)`
+//! torsion vector plus the fixed N-terminal anchor.  [`LoopBuilder::build`]
+//! turns such a vector into Cartesian backbone atoms (N, Cα, C', O and a
+//! side-chain centroid pseudo-atom per residue) with the NeRF rule, and also
+//! places the *moving* copies of the C-terminal anchor atoms that the CCD
+//! closure algorithm tries to align with their fixed targets.
+
+use crate::amino::AminoAcid;
+use crate::torsions::Torsions;
+use lms_geometry::{deg_to_rad, dihedral_angle, place_atom, Vec3};
+use std::f64::consts::PI;
+
+/// Ideal backbone covalent geometry (Engh–Huber-like values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackboneGeometry {
+    /// N–Cα bond length (Å).
+    pub len_n_ca: f64,
+    /// Cα–C' bond length (Å).
+    pub len_ca_c: f64,
+    /// C'–N peptide bond length (Å).
+    pub len_c_n: f64,
+    /// C'=O bond length (Å).
+    pub len_c_o: f64,
+    /// N–Cα–C' bond angle (radians).
+    pub ang_n_ca_c: f64,
+    /// Cα–C'–N bond angle (radians).
+    pub ang_ca_c_n: f64,
+    /// C'–N–Cα bond angle (radians).
+    pub ang_c_n_ca: f64,
+    /// Cα–C'=O bond angle (radians).
+    pub ang_ca_c_o: f64,
+    /// Cα–Cβ(centroid direction) bond angle C'–Cα–Cβ (radians).
+    pub ang_c_ca_cb: f64,
+    /// Improper dihedral N–C'–Cα–Cβ (radians) fixing Cβ chirality.
+    pub dih_n_c_ca_cb: f64,
+    /// The ω torsion (radians); kept at 180° as in the paper.
+    pub omega: f64,
+}
+
+impl Default for BackboneGeometry {
+    fn default() -> Self {
+        BackboneGeometry {
+            len_n_ca: 1.458,
+            len_ca_c: 1.525,
+            len_c_n: 1.329,
+            len_c_o: 1.231,
+            ang_n_ca_c: deg_to_rad(111.2),
+            ang_ca_c_n: deg_to_rad(116.2),
+            ang_c_n_ca: deg_to_rad(121.7),
+            ang_ca_c_o: deg_to_rad(120.8),
+            ang_c_ca_cb: deg_to_rad(110.1),
+            dih_n_c_ca_cb: deg_to_rad(-122.6),
+            omega: PI,
+        }
+    }
+}
+
+/// The three backbone atoms of an anchor residue (N, Cα, C'), in the fixed
+/// protein frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorFrame {
+    /// Backbone nitrogen.
+    pub n: Vec3,
+    /// Alpha carbon.
+    pub ca: Vec3,
+    /// Carbonyl carbon.
+    pub c: Vec3,
+}
+
+impl AnchorFrame {
+    /// Construct from the three atom positions.
+    pub fn new(n: Vec3, ca: Vec3, c: Vec3) -> Self {
+        AnchorFrame { n, ca, c }
+    }
+
+    /// The three positions in N, Cα, C' order.
+    pub fn atoms(&self) -> [Vec3; 3] {
+        [self.n, self.ca, self.c]
+    }
+
+    /// Root-mean-square distance to another frame, atom by atom — the loop
+    /// closure deviation metric.
+    pub fn rms_distance(&self, other: &AnchorFrame) -> f64 {
+        let s = self.n.distance_sq(other.n)
+            + self.ca.distance_sq(other.ca)
+            + self.c.distance_sq(other.c);
+        (s / 3.0).sqrt()
+    }
+}
+
+/// Backbone atoms of one built loop residue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidueAtoms {
+    /// Backbone nitrogen.
+    pub n: Vec3,
+    /// Alpha carbon.
+    pub ca: Vec3,
+    /// Carbonyl carbon.
+    pub c: Vec3,
+    /// Carbonyl oxygen.
+    pub o: Vec3,
+    /// Side-chain centroid pseudo-atom (absent for glycine).
+    pub centroid: Option<Vec3>,
+}
+
+impl ResidueAtoms {
+    /// The four backbone heavy atoms in N, Cα, C', O order.
+    pub fn backbone(&self) -> [Vec3; 4] {
+        [self.n, self.ca, self.c, self.o]
+    }
+}
+
+/// A fully built loop conformation in Cartesian space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopStructure {
+    /// Built residues in N-to-C order.
+    pub residues: Vec<ResidueAtoms>,
+    /// Moving copy of the C-anchor residue's backbone (N, Cα, C'); closure
+    /// means this frame coincides with the fixed C-anchor.
+    pub end_frame: AnchorFrame,
+}
+
+impl LoopStructure {
+    /// Number of loop residues.
+    pub fn n_residues(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// All backbone heavy atoms (N, Cα, C', O per residue), in order.  This
+    /// is the atom set used for RMSD-to-native in the paper's tables.
+    pub fn backbone_atoms(&self) -> Vec<Vec3> {
+        let mut out = Vec::with_capacity(self.residues.len() * 4);
+        for r in &self.residues {
+            out.extend_from_slice(&r.backbone());
+        }
+        out
+    }
+
+    /// Cα trace only.
+    pub fn ca_atoms(&self) -> Vec<Vec3> {
+        self.residues.iter().map(|r| r.ca).collect()
+    }
+
+    /// Side-chain centroid pseudo-atoms (skipping glycine residues).
+    pub fn centroids(&self) -> Vec<Vec3> {
+        self.residues.iter().filter_map(|r| r.centroid).collect()
+    }
+
+    /// Total number of heavy atoms represented (backbone + centroids).
+    pub fn atom_count(&self) -> usize {
+        self.residues.len() * 4 + self.centroids().len()
+    }
+}
+
+/// Builds loop structures from torsion vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopBuilder {
+    geometry: BackboneGeometry,
+}
+
+/// Everything that stays fixed while a loop's torsions vary: the anchors
+/// and the anchor-residue torsions that connect the loop to the rest of the
+/// protein.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopFrame {
+    /// Backbone frame of the residue immediately before the loop.
+    pub n_anchor: AnchorFrame,
+    /// ψ of the N-anchor residue (fixed at its native value).
+    pub n_anchor_psi: f64,
+    /// Fixed target backbone frame of the residue immediately after the
+    /// loop (the closure target).
+    pub c_anchor: AnchorFrame,
+    /// φ of the C-anchor residue (fixed at its native value); needed to
+    /// place the moving copy of the C-anchor C' atom.
+    pub c_anchor_phi: f64,
+}
+
+impl LoopBuilder {
+    /// Create a builder with the given covalent geometry.
+    pub fn new(geometry: BackboneGeometry) -> Self {
+        LoopBuilder { geometry }
+    }
+
+    /// The covalent geometry in use.
+    pub fn geometry(&self) -> &BackboneGeometry {
+        &self.geometry
+    }
+
+    /// Build the Cartesian structure of a loop from its torsion vector.
+    ///
+    /// # Panics
+    /// Panics if `torsions.n_residues() != sequence.len()`.
+    pub fn build(&self, frame: &LoopFrame, sequence: &[AminoAcid], torsions: &Torsions) -> LoopStructure {
+        assert_eq!(
+            torsions.n_residues(),
+            sequence.len(),
+            "torsion vector and sequence must have the same number of residues"
+        );
+        let g = &self.geometry;
+        let n_res = sequence.len();
+        let mut residues = Vec::with_capacity(n_res);
+
+        let mut prev_n = frame.n_anchor.n;
+        let mut prev_ca = frame.n_anchor.ca;
+        let mut prev_c = frame.n_anchor.c;
+        let mut prev_psi = frame.n_anchor_psi;
+
+        for (i, &aa) in sequence.iter().enumerate() {
+            // N_i: extends the previous residue's C' along its psi.
+            let n = place_atom(prev_n, prev_ca, prev_c, g.len_c_n, g.ang_ca_c_n, prev_psi);
+            // CA_i: the omega torsion (fixed trans).
+            let ca = place_atom(prev_ca, prev_c, n, g.len_n_ca, g.ang_c_n_ca, g.omega);
+            // C'_i: this residue's phi.
+            let c = place_atom(prev_c, n, ca, g.len_ca_c, g.ang_n_ca_c, torsions.phi(i));
+            // O_i: anti-periplanar to the next N, i.e. psi + 180 deg.
+            let o = place_atom(n, ca, c, g.len_c_o, g.ang_ca_c_o, torsions.psi(i) + PI);
+            // Side-chain centroid along the Cβ direction (absent for Gly).
+            let centroid = if aa.is_glycine() {
+                None
+            } else {
+                let cb_dir =
+                    place_atom(n, c, ca, 1.0, g.ang_c_ca_cb, g.dih_n_c_ca_cb) - ca;
+                Some(ca + cb_dir.normalized() * aa.centroid_distance())
+            };
+
+            residues.push(ResidueAtoms { n, ca, c, o, centroid });
+
+            prev_n = n;
+            prev_ca = ca;
+            prev_c = c;
+            prev_psi = torsions.psi(i);
+        }
+
+        // Moving copies of the C-anchor backbone: N from the last psi, CA
+        // from omega, C' from the (fixed) phi of the anchor residue.
+        let end_n = place_atom(prev_n, prev_ca, prev_c, g.len_c_n, g.ang_ca_c_n, prev_psi);
+        let end_ca = place_atom(prev_ca, prev_c, end_n, g.len_n_ca, g.ang_c_n_ca, g.omega);
+        let end_c = place_atom(prev_c, end_n, end_ca, g.len_ca_c, g.ang_n_ca_c, frame.c_anchor_phi);
+
+        LoopStructure {
+            residues,
+            end_frame: AnchorFrame::new(end_n, end_ca, end_c),
+        }
+    }
+
+    /// Measure the `(φ, ψ)` torsions realised by a built structure.  Used in
+    /// tests to verify build/measure round-trips and by the decoy analysis.
+    pub fn measure_torsions(&self, frame: &LoopFrame, structure: &LoopStructure) -> Torsions {
+        let n_res = structure.n_residues();
+        let mut t = Torsions::zeros(n_res);
+        for i in 0..n_res {
+            let prev_c = if i == 0 { frame.n_anchor.c } else { structure.residues[i - 1].c };
+            let r = &structure.residues[i];
+            let next_n = if i + 1 < n_res {
+                structure.residues[i + 1].n
+            } else {
+                structure.end_frame.n
+            };
+            t.set_phi(i, dihedral_angle(prev_c, r.n, r.ca, r.c));
+            t.set_psi(i, dihedral_angle(r.n, r.ca, r.c, next_n));
+        }
+        t
+    }
+
+    /// Closure deviation of a built structure: RMS distance between the
+    /// moving end frame and the fixed C-anchor target.
+    pub fn closure_deviation(&self, frame: &LoopFrame, structure: &LoopStructure) -> f64 {
+        structure.end_frame.rms_distance(&frame.c_anchor)
+    }
+}
+
+/// Build an arbitrary-length backbone segment *de novo* (no pre-existing
+/// anchor), returning the built residues.  The first residue is placed in a
+/// canonical frame at the origin.  Used by the synthetic benchmark generator
+/// to create host proteins from scratch.
+pub fn build_segment_de_novo(
+    builder: &LoopBuilder,
+    sequence: &[AminoAcid],
+    torsions: &Torsions,
+) -> LoopStructure {
+    let g = builder.geometry();
+    // Canonical anchor frame: a virtual residue placed so that the first
+    // real residue starts near the origin in a standard orientation.
+    let n = Vec3::new(-g.len_c_n - g.len_n_ca, 0.8, 0.0);
+    let ca = Vec3::new(-g.len_c_n - 0.4, 0.0, 0.0);
+    let c = Vec3::new(-g.len_c_n, 0.0, 0.0) + Vec3::new(0.35, 0.2, 0.0);
+    let frame = LoopFrame {
+        n_anchor: AnchorFrame::new(n, ca, c),
+        n_anchor_psi: deg_to_rad(140.0),
+        c_anchor: AnchorFrame::new(Vec3::ZERO, Vec3::ZERO, Vec3::ZERO),
+        c_anchor_phi: deg_to_rad(-70.0),
+    };
+    builder.build(&frame, sequence, torsions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_geometry::{bond_angle, rad_to_deg, wrap_rad};
+
+    fn test_sequence(n: usize) -> Vec<AminoAcid> {
+        (0..n).map(|i| AminoAcid::from_index((i * 7 + 3) % 20)).collect()
+    }
+
+    fn test_frame() -> LoopFrame {
+        // A plausible anchor frame: one residue's backbone laid out with
+        // roughly ideal internal geometry.
+        let n = Vec3::new(0.0, 0.0, 0.0);
+        let ca = Vec3::new(1.458, 0.0, 0.0);
+        let c = Vec3::new(2.0, 1.4, 0.0);
+        let target = AnchorFrame::new(
+            Vec3::new(8.0, 3.0, 2.0),
+            Vec3::new(9.2, 3.5, 2.5),
+            Vec3::new(10.4, 2.8, 3.2),
+        );
+        LoopFrame {
+            n_anchor: AnchorFrame::new(n, ca, c),
+            n_anchor_psi: deg_to_rad(135.0),
+            c_anchor: target,
+            c_anchor_phi: deg_to_rad(-65.0),
+        }
+    }
+
+    fn alpha_torsions(n: usize) -> Torsions {
+        Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); n])
+    }
+
+    #[test]
+    fn build_produces_expected_atom_counts() {
+        let builder = LoopBuilder::default();
+        let seq = test_sequence(8);
+        let s = builder.build(&test_frame(), &seq, &alpha_torsions(8));
+        assert_eq!(s.n_residues(), 8);
+        assert_eq!(s.backbone_atoms().len(), 32);
+        assert_eq!(s.ca_atoms().len(), 8);
+        // No glycine in this sequence slice -> every residue has a centroid.
+        let n_gly = seq.iter().filter(|a| a.is_glycine()).count();
+        assert_eq!(s.centroids().len(), 8 - n_gly);
+        assert_eq!(s.atom_count(), 32 + 8 - n_gly);
+    }
+
+    #[test]
+    fn built_bond_lengths_match_ideal_geometry() {
+        let builder = LoopBuilder::default();
+        let g = *builder.geometry();
+        let seq = test_sequence(6);
+        let s = builder.build(&test_frame(), &seq, &alpha_torsions(6));
+        for (i, r) in s.residues.iter().enumerate() {
+            assert!((r.n.distance(r.ca) - g.len_n_ca).abs() < 1e-9, "N-CA at {i}");
+            assert!((r.ca.distance(r.c) - g.len_ca_c).abs() < 1e-9, "CA-C at {i}");
+            assert!((r.c.distance(r.o) - g.len_c_o).abs() < 1e-9, "C-O at {i}");
+            if i > 0 {
+                let prev = &s.residues[i - 1];
+                assert!((prev.c.distance(r.n) - g.len_c_n).abs() < 1e-9, "C-N at {i}");
+            }
+        }
+        // Peptide bond to the moving end frame.
+        let last = s.residues.last().unwrap();
+        assert!((last.c.distance(s.end_frame.n) - g.len_c_n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn built_bond_angles_match_ideal_geometry() {
+        let builder = LoopBuilder::default();
+        let g = *builder.geometry();
+        let seq = test_sequence(5);
+        let s = builder.build(&test_frame(), &seq, &alpha_torsions(5));
+        for r in &s.residues {
+            assert!((bond_angle(r.n, r.ca, r.c) - g.ang_n_ca_c).abs() < 1e-9);
+            assert!((bond_angle(r.ca, r.c, r.o) - g.ang_ca_c_o).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn torsion_build_measure_roundtrip() {
+        let builder = LoopBuilder::default();
+        let seq = test_sequence(10);
+        let mut torsions = Torsions::zeros(10);
+        // A mix of basins to exercise the full torsion range.
+        let pairs = [
+            (-63.0, -43.0),
+            (-120.0, 135.0),
+            (57.0, 45.0),
+            (-75.0, 150.0),
+            (-100.0, 10.0),
+            (-63.0, -40.0),
+            (80.0, 5.0),
+            (-140.0, 160.0),
+            (-60.0, -45.0),
+            (-90.0, 120.0),
+        ];
+        for (i, &(phi, psi)) in pairs.iter().enumerate() {
+            torsions.set_phi(i, deg_to_rad(phi));
+            torsions.set_psi(i, deg_to_rad(psi));
+        }
+        let frame = test_frame();
+        let s = builder.build(&frame, &seq, &torsions);
+        let measured = builder.measure_torsions(&frame, &s);
+        for i in 0..10 {
+            let dphi = wrap_rad(measured.phi(i) - torsions.phi(i)).abs();
+            let dpsi = wrap_rad(measured.psi(i) - torsions.psi(i)).abs();
+            assert!(dphi < 1e-8, "phi {i}: {} vs {}", rad_to_deg(measured.phi(i)), pairs[i].0);
+            assert!(dpsi < 1e-8, "psi {i}: {} vs {}", rad_to_deg(measured.psi(i)), pairs[i].1);
+        }
+    }
+
+    #[test]
+    fn identical_torsions_give_identical_structures() {
+        let builder = LoopBuilder::default();
+        let seq = test_sequence(7);
+        let t = alpha_torsions(7);
+        let a = builder.build(&test_frame(), &seq, &t);
+        let b = builder.build(&test_frame(), &seq, &t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn changing_one_torsion_moves_downstream_atoms_only() {
+        let builder = LoopBuilder::default();
+        let seq = test_sequence(8);
+        let frame = test_frame();
+        let t0 = alpha_torsions(8);
+        let mut t1 = t0.clone();
+        t1.set_phi(4, deg_to_rad(100.0));
+        let a = builder.build(&frame, &seq, &t0);
+        let b = builder.build(&frame, &seq, &t1);
+        // Residues 0..4 N/CA identical; the C of residue 4 and beyond move.
+        for i in 0..4 {
+            assert!(a.residues[i].n.max_abs_diff(b.residues[i].n) < 1e-12);
+            assert!(a.residues[i].c.max_abs_diff(b.residues[i].c) < 1e-12);
+        }
+        assert!(a.residues[4].n.max_abs_diff(b.residues[4].n) < 1e-12);
+        assert!(a.residues[4].ca.max_abs_diff(b.residues[4].ca) < 1e-12);
+        assert!(a.residues[4].c.max_abs_diff(b.residues[4].c) > 1e-3);
+        assert!(a.residues[7].ca.max_abs_diff(b.residues[7].ca) > 1e-3);
+        assert!(a.end_frame.n.max_abs_diff(b.end_frame.n) > 1e-3);
+    }
+
+    #[test]
+    fn glycine_has_no_centroid() {
+        let builder = LoopBuilder::default();
+        let seq = vec![AminoAcid::Gly, AminoAcid::Ala, AminoAcid::Gly];
+        let s = builder.build(&test_frame(), &seq, &alpha_torsions(3));
+        assert!(s.residues[0].centroid.is_none());
+        assert!(s.residues[1].centroid.is_some());
+        assert!(s.residues[2].centroid.is_none());
+    }
+
+    #[test]
+    fn centroid_distance_respects_residue_type() {
+        let builder = LoopBuilder::default();
+        let seq = vec![AminoAcid::Ala, AminoAcid::Trp];
+        let s = builder.build(&test_frame(), &seq, &alpha_torsions(2));
+        let d_ala = s.residues[0].centroid.unwrap().distance(s.residues[0].ca);
+        let d_trp = s.residues[1].centroid.unwrap().distance(s.residues[1].ca);
+        assert!((d_ala - AminoAcid::Ala.centroid_distance()).abs() < 1e-9);
+        assert!((d_trp - AminoAcid::Trp.centroid_distance()).abs() < 1e-9);
+        assert!(d_trp > d_ala);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sequence_and_torsions_panic() {
+        let builder = LoopBuilder::default();
+        let seq = test_sequence(4);
+        let _ = builder.build(&test_frame(), &seq, &alpha_torsions(5));
+    }
+
+    #[test]
+    fn closure_deviation_is_distance_to_target() {
+        let builder = LoopBuilder::default();
+        let frame = test_frame();
+        let seq = test_sequence(6);
+        let s = builder.build(&frame, &seq, &alpha_torsions(6));
+        let dev = builder.closure_deviation(&frame, &s);
+        assert!(dev > 0.0);
+        // Self-consistency with the AnchorFrame metric.
+        assert!((dev - s.end_frame.rms_distance(&frame.c_anchor)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn de_novo_segment_has_valid_geometry() {
+        let builder = LoopBuilder::default();
+        let seq = test_sequence(12);
+        let t = alpha_torsions(12);
+        let s = build_segment_de_novo(&builder, &seq, &t);
+        assert_eq!(s.n_residues(), 12);
+        for atom in s.backbone_atoms() {
+            assert!(atom.is_finite());
+        }
+        // Alpha-helical torsions give a compact segment: CA(i)-CA(i+3) < 7 A.
+        let cas = s.ca_atoms();
+        for i in 0..(cas.len() - 3) {
+            assert!(cas[i].distance(cas[i + 3]) < 7.0);
+        }
+    }
+
+    #[test]
+    fn anchor_frame_rms_distance() {
+        let a = AnchorFrame::new(Vec3::ZERO, Vec3::X, Vec3::Y);
+        let b = AnchorFrame::new(Vec3::new(1.0, 0.0, 0.0), Vec3::X + Vec3::new(1.0, 0.0, 0.0), Vec3::Y + Vec3::new(1.0, 0.0, 0.0));
+        assert!((a.rms_distance(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.rms_distance(&a), 0.0);
+    }
+}

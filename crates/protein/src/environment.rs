@@ -1,0 +1,248 @@
+//! The fixed protein environment surrounding a loop.
+//!
+//! The VDW soft-sphere scoring function estimates clashes both *within* the
+//! loop and *between* the loop and "the residues in the rest of the
+//! protein" (the paper's wording).  [`Environment`] holds that fixed atom
+//! set together with a uniform spatial hash grid so that clash evaluation
+//! only visits nearby atoms instead of the whole protein.
+
+use lms_geometry::Vec3;
+use std::collections::HashMap;
+
+/// One fixed atom of the protein environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvAtom {
+    /// Position in the protein frame (Å).
+    pub position: Vec3,
+    /// Soft-sphere radius (Å).
+    pub radius: f64,
+    /// Whether this is a side-chain centroid pseudo-atom (as opposed to a
+    /// backbone heavy atom); the VDW function treats centroid contacts with
+    /// a softer weight.
+    pub is_centroid: bool,
+}
+
+impl EnvAtom {
+    /// A backbone heavy atom with the given radius.
+    pub fn backbone(position: Vec3, radius: f64) -> Self {
+        EnvAtom { position, radius, is_centroid: false }
+    }
+
+    /// A side-chain centroid pseudo-atom with the given radius.
+    pub fn centroid(position: Vec3, radius: f64) -> Self {
+        EnvAtom { position, radius, is_centroid: true }
+    }
+}
+
+/// Uniform spatial hash grid over environment atoms.
+#[derive(Debug, Clone)]
+struct SpatialGrid {
+    cell_size: f64,
+    cells: HashMap<(i32, i32, i32), Vec<u32>>,
+}
+
+impl SpatialGrid {
+    fn build(atoms: &[EnvAtom], cell_size: f64) -> Self {
+        let mut cells: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
+        for (i, a) in atoms.iter().enumerate() {
+            cells
+                .entry(Self::key(a.position, cell_size))
+                .or_default()
+                .push(i as u32);
+        }
+        SpatialGrid { cell_size, cells }
+    }
+
+    fn key(p: Vec3, cell: f64) -> (i32, i32, i32) {
+        (
+            (p.x / cell).floor() as i32,
+            (p.y / cell).floor() as i32,
+            (p.z / cell).floor() as i32,
+        )
+    }
+
+    /// Indices of atoms in all cells overlapping a sphere of `radius`
+    /// around `p` (conservative superset of the true neighbours).
+    fn candidate_indices(&self, p: Vec3, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let span = (radius / self.cell_size).ceil() as i32;
+        let (cx, cy, cz) = Self::key(p, self.cell_size);
+        for dx in -span..=span {
+            for dy in -span..=span {
+                for dz in -span..=span {
+                    if let Some(v) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) {
+                        out.extend_from_slice(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fixed protein environment around a loop: an atom list plus a spatial
+/// index for fast neighbourhood queries.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    atoms: Vec<EnvAtom>,
+    grid: SpatialGrid,
+}
+
+/// Default grid cell size (Å).  Chosen near the typical clash cutoff so a
+/// query touches at most 27 cells.
+pub const DEFAULT_CELL_SIZE: f64 = 4.0;
+
+impl Environment {
+    /// Build an environment (and its spatial index) from an atom list.
+    pub fn new(atoms: Vec<EnvAtom>) -> Self {
+        let grid = SpatialGrid::build(&atoms, DEFAULT_CELL_SIZE);
+        Environment { atoms, grid }
+    }
+
+    /// An environment with no atoms (loops on an isolated peptide).
+    pub fn empty() -> Self {
+        Environment::new(Vec::new())
+    }
+
+    /// Number of environment atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the environment has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// All atoms.
+    pub fn atoms(&self) -> &[EnvAtom] {
+        &self.atoms
+    }
+
+    /// Visit every environment atom whose *centre* lies within `radius` of
+    /// `p`.
+    pub fn for_each_within<F: FnMut(&EnvAtom)>(&self, p: Vec3, radius: f64, mut f: F) {
+        let mut scratch = Vec::with_capacity(32);
+        self.grid.candidate_indices(p, radius, &mut scratch);
+        let r2 = radius * radius;
+        for &i in &scratch {
+            let a = &self.atoms[i as usize];
+            if a.position.distance_sq(p) <= r2 {
+                f(a);
+            }
+        }
+    }
+
+    /// Collect the environment atoms within `radius` of `p`.
+    pub fn neighbors_within(&self, p: Vec3, radius: f64) -> Vec<EnvAtom> {
+        let mut out = Vec::new();
+        self.for_each_within(p, radius, |a| out.push(*a));
+        out
+    }
+
+    /// Number of environment atoms within `radius` of `p`; a cheap measure
+    /// of how buried a position is.
+    pub fn burial_count(&self, p: Vec3, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(p, radius, |_| n += 1);
+        n
+    }
+
+    /// Minimum distance from `p` to any environment atom centre, or `None`
+    /// when the environment is empty.  (Exact: falls back to a full scan, so
+    /// use for diagnostics rather than inner loops.)
+    pub fn min_distance(&self, p: Vec3) -> Option<f64> {
+        self.atoms
+            .iter()
+            .map(|a| a.position.distance(p))
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_of_atoms(n: i32, spacing: f64) -> Vec<EnvAtom> {
+        let mut atoms = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    atoms.push(EnvAtom::backbone(
+                        Vec3::new(x as f64 * spacing, y as f64 * spacing, z as f64 * spacing),
+                        1.7,
+                    ));
+                }
+            }
+        }
+        atoms
+    }
+
+    #[test]
+    fn empty_environment() {
+        let env = Environment::empty();
+        assert!(env.is_empty());
+        assert_eq!(env.len(), 0);
+        assert_eq!(env.burial_count(Vec3::ZERO, 10.0), 0);
+        assert!(env.min_distance(Vec3::ZERO).is_none());
+        assert!(env.neighbors_within(Vec3::ZERO, 5.0).is_empty());
+    }
+
+    #[test]
+    fn neighbor_query_matches_brute_force() {
+        let atoms = grid_of_atoms(5, 2.5);
+        let env = Environment::new(atoms.clone());
+        for &(p, r) in &[
+            (Vec3::new(5.0, 5.0, 5.0), 3.0),
+            (Vec3::new(0.0, 0.0, 0.0), 4.5),
+            (Vec3::new(12.0, 1.0, 6.0), 6.0),
+            (Vec3::new(-3.0, -3.0, -3.0), 2.0),
+            (Vec3::new(6.1, 6.1, 6.1), 0.5),
+        ] {
+            let brute: usize = atoms.iter().filter(|a| a.position.distance(p) <= r).count();
+            assert_eq!(env.burial_count(p, r), brute, "query at {p} r={r}");
+        }
+    }
+
+    #[test]
+    fn neighbors_within_returns_actual_atoms() {
+        let atoms = vec![
+            EnvAtom::backbone(Vec3::ZERO, 1.7),
+            EnvAtom::centroid(Vec3::new(1.0, 0.0, 0.0), 2.3),
+            EnvAtom::backbone(Vec3::new(10.0, 0.0, 0.0), 1.7),
+        ];
+        let env = Environment::new(atoms);
+        let near = env.neighbors_within(Vec3::ZERO, 2.0);
+        assert_eq!(near.len(), 2);
+        assert!(near.iter().any(|a| a.is_centroid));
+        let far = env.neighbors_within(Vec3::new(10.0, 0.0, 0.0), 0.5);
+        assert_eq!(far.len(), 1);
+        assert!(!far[0].is_centroid);
+    }
+
+    #[test]
+    fn min_distance_is_exact() {
+        let atoms = vec![
+            EnvAtom::backbone(Vec3::new(3.0, 0.0, 0.0), 1.7),
+            EnvAtom::backbone(Vec3::new(0.0, 4.0, 0.0), 1.7),
+        ];
+        let env = Environment::new(atoms);
+        assert!((env.min_distance(Vec3::ZERO).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_radius_larger_than_grid_span_is_safe() {
+        let env = Environment::new(grid_of_atoms(3, 3.0));
+        // Radius covering everything.
+        assert_eq!(env.burial_count(Vec3::new(3.0, 3.0, 3.0), 100.0), 27);
+    }
+
+    #[test]
+    fn atom_constructors() {
+        let b = EnvAtom::backbone(Vec3::X, 1.6);
+        assert!(!b.is_centroid);
+        assert_eq!(b.radius, 1.6);
+        let c = EnvAtom::centroid(Vec3::Y, 2.5);
+        assert!(c.is_centroid);
+        assert_eq!(c.position, Vec3::Y);
+    }
+}

@@ -1,0 +1,242 @@
+//! Torsion-angle vectors.
+//!
+//! A loop conformation with `n` residues is represented — exactly as in the
+//! paper — by the vector `(φ1, ψ1, …, φn, ψn)` with ω fixed at 180° and all
+//! bond lengths/angles ideal.  [`Torsions`] wraps that flat vector with
+//! typed accessors so that the sampler, the closure algorithm and the
+//! scoring functions cannot mix up φ and ψ indices.
+
+use lms_geometry::{max_torsion_deviation_deg, wrap_rad};
+use std::fmt;
+
+/// A loop conformation's torsion-angle vector `(φ1, ψ1, …, φn, ψn)`, all in
+/// radians.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Torsions {
+    values: Vec<f64>,
+}
+
+impl Torsions {
+    /// Create a torsion vector of `n_residues` residues, all angles zero.
+    pub fn zeros(n_residues: usize) -> Self {
+        Torsions { values: vec![0.0; 2 * n_residues] }
+    }
+
+    /// Create from a flat `(φ1, ψ1, …, φn, ψn)` vector.
+    ///
+    /// # Panics
+    /// Panics if the length is odd.
+    pub fn from_flat(values: Vec<f64>) -> Self {
+        assert!(values.len() % 2 == 0, "torsion vector length must be even");
+        Torsions { values }
+    }
+
+    /// Create from per-residue `(φ, ψ)` pairs.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        let mut values = Vec::with_capacity(pairs.len() * 2);
+        for &(phi, psi) in pairs {
+            values.push(phi);
+            values.push(psi);
+        }
+        Torsions { values }
+    }
+
+    /// Number of residues.
+    #[inline]
+    pub fn n_residues(&self) -> usize {
+        self.values.len() / 2
+    }
+
+    /// Number of torsion angles (2 × residues).
+    #[inline]
+    pub fn n_angles(&self) -> usize {
+        self.values.len()
+    }
+
+    /// φ of residue `i` (0-based).
+    #[inline]
+    pub fn phi(&self, i: usize) -> f64 {
+        self.values[2 * i]
+    }
+
+    /// ψ of residue `i` (0-based).
+    #[inline]
+    pub fn psi(&self, i: usize) -> f64 {
+        self.values[2 * i + 1]
+    }
+
+    /// Set φ of residue `i`, wrapping into `(-π, π]`.
+    #[inline]
+    pub fn set_phi(&mut self, i: usize, value: f64) {
+        self.values[2 * i] = wrap_rad(value);
+    }
+
+    /// Set ψ of residue `i`, wrapping into `(-π, π]`.
+    #[inline]
+    pub fn set_psi(&mut self, i: usize, value: f64) {
+        self.values[2 * i + 1] = wrap_rad(value);
+    }
+
+    /// Get an angle by flat index (even = φ, odd = ψ).
+    #[inline]
+    pub fn angle(&self, flat_index: usize) -> f64 {
+        self.values[flat_index]
+    }
+
+    /// Set an angle by flat index, wrapping into `(-π, π]`.
+    #[inline]
+    pub fn set_angle(&mut self, flat_index: usize, value: f64) {
+        self.values[flat_index] = wrap_rad(value);
+    }
+
+    /// Add `delta` to an angle by flat index, wrapping into `(-π, π]`.
+    #[inline]
+    pub fn rotate_angle(&mut self, flat_index: usize, delta: f64) {
+        self.values[flat_index] = wrap_rad(self.values[flat_index] + delta);
+    }
+
+    /// The residue index an angle belongs to, and whether it is φ.
+    #[inline]
+    pub fn describe_angle(flat_index: usize) -> (usize, TorsionKind) {
+        (
+            flat_index / 2,
+            if flat_index % 2 == 0 { TorsionKind::Phi } else { TorsionKind::Psi },
+        )
+    }
+
+    /// The flat torsion vector.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `(φ, ψ)` of residue `i`.
+    #[inline]
+    pub fn pair(&self, i: usize) -> (f64, f64) {
+        (self.phi(i), self.psi(i))
+    }
+
+    /// Maximum angular deviation to another torsion vector, in degrees —
+    /// the paper's decoy-distinctness metric (new decoys must deviate by at
+    /// least 30° in some torsion from every decoy already in the set).
+    pub fn max_deviation_deg(&self, other: &Torsions) -> f64 {
+        max_torsion_deviation_deg(&self.values, &other.values)
+    }
+
+    /// Whether this conformation is structurally distinct from `other`
+    /// under the paper's rule (max torsion deviation ≥ `threshold_deg`).
+    pub fn is_distinct_from(&self, other: &Torsions, threshold_deg: f64) -> bool {
+        self.max_deviation_deg(other) >= threshold_deg
+    }
+}
+
+impl fmt::Display for Torsions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for i in 0..self.n_residues() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "({:.1}, {:.1})",
+                self.phi(i).to_degrees(),
+                self.psi(i).to_degrees()
+            )?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Which of the two backbone torsions an index refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TorsionKind {
+    /// The φ torsion (C' – N – Cα – C').
+    Phi,
+    /// The ψ torsion (N – Cα – C' – N).
+    Psi,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Torsions::from_pairs(&[(0.1, 0.2), (0.3, 0.4), (0.5, 0.6)]);
+        assert_eq!(t.n_residues(), 3);
+        assert_eq!(t.n_angles(), 6);
+        assert_eq!(t.phi(0), 0.1);
+        assert_eq!(t.psi(0), 0.2);
+        assert_eq!(t.phi(2), 0.5);
+        assert_eq!(t.psi(2), 0.6);
+        assert_eq!(t.pair(1), (0.3, 0.4));
+        assert_eq!(t.as_slice(), &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+    }
+
+    #[test]
+    fn zeros_and_from_flat() {
+        let z = Torsions::zeros(4);
+        assert_eq!(z.n_residues(), 4);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Torsions::from_flat(vec![1.0, 2.0]);
+        assert_eq!(f.n_residues(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_flat_vector_panics() {
+        let _ = Torsions::from_flat(vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn setters_wrap_angles() {
+        let mut t = Torsions::zeros(2);
+        t.set_phi(0, 3.0 * PI);
+        assert!((t.phi(0) - PI).abs() < 1e-12);
+        t.set_psi(1, -3.0 * PI);
+        assert!((t.psi(1) - PI).abs() < 1e-12);
+        t.set_angle(2, 2.0 * PI + 0.5);
+        assert!((t.angle(2) - 0.5).abs() < 1e-12);
+        t.rotate_angle(2, 2.0 * PI);
+        assert!((t.angle(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn describe_angle_maps_indices() {
+        assert_eq!(Torsions::describe_angle(0), (0, TorsionKind::Phi));
+        assert_eq!(Torsions::describe_angle(1), (0, TorsionKind::Psi));
+        assert_eq!(Torsions::describe_angle(4), (2, TorsionKind::Phi));
+        assert_eq!(Torsions::describe_angle(7), (3, TorsionKind::Psi));
+    }
+
+    #[test]
+    fn deviation_and_distinctness() {
+        let a = Torsions::from_pairs(&[(0.0, 0.0), (1.0, -1.0)]);
+        let mut b = a.clone();
+        assert_eq!(a.max_deviation_deg(&b), 0.0);
+        assert!(!a.is_distinct_from(&b, 30.0));
+        // Move one torsion by 45 degrees.
+        b.set_psi(1, -1.0 + 45f64.to_radians());
+        assert!((a.max_deviation_deg(&b) - 45.0).abs() < 1e-9);
+        assert!(a.is_distinct_from(&b, 30.0));
+        assert!(!a.is_distinct_from(&b, 60.0));
+    }
+
+    #[test]
+    fn deviation_handles_wraparound() {
+        let a = Torsions::from_pairs(&[(PI - 0.01, 0.0)]);
+        let b = Torsions::from_pairs(&[(-PI + 0.01, 0.0)]);
+        // Wrapped distance is ~1.15 degrees, not ~358.
+        assert!(a.max_deviation_deg(&b) < 2.0);
+    }
+
+    #[test]
+    fn display_is_in_degrees() {
+        let t = Torsions::from_pairs(&[(PI / 2.0, -PI / 2.0)]);
+        let s = format!("{t}");
+        assert!(s.contains("90.0"), "{s}");
+        assert!(s.contains("-90.0"), "{s}");
+    }
+}

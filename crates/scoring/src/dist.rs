@@ -1,0 +1,159 @@
+//! The DIST scoring function.
+//!
+//! "The atom pair-wise distance-based scoring function measures the
+//! favorability of pair-wise backbone atom positions within a protein
+//! loop."  (Paper, §III.B.)  Each backbone atom pair at sequence separation
+//! ≥ 2 contributes a table energy indexed by the two atom kinds, the
+//! separation class and the binned distance.  The table is the DIST half of
+//! the synthetic [`KnowledgeBase`].
+
+use crate::library::{BackboneAtomKind, KnowledgeBase, SeparationClass, DIST_MAX};
+use crate::traits::ScoringFunction;
+use lms_geometry::Vec3;
+use lms_protein::{LoopStructure, LoopTarget, Torsions};
+use std::sync::Arc;
+
+/// Atom pair-wise distance-based statistical potential.
+#[derive(Debug, Clone)]
+pub struct DistScore {
+    kb: Arc<KnowledgeBase>,
+}
+
+impl DistScore {
+    /// Create the scoring function over a pre-built knowledge base.
+    pub fn new(kb: Arc<KnowledgeBase>) -> Self {
+        DistScore { kb }
+    }
+
+    /// Score a built structure directly (without needing the target).
+    pub fn score_structure(&self, structure: &LoopStructure) -> f64 {
+        let per_res: Vec<[(BackboneAtomKind, Vec3); 4]> = structure
+            .residues
+            .iter()
+            .map(|r| {
+                [
+                    (BackboneAtomKind::N, r.n),
+                    (BackboneAtomKind::Ca, r.ca),
+                    (BackboneAtomKind::C, r.c),
+                    (BackboneAtomKind::O, r.o),
+                ]
+            })
+            .collect();
+        let n = per_res.len();
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let Some(sep) = SeparationClass::from_separation(j - i) else { continue };
+                for &(ka, pa) in &per_res[i] {
+                    for &(kb_kind, pb) in &per_res[j] {
+                        let d = pa.distance(pb);
+                        // Pairs beyond the table range carry no statistical
+                        // signal and are skipped, matching how the table was
+                        // built.
+                        if d >= DIST_MAX {
+                            continue;
+                        }
+                        total += self.kb.dist.energy(ka, kb_kind, sep, d);
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f64
+        }
+    }
+}
+
+impl ScoringFunction for DistScore {
+    fn name(&self) -> &'static str {
+        "DIST"
+    }
+
+    fn score(&self, _target: &LoopTarget, structure: &LoopStructure, _torsions: &Torsions) -> f64 {
+        self.score_structure(structure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::KnowledgeBaseConfig;
+    use lms_geometry::deg_to_rad;
+    use lms_protein::{BenchmarkLibrary, LoopBuilder, Torsions};
+
+    fn scorer() -> DistScore {
+        DistScore::new(KnowledgeBase::build(KnowledgeBaseConfig::fast()))
+    }
+
+    #[test]
+    fn name_is_dist() {
+        assert_eq!(scorer().name(), "DIST");
+    }
+
+    #[test]
+    fn compact_self_clashing_loop_scores_worse_than_native() {
+        let s = scorer();
+        let lib = BenchmarkLibrary::standard();
+        let target = lib.target_by_name("1akz").unwrap();
+        let builder = LoopBuilder::default();
+
+        let native = target.build(&builder, &target.native_torsions);
+        let native_score = s.score(&target, &native, &target.native_torsions);
+
+        // A conformation with all torsions at 0 degrees coils the backbone
+        // into a tight, clashing spiral — distances pile into the
+        // short-range bins that the table penalises.
+        let clashing_torsions = Torsions::zeros(target.n_residues());
+        let clashing = target.build(&builder, &clashing_torsions);
+        let clashing_score = s.score(&target, &clashing, &clashing_torsions);
+        assert!(
+            native_score < clashing_score,
+            "native {native_score} should beat clashing {clashing_score}"
+        );
+    }
+
+    #[test]
+    fn score_is_translation_invariant() {
+        // DIST only depends on internal distances, so two targets whose
+        // structures differ by a rigid motion give the same score.  We test
+        // the weaker but directly checkable property that scoring the same
+        // structure twice is identical and scoring a structure built from
+        // the same torsions at a different anchor gives a very similar
+        // value (identical internal geometry).
+        let s = scorer();
+        let lib = BenchmarkLibrary::standard();
+        let t1 = lib.target_by_name("1cex").unwrap();
+        let builder = LoopBuilder::default();
+        let torsions = Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); t1.n_residues()]);
+        let s1 = t1.build(&builder, &torsions);
+        let a = s.score_structure(&s1);
+        let b = s.score_structure(&s1);
+        assert_eq!(a, b);
+
+        let t2 = lib.target_by_name("1ixh").unwrap();
+        assert_eq!(t2.n_residues(), t1.n_residues());
+        let s2 = t2.build(&builder, &torsions);
+        let c = s.score_structure(&s2);
+        assert!((a - c).abs() < 1e-9, "same torsions, different frame: {a} vs {c}");
+    }
+
+    #[test]
+    fn empty_pair_set_scores_zero() {
+        // A 2-residue "loop" has no pairs at separation >= 2.
+        let s = scorer();
+        let lib = BenchmarkLibrary::standard();
+        let target = lib.target_by_name("1cex").unwrap();
+        let builder = LoopBuilder::default();
+        let torsions = Torsions::from_pairs(&[
+            (deg_to_rad(-63.0), deg_to_rad(-43.0)),
+            (deg_to_rad(-63.0), deg_to_rad(-43.0)),
+        ]);
+        let seq = target.sequence[..2].to_vec();
+        let structure = builder.build(&target.frame, &seq, &torsions);
+        assert_eq!(s.score_structure(&structure), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # lms-scoring
+//!
+//! The three backbone scoring functions of the paper — soft-sphere van der
+//! Waals (VDW), atom pair-wise distance (DIST) and triplet torsion-angle
+//! statistics (TRIPLET) — together with the synthetic knowledge base the
+//! two knowledge-based potentials are derived from, a combined
+//! [`MultiScorer`], and score-normalisation utilities.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lms_protein::{BenchmarkLibrary, LoopBuilder};
+//! use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig, MultiScorer};
+//!
+//! let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+//! let scorer = MultiScorer::new(kb);
+//! let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
+//! let builder = LoopBuilder::default();
+//! let native = target.build(&builder, &target.native_torsions);
+//! let scores = scorer.evaluate(&target, &native, &target.native_torsions);
+//! assert!(scores.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod library;
+pub mod multi;
+pub mod normalize;
+pub mod traits;
+pub mod triplet;
+pub mod vdw;
+
+pub use dist::DistScore;
+pub use library::{
+    distance_bin, torsion_bin, BackboneAtomKind, DistTable, KnowledgeBase, KnowledgeBaseConfig,
+    SeparationClass, TripletTable, DIST_BINS, DIST_BIN_WIDTH, DIST_MAX, TRIPLET_BINS,
+};
+pub use multi::MultiScorer;
+pub use normalize::{normalize_population, ScoreRange};
+pub use traits::{Objective, ScoreVector, ScoringFunction, NUM_OBJECTIVES};
+pub use triplet::TripletScore;
+pub use vdw::{ContactWeights, VdwRadii, VdwScore};

@@ -1,0 +1,557 @@
+//! The synthetic knowledge base behind the two knowledge-based scoring
+//! functions (TRIPLET and DIST).
+//!
+//! The paper's TRIPLET potential is derived from the statistics of φ/ψ
+//! pairs in triplet residue contexts collected from a large loop library,
+//! and its DIST potential from observed pairwise backbone atom distances.
+//! We do not ship those PDB-derived tables; instead this module *derives*
+//! tables of exactly the same shape from the suite's generative
+//! Ramachandran model: it samples a large number of synthetic loop
+//! fragments, histograms the same observables the real potentials
+//! histogram, and converts frequencies to energies with the usual inverse
+//! Boltzmann rule.  The result is loaded once at start-up and treated as
+//! read-only during sampling, mirroring how the paper stages its
+//! pre-calculated tables into GPU texture memory.
+
+use lms_geometry::{wrap_rad, StreamRngFactory};
+use lms_protein::{
+    build_segment_de_novo, AminoAcid, LoopBuilder, RamaClass, RamaLibrary, Torsions,
+};
+use rand::Rng;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+/// Number of φ (and ψ) bins in the triplet table: 10° resolution.
+pub const TRIPLET_BINS: usize = 36;
+
+/// Number of distance bins in the pairwise table.
+pub const DIST_BINS: usize = 32;
+
+/// Width of one distance bin (Å).
+pub const DIST_BIN_WIDTH: f64 = 0.5;
+
+/// Maximum distance (Å) covered by the pairwise table; pairs farther apart
+/// contribute nothing to the DIST score (and are not counted when the table
+/// is built).
+pub const DIST_MAX: f64 = DIST_BINS as f64 * DIST_BIN_WIDTH;
+
+/// Backbone atom categories distinguished by the DIST potential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackboneAtomKind {
+    /// Amide nitrogen.
+    N,
+    /// Alpha carbon.
+    Ca,
+    /// Carbonyl carbon.
+    C,
+    /// Carbonyl oxygen.
+    O,
+}
+
+impl BackboneAtomKind {
+    /// All categories in canonical order.
+    pub const ALL: [BackboneAtomKind; 4] = [
+        BackboneAtomKind::N,
+        BackboneAtomKind::Ca,
+        BackboneAtomKind::C,
+        BackboneAtomKind::O,
+    ];
+
+    /// Stable index in `[0, 4)`.
+    pub fn index(self) -> usize {
+        match self {
+            BackboneAtomKind::N => 0,
+            BackboneAtomKind::Ca => 1,
+            BackboneAtomKind::C => 2,
+            BackboneAtomKind::O => 3,
+        }
+    }
+}
+
+/// Sequence-separation classes used by the DIST potential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeparationClass {
+    /// |i − j| = 2.
+    Near,
+    /// |i − j| = 3 or 4.
+    Medium,
+    /// |i − j| ≥ 5.
+    Far,
+}
+
+impl SeparationClass {
+    /// Classify a residue separation (must be ≥ 2 to contribute).
+    pub fn from_separation(sep: usize) -> Option<SeparationClass> {
+        match sep {
+            0 | 1 => None,
+            2 => Some(SeparationClass::Near),
+            3 | 4 => Some(SeparationClass::Medium),
+            _ => Some(SeparationClass::Far),
+        }
+    }
+
+    /// Stable index in `[0, 3)`.
+    pub fn index(self) -> usize {
+        match self {
+            SeparationClass::Near => 0,
+            SeparationClass::Medium => 1,
+            SeparationClass::Far => 2,
+        }
+    }
+
+    /// Number of classes.
+    pub const COUNT: usize = 3;
+}
+
+/// Map a φ or ψ angle (radians) to its bin index in `[0, TRIPLET_BINS)`.
+pub fn torsion_bin(angle: f64) -> usize {
+    let a = wrap_rad(angle);
+    // wrap_rad returns (-pi, pi]; shift to [0, 2pi) and bin.
+    let shifted = if a >= PI { 0.0 } else { a + PI };
+    let idx = (shifted / (2.0 * PI) * TRIPLET_BINS as f64).floor() as usize;
+    idx.min(TRIPLET_BINS - 1)
+}
+
+/// Map a distance (Å) to its bin index, saturating at the last bin.
+pub fn distance_bin(d: f64) -> usize {
+    if d <= 0.0 {
+        return 0;
+    }
+    ((d / DIST_BIN_WIDTH).floor() as usize).min(DIST_BINS - 1)
+}
+
+/// Triplet torsion-angle statistical table: energy indexed by the residue
+/// classes of the (previous, central, next) residues and by the central
+/// residue's binned (φ, ψ).
+#[derive(Debug, Clone)]
+pub struct TripletTable {
+    /// energies[context][phi_bin][psi_bin]
+    energies: Vec<f64>,
+}
+
+impl TripletTable {
+    fn context_index(prev: RamaClass, center: RamaClass, next: RamaClass) -> usize {
+        (prev.index() * RamaClass::COUNT + center.index()) * RamaClass::COUNT + next.index()
+    }
+
+    fn flat_index(context: usize, phi_bin: usize, psi_bin: usize) -> usize {
+        (context * TRIPLET_BINS + phi_bin) * TRIPLET_BINS + psi_bin
+    }
+
+    /// Look up the energy for a residue with classes `(prev, center, next)`
+    /// and torsions `(φ, ψ)`.
+    pub fn energy(&self, prev: RamaClass, center: RamaClass, next: RamaClass, phi: f64, psi: f64) -> f64 {
+        let ctx = Self::context_index(prev, center, next);
+        self.energies[Self::flat_index(ctx, torsion_bin(phi), torsion_bin(psi))]
+    }
+
+    /// Total number of table entries (for memory accounting in the SIMT
+    /// device model: these tables live in texture memory).
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// Whether the table is empty (never true for built tables).
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+
+    /// Size in bytes when staged on the device as f32 texels.
+    pub fn device_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Pairwise backbone-atom distance table: energy indexed by the two atom
+/// kinds, the sequence-separation class and the binned distance.
+#[derive(Debug, Clone)]
+pub struct DistTable {
+    /// energies[kind_a][kind_b][sep][bin] flattened.
+    energies: Vec<f64>,
+}
+
+impl DistTable {
+    fn flat_index(a: BackboneAtomKind, b: BackboneAtomKind, sep: SeparationClass, bin: usize) -> usize {
+        ((a.index() * 4 + b.index()) * SeparationClass::COUNT + sep.index()) * DIST_BINS + bin
+    }
+
+    /// Look up the energy of a pair of atoms of the given kinds at residue
+    /// separation `sep` and distance `d` (Å).
+    pub fn energy(&self, a: BackboneAtomKind, b: BackboneAtomKind, sep: SeparationClass, d: f64) -> f64 {
+        // The table is symmetrised at build time, so (a, b) and (b, a) agree.
+        self.energies[Self::flat_index(a, b, sep, distance_bin(d))]
+    }
+
+    /// Total number of table entries.
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// Whether the table is empty (never true for built tables).
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+
+    /// Size in bytes when staged on the device as f32 texels.
+    pub fn device_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Parameters controlling knowledge-base construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnowledgeBaseConfig {
+    /// RNG seed for fragment sampling.
+    pub seed: u64,
+    /// Number of (φ, ψ) samples per triplet context.
+    pub triplet_samples_per_context: usize,
+    /// Number of synthetic fragments sampled for the distance statistics.
+    pub dist_fragments: usize,
+    /// Length (residues) of each sampled fragment.
+    pub dist_fragment_len: usize,
+    /// Additive smoothing pseudo-count applied to every histogram bin.
+    pub smoothing: f64,
+}
+
+impl Default for KnowledgeBaseConfig {
+    fn default() -> Self {
+        KnowledgeBaseConfig {
+            seed: 7102,
+            triplet_samples_per_context: 6000,
+            dist_fragments: 600,
+            dist_fragment_len: 12,
+            smoothing: 0.5,
+        }
+    }
+}
+
+impl KnowledgeBaseConfig {
+    /// A smaller configuration for fast unit tests.
+    pub fn fast() -> Self {
+        KnowledgeBaseConfig {
+            triplet_samples_per_context: 800,
+            dist_fragments: 80,
+            ..Default::default()
+        }
+    }
+}
+
+/// The complete pre-calculated knowledge base: both tables plus the
+/// Ramachandran library they were derived from.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    /// The triplet torsion table.
+    pub triplet: TripletTable,
+    /// The pairwise distance table.
+    pub dist: DistTable,
+    config: KnowledgeBaseConfig,
+}
+
+impl KnowledgeBase {
+    /// Build the knowledge base from scratch (samples fragments, builds the
+    /// histograms, converts to energies).  Deterministic in the seed.
+    pub fn build(config: KnowledgeBaseConfig) -> Arc<KnowledgeBase> {
+        let rama = RamaLibrary::default();
+        let triplet = build_triplet_table(&rama, &config);
+        let dist = build_dist_table(&rama, &config);
+        Arc::new(KnowledgeBase { triplet, dist, config })
+    }
+
+    /// Build with default (full-size) parameters.
+    pub fn standard() -> Arc<KnowledgeBase> {
+        Self::build(KnowledgeBaseConfig::default())
+    }
+
+    /// The configuration used to build this knowledge base.
+    pub fn config(&self) -> &KnowledgeBaseConfig {
+        &self.config
+    }
+
+    /// Total bytes of pre-calculated data staged to the device (texture
+    /// memory) by the GPU implementation.
+    pub fn device_bytes(&self) -> usize {
+        self.triplet.device_bytes() + self.dist.device_bytes()
+    }
+}
+
+fn build_triplet_table(rama: &RamaLibrary, config: &KnowledgeBaseConfig) -> TripletTable {
+    let n_contexts = RamaClass::COUNT * RamaClass::COUNT * RamaClass::COUNT;
+    let mut energies = vec![0.0f64; n_contexts * TRIPLET_BINS * TRIPLET_BINS];
+    let factory = StreamRngFactory::new(config.seed).derive(1);
+
+    let classes = [RamaClass::General, RamaClass::Glycine, RamaClass::Proline];
+    for &prev in &classes {
+        for &center in &classes {
+            for &next in &classes {
+                let ctx = TripletTable::context_index(prev, center, next);
+                let mut rng = factory.stream(ctx as u64, 0);
+                let mut counts = vec![config.smoothing; TRIPLET_BINS * TRIPLET_BINS];
+                let model = rama.model(center);
+                for _ in 0..config.triplet_samples_per_context {
+                    // The neighbouring residues narrow the central residue's
+                    // accessible basins: emulate the local sequence-structure
+                    // coupling by rejecting samples that sit in basins the
+                    // neighbours disfavour.
+                    let (phi, psi) = loop {
+                        let (phi, psi) = model.sample(&mut rng);
+                        if neighbour_compatible(prev, next, phi, psi, &mut rng) {
+                            break (phi, psi);
+                        }
+                    };
+                    counts[torsion_bin(phi) * TRIPLET_BINS + torsion_bin(psi)] += 1.0;
+                }
+                let total: f64 = counts.iter().sum();
+                for (bin, &c) in counts.iter().enumerate() {
+                    let p = c / total;
+                    // Inverse Boltzmann against a uniform reference state.
+                    let p_ref = 1.0 / (TRIPLET_BINS * TRIPLET_BINS) as f64;
+                    let e = -(p / p_ref).ln();
+                    let (pb, sb) = (bin / TRIPLET_BINS, bin % TRIPLET_BINS);
+                    energies[TripletTable::flat_index(ctx, pb, sb)] = e;
+                }
+            }
+        }
+    }
+    TripletTable { energies }
+}
+
+/// Emulated neighbour coupling: proline neighbours disfavour α-basin
+/// conformations of the central residue, glycine neighbours relax the map.
+fn neighbour_compatible<R: Rng + ?Sized>(
+    prev: RamaClass,
+    next: RamaClass,
+    phi: f64,
+    _psi: f64,
+    rng: &mut R,
+) -> bool {
+    let alpha_like = phi < 0.0 && phi > -2.0;
+    let mut accept: f64 = 1.0;
+    if next == RamaClass::Proline && alpha_like {
+        accept *= 0.55;
+    }
+    if prev == RamaClass::Proline && alpha_like {
+        accept *= 0.8;
+    }
+    if prev == RamaClass::Glycine || next == RamaClass::Glycine {
+        accept = accept.max(0.9);
+    }
+    rng.gen::<f64>() < accept
+}
+
+fn build_dist_table(rama: &RamaLibrary, config: &KnowledgeBaseConfig) -> DistTable {
+    let builder = LoopBuilder::default();
+    let factory = StreamRngFactory::new(config.seed).derive(2);
+    let n = 4 * 4 * SeparationClass::COUNT * DIST_BINS;
+    let mut counts = vec![config.smoothing; n];
+
+    for frag in 0..config.dist_fragments {
+        let mut rng = factory.stream(frag as u64, 0);
+        // Random non-Pro/Gly-biased sequence; classes only matter through
+        // the torsion statistics here.
+        let sequence: Vec<AminoAcid> = (0..config.dist_fragment_len)
+            .map(|_| AminoAcid::from_index(rng.gen_range(0..20)))
+            .collect();
+        let mut torsions = Torsions::zeros(config.dist_fragment_len);
+        for i in 0..config.dist_fragment_len {
+            let (phi, psi) = rama.model(sequence[i].rama_class()).sample(&mut rng);
+            torsions.set_phi(i, phi);
+            torsions.set_psi(i, psi);
+        }
+        let structure = build_segment_de_novo(&builder, &sequence, &torsions);
+        let per_res: Vec<[(BackboneAtomKind, lms_geometry::Vec3); 4]> = structure
+            .residues
+            .iter()
+            .map(|r| {
+                [
+                    (BackboneAtomKind::N, r.n),
+                    (BackboneAtomKind::Ca, r.ca),
+                    (BackboneAtomKind::C, r.c),
+                    (BackboneAtomKind::O, r.o),
+                ]
+            })
+            .collect();
+        for i in 0..per_res.len() {
+            for j in (i + 1)..per_res.len() {
+                let Some(sep) = SeparationClass::from_separation(j - i) else { continue };
+                for &(ka, pa) in &per_res[i] {
+                    for &(kb, pb) in &per_res[j] {
+                        let d = pa.distance(pb);
+                        if d >= DIST_MAX {
+                            continue;
+                        }
+                        let bin = distance_bin(d);
+                        counts[DistTable::flat_index(ka, kb, sep, bin)] += 1.0;
+                        counts[DistTable::flat_index(kb, ka, sep, bin)] += 1.0;
+                    }
+                }
+            }
+        }
+    }
+
+    // Convert to energies with an inverse Boltzmann rule against a uniform
+    // reference over the table's distance range:
+    //   E(kinds, sep, d) = -ln( P(d | kinds, sep) / (1 / DIST_BINS) ).
+    // Bins never observed for a pair type therefore come out strongly
+    // unfavourable (clashing or geometrically inaccessible distances).
+    let mut energies = vec![0.0f64; n];
+    let p_ref = 1.0 / DIST_BINS as f64;
+    for a in BackboneAtomKind::ALL {
+        for b in BackboneAtomKind::ALL {
+            for sep in [SeparationClass::Near, SeparationClass::Medium, SeparationClass::Far] {
+                let pair_total: f64 = (0..DIST_BINS)
+                    .map(|bin| counts[DistTable::flat_index(a, b, sep, bin)])
+                    .sum();
+                for bin in 0..DIST_BINS {
+                    let p = counts[DistTable::flat_index(a, b, sep, bin)] / pair_total;
+                    energies[DistTable::flat_index(a, b, sep, bin)] = -(p / p_ref).ln();
+                }
+            }
+        }
+    }
+    DistTable { energies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_geometry::deg_to_rad;
+
+    fn fast_kb() -> Arc<KnowledgeBase> {
+        KnowledgeBase::build(KnowledgeBaseConfig { seed: 11, ..KnowledgeBaseConfig::fast() })
+    }
+
+    #[test]
+    fn torsion_bins_cover_the_circle() {
+        assert_eq!(torsion_bin(-PI + 1e-6), 0);
+        assert_eq!(torsion_bin(PI), 0, "+pi wraps to the first bin (same as -pi)");
+        assert_eq!(torsion_bin(0.0), TRIPLET_BINS / 2);
+        // Every bin is hit.
+        let mut seen = vec![false; TRIPLET_BINS];
+        for i in 0..720 {
+            let a = -PI + (i as f64 + 0.5) / 720.0 * 2.0 * PI;
+            seen[torsion_bin(a)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn distance_bins_saturate() {
+        assert_eq!(distance_bin(-1.0), 0);
+        assert_eq!(distance_bin(0.1), 0);
+        assert_eq!(distance_bin(0.6), 1);
+        assert_eq!(distance_bin(1_000.0), DIST_BINS - 1);
+    }
+
+    #[test]
+    fn separation_classes() {
+        assert_eq!(SeparationClass::from_separation(0), None);
+        assert_eq!(SeparationClass::from_separation(1), None);
+        assert_eq!(SeparationClass::from_separation(2), Some(SeparationClass::Near));
+        assert_eq!(SeparationClass::from_separation(3), Some(SeparationClass::Medium));
+        assert_eq!(SeparationClass::from_separation(4), Some(SeparationClass::Medium));
+        assert_eq!(SeparationClass::from_separation(9), Some(SeparationClass::Far));
+    }
+
+    #[test]
+    fn knowledge_base_is_deterministic() {
+        let a = fast_kb();
+        let b = fast_kb();
+        let probe = |kb: &KnowledgeBase| {
+            kb.triplet.energy(
+                RamaClass::General,
+                RamaClass::General,
+                RamaClass::General,
+                deg_to_rad(-63.0),
+                deg_to_rad(-43.0),
+            ) + kb.dist.energy(
+                BackboneAtomKind::Ca,
+                BackboneAtomKind::Ca,
+                SeparationClass::Medium,
+                5.3,
+            )
+        };
+        assert_eq!(probe(&a), probe(&b));
+    }
+
+    #[test]
+    fn triplet_table_favours_allowed_regions() {
+        let kb = fast_kb();
+        let e_alpha = kb.triplet.energy(
+            RamaClass::General,
+            RamaClass::General,
+            RamaClass::General,
+            deg_to_rad(-63.0),
+            deg_to_rad(-43.0),
+        );
+        let e_forbidden = kb.triplet.energy(
+            RamaClass::General,
+            RamaClass::General,
+            RamaClass::General,
+            deg_to_rad(75.0),
+            deg_to_rad(-100.0),
+        );
+        assert!(
+            e_alpha < e_forbidden - 1.0,
+            "alpha {e_alpha} should be much better than forbidden {e_forbidden}"
+        );
+    }
+
+    #[test]
+    fn triplet_table_sees_proline_context() {
+        let kb = fast_kb();
+        // An alpha-basin central residue is penalised when followed by Pro.
+        let plain = kb.triplet.energy(
+            RamaClass::General,
+            RamaClass::General,
+            RamaClass::General,
+            deg_to_rad(-63.0),
+            deg_to_rad(-43.0),
+        );
+        let before_pro = kb.triplet.energy(
+            RamaClass::General,
+            RamaClass::General,
+            RamaClass::Proline,
+            deg_to_rad(-63.0),
+            deg_to_rad(-43.0),
+        );
+        assert!(before_pro > plain, "pre-proline context should raise the alpha energy");
+    }
+
+    #[test]
+    fn dist_table_penalises_clashing_distances() {
+        let kb = fast_kb();
+        for sep in [SeparationClass::Near, SeparationClass::Medium, SeparationClass::Far] {
+            let clash = kb.dist.energy(BackboneAtomKind::Ca, BackboneAtomKind::Ca, sep, 1.2);
+            let typical = kb.dist.energy(BackboneAtomKind::Ca, BackboneAtomKind::Ca, sep, 6.0);
+            assert!(
+                clash > typical,
+                "sep {sep:?}: clash energy {clash} should exceed typical {typical}"
+            );
+        }
+    }
+
+    #[test]
+    fn dist_table_is_symmetric_in_atom_kinds() {
+        let kb = fast_kb();
+        for sep in [SeparationClass::Near, SeparationClass::Far] {
+            for d in [3.0, 5.5, 8.0] {
+                let ab = kb.dist.energy(BackboneAtomKind::N, BackboneAtomKind::O, sep, d);
+                let ba = kb.dist.energy(BackboneAtomKind::O, BackboneAtomKind::N, sep, d);
+                assert!((ab - ba).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn table_sizes_and_device_bytes() {
+        let kb = fast_kb();
+        assert_eq!(kb.triplet.len(), 27 * TRIPLET_BINS * TRIPLET_BINS);
+        assert_eq!(kb.dist.len(), 16 * SeparationClass::COUNT * DIST_BINS);
+        assert!(!kb.triplet.is_empty());
+        assert!(!kb.dist.is_empty());
+        assert_eq!(
+            kb.device_bytes(),
+            (kb.triplet.len() + kb.dist.len()) * std::mem::size_of::<f32>()
+        );
+    }
+}

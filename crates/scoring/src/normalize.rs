@@ -1,0 +1,133 @@
+//! Score normalisation helpers.
+//!
+//! Figure 5 of the paper plots the non-dominated conformations on a
+//! normalised `[0, 1]` scale per scoring function.  These helpers perform
+//! that min-max normalisation over a population of score vectors.
+
+use crate::traits::{Objective, ScoreVector, NUM_OBJECTIVES};
+
+/// Per-objective minimum and maximum over a population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreRange {
+    /// Per-objective minima, (VDW, DIST, TRIPLET) order.
+    pub min: [f64; NUM_OBJECTIVES],
+    /// Per-objective maxima, (VDW, DIST, TRIPLET) order.
+    pub max: [f64; NUM_OBJECTIVES],
+}
+
+impl ScoreRange {
+    /// Compute the range over a set of score vectors.  Returns `None` for an
+    /// empty slice.
+    pub fn of(scores: &[ScoreVector]) -> Option<ScoreRange> {
+        let first = scores.first()?;
+        let mut min = first.as_array();
+        let mut max = first.as_array();
+        for s in &scores[1..] {
+            let a = s.as_array();
+            for i in 0..NUM_OBJECTIVES {
+                min[i] = min[i].min(a[i]);
+                max[i] = max[i].max(a[i]);
+            }
+        }
+        Some(ScoreRange { min, max })
+    }
+
+    /// Normalise one score vector into `[0, 1]` per objective.  Objectives
+    /// with zero spread map to 0.
+    pub fn normalize(&self, s: &ScoreVector) -> ScoreVector {
+        let a = s.as_array();
+        let mut out = [0.0; NUM_OBJECTIVES];
+        for i in 0..NUM_OBJECTIVES {
+            let span = self.max[i] - self.min[i];
+            out[i] = if span > 1e-12 { (a[i] - self.min[i]) / span } else { 0.0 };
+        }
+        ScoreVector::from_array(out)
+    }
+
+    /// Width of one objective's range.
+    pub fn span(&self, objective: Objective) -> f64 {
+        let i = match objective {
+            Objective::Vdw => 0,
+            Objective::Dist => 1,
+            Objective::Triplet => 2,
+        };
+        self.max[i] - self.min[i]
+    }
+}
+
+/// Normalise a whole population of score vectors to `[0, 1]` per objective.
+/// Returns an empty vector for empty input.
+pub fn normalize_population(scores: &[ScoreVector]) -> Vec<ScoreVector> {
+    match ScoreRange::of(scores) {
+        None => Vec::new(),
+        Some(range) => scores.iter().map(|s| range.normalize(s)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_population() {
+        assert!(ScoreRange::of(&[]).is_none());
+        assert!(normalize_population(&[]).is_empty());
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let scores = vec![
+            ScoreVector::new(1.0, 10.0, -5.0),
+            ScoreVector::new(3.0, 20.0, 0.0),
+            ScoreVector::new(2.0, 15.0, -2.5),
+        ];
+        let normed = normalize_population(&scores);
+        assert_eq!(normed.len(), 3);
+        for n in &normed {
+            for v in n.as_array() {
+                assert!((0.0..=1.0).contains(&v), "value {v} outside [0, 1]");
+            }
+        }
+        // Extremes map to exactly 0 and 1.
+        assert_eq!(normed[0].vdw, 0.0);
+        assert_eq!(normed[1].vdw, 1.0);
+        assert_eq!(normed[0].dist, 0.0);
+        assert_eq!(normed[1].dist, 1.0);
+        assert_eq!(normed[0].triplet, 0.0);
+        assert_eq!(normed[1].triplet, 1.0);
+        // Midpoint stays a midpoint.
+        assert!((normed[2].vdw - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_objective_maps_to_zero() {
+        let scores = vec![ScoreVector::new(2.0, 5.0, 1.0), ScoreVector::new(2.0, 6.0, 3.0)];
+        let normed = normalize_population(&scores);
+        assert_eq!(normed[0].vdw, 0.0);
+        assert_eq!(normed[1].vdw, 0.0);
+        assert_eq!(normed[1].dist, 1.0);
+    }
+
+    #[test]
+    fn range_and_span() {
+        let scores = vec![ScoreVector::new(1.0, 2.0, 3.0), ScoreVector::new(4.0, 2.0, 0.0)];
+        let r = ScoreRange::of(&scores).unwrap();
+        assert_eq!(r.span(Objective::Vdw), 3.0);
+        assert_eq!(r.span(Objective::Dist), 0.0);
+        assert_eq!(r.span(Objective::Triplet), 3.0);
+        assert_eq!(r.min, [1.0, 2.0, 0.0]);
+        assert_eq!(r.max, [4.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn normalization_preserves_dominance() {
+        let a = ScoreVector::new(1.0, 1.0, 1.0);
+        let b = ScoreVector::new(2.0, 3.0, 4.0);
+        let c = ScoreVector::new(0.0, 5.0, 2.0);
+        let pop = vec![a, b, c];
+        let normed = normalize_population(&pop);
+        assert_eq!(a.dominates(&b), normed[0].dominates(&normed[1]));
+        assert_eq!(a.dominates(&c), normed[0].dominates(&normed[2]));
+        assert_eq!(c.dominates(&a), normed[2].dominates(&normed[0]));
+    }
+}

@@ -1,0 +1,172 @@
+//! Scoring-function abstractions shared by the three objectives.
+
+use lms_protein::{LoopStructure, LoopTarget, Torsions};
+use std::fmt;
+
+/// Number of scoring functions (objectives) sampled simultaneously.
+pub const NUM_OBJECTIVES: usize = 3;
+
+/// A backbone scoring function evaluated on a built loop conformation.
+///
+/// Implementations must be cheap to evaluate (they run once per
+/// conformation per iteration, i.e. millions of times per trajectory) and
+/// thread-safe, because the executor evaluates the population in parallel.
+pub trait ScoringFunction: Send + Sync {
+    /// Short identifier used in reports (`"VDW"`, `"DIST"`, `"TRIPLET"`).
+    fn name(&self) -> &'static str;
+
+    /// Score a conformation; lower is better.
+    fn score(&self, target: &LoopTarget, structure: &LoopStructure, torsions: &Torsions) -> f64;
+}
+
+/// The vector of the three objective values for one conformation, in the
+/// fixed order (VDW, DIST, TRIPLET).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScoreVector {
+    /// Soft-sphere van der Waals clash score.
+    pub vdw: f64,
+    /// Atom pair-wise distance-based score.
+    pub dist: f64,
+    /// Triplet torsion-angle score.
+    pub triplet: f64,
+}
+
+impl ScoreVector {
+    /// Construct from explicit components.
+    pub fn new(vdw: f64, dist: f64, triplet: f64) -> Self {
+        ScoreVector { vdw, dist, triplet }
+    }
+
+    /// The components as an array in (VDW, DIST, TRIPLET) order.
+    pub fn as_array(&self) -> [f64; NUM_OBJECTIVES] {
+        [self.vdw, self.dist, self.triplet]
+    }
+
+    /// Build from an array in (VDW, DIST, TRIPLET) order.
+    pub fn from_array(a: [f64; NUM_OBJECTIVES]) -> Self {
+        ScoreVector { vdw: a[0], dist: a[1], triplet: a[2] }
+    }
+
+    /// Pareto dominance: `self` dominates `other` iff it is no worse in
+    /// every objective and strictly better in at least one (lower = better).
+    pub fn dominates(&self, other: &ScoreVector) -> bool {
+        let a = self.as_array();
+        let b = other.as_array();
+        let mut strictly_better = false;
+        for i in 0..NUM_OBJECTIVES {
+            if a[i] > b[i] {
+                return false;
+            }
+            if a[i] < b[i] {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    }
+
+    /// Whether every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.vdw.is_finite() && self.dist.is_finite() && self.triplet.is_finite()
+    }
+}
+
+impl fmt::Display for ScoreVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VDW={:.3} DIST={:.3} TRIPLET={:.3}",
+            self.vdw, self.dist, self.triplet
+        )
+    }
+}
+
+/// Identifies one of the three objectives; used by the ablation benches and
+/// the single-objective baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Soft-sphere van der Waals clash score.
+    Vdw,
+    /// Atom pair-wise distance-based score.
+    Dist,
+    /// Triplet torsion-angle score.
+    Triplet,
+}
+
+impl Objective {
+    /// All objectives in canonical (VDW, DIST, TRIPLET) order.
+    pub const ALL: [Objective; NUM_OBJECTIVES] = [Objective::Vdw, Objective::Dist, Objective::Triplet];
+
+    /// Extract this objective's value from a score vector.
+    pub fn value(&self, s: &ScoreVector) -> f64 {
+        match self {
+            Objective::Vdw => s.vdw,
+            Objective::Dist => s.dist,
+            Objective::Triplet => s.triplet,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Vdw => "VDW",
+            Objective::Dist => "DIST",
+            Objective::Triplet => "TRIPLET",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_roundtrip() {
+        let s = ScoreVector::new(1.0, 2.0, 3.0);
+        assert_eq!(ScoreVector::from_array(s.as_array()), s);
+        assert_eq!(s.as_array(), [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = ScoreVector::new(1.0, 1.0, 1.0);
+        let b = ScoreVector::new(2.0, 2.0, 2.0);
+        let c = ScoreVector::new(0.5, 3.0, 1.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Incomparable pair.
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+        // No self-domination.
+        assert!(!a.dominates(&a));
+        // Equal in some, better in one.
+        let d = ScoreVector::new(1.0, 1.0, 0.5);
+        assert!(d.dominates(&a));
+        assert!(!a.dominates(&d));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(ScoreVector::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!ScoreVector::new(f64::NAN, 2.0, 3.0).is_finite());
+        assert!(!ScoreVector::new(1.0, f64::INFINITY, 3.0).is_finite());
+    }
+
+    #[test]
+    fn objective_accessors() {
+        let s = ScoreVector::new(1.0, 2.0, 3.0);
+        assert_eq!(Objective::Vdw.value(&s), 1.0);
+        assert_eq!(Objective::Dist.value(&s), 2.0);
+        assert_eq!(Objective::Triplet.value(&s), 3.0);
+        assert_eq!(Objective::ALL.len(), NUM_OBJECTIVES);
+        assert_eq!(Objective::Vdw.name(), "VDW");
+        assert_eq!(Objective::Triplet.name(), "TRIPLET");
+    }
+
+    #[test]
+    fn display_contains_all_components() {
+        let s = format!("{}", ScoreVector::new(1.5, 2.5, 3.5));
+        assert!(s.contains("VDW=1.5"));
+        assert!(s.contains("DIST=2.5"));
+        assert!(s.contains("TRIPLET=3.5"));
+    }
+}

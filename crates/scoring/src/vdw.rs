@@ -1,0 +1,290 @@
+//! The VDW (soft-sphere van der Waals) scoring function.
+//!
+//! "The soft-sphere van der Waals scoring function estimates the degree of
+//! clashes among the loop residues as well as the potential clashes between
+//! the loop residues and the residues in the rest of the protein by
+//! calculating the atom-atom, atom-centroid, and centroid-centroid
+//! distances."  (Paper, §III.B; potential form after Zhang et al. 1997.)
+//!
+//! Overlapping soft spheres contribute a quadratic penalty
+//! `((σ − d)/σ)²` where σ is the sum of the two radii; non-overlapping
+//! pairs contribute nothing.  Contacts are evaluated
+//!
+//! * between all loop backbone atoms / centroids at residue separation ≥ 2
+//!   (intra-loop clashes), and
+//! * between every loop atom / centroid and the fixed environment atoms
+//!   within a cutoff, using the environment's spatial grid.
+
+use crate::traits::ScoringFunction;
+use lms_protein::{Environment, LoopStructure, LoopTarget, Torsions};
+use lms_geometry::Vec3;
+
+/// Soft-sphere radii (Å) of the backbone heavy atoms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VdwRadii {
+    /// Amide nitrogen.
+    pub n: f64,
+    /// Alpha carbon.
+    pub ca: f64,
+    /// Carbonyl carbon.
+    pub c: f64,
+    /// Carbonyl oxygen.
+    pub o: f64,
+    /// Softness factor applied to every radius sum (1.0 = hard spheres,
+    /// smaller = softer).
+    pub softness: f64,
+}
+
+impl Default for VdwRadii {
+    fn default() -> Self {
+        VdwRadii { n: 1.55, ca: 1.70, c: 1.70, o: 1.40, softness: 0.90 }
+    }
+}
+
+/// Relative weights of the three contact categories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactWeights {
+    /// Backbone-atom / backbone-atom contacts.
+    pub atom_atom: f64,
+    /// Backbone-atom / side-chain-centroid contacts.
+    pub atom_centroid: f64,
+    /// Centroid / centroid contacts.
+    pub centroid_centroid: f64,
+}
+
+impl Default for ContactWeights {
+    fn default() -> Self {
+        ContactWeights { atom_atom: 1.0, atom_centroid: 0.5, centroid_centroid: 0.25 }
+    }
+}
+
+/// Soft-sphere van der Waals clash score.
+#[derive(Debug, Clone)]
+pub struct VdwScore {
+    radii: VdwRadii,
+    weights: ContactWeights,
+    /// Neighbour-query cutoff (Å); must exceed the largest possible radius
+    /// sum so no overlapping pair is missed.
+    cutoff: f64,
+}
+
+impl Default for VdwScore {
+    fn default() -> Self {
+        VdwScore::new(VdwRadii::default(), ContactWeights::default())
+    }
+}
+
+impl VdwScore {
+    /// Create a scorer with explicit radii and contact weights.
+    pub fn new(radii: VdwRadii, weights: ContactWeights) -> Self {
+        // Largest centroid radius is ~3.2 A (Trp); largest backbone radius
+        // 1.7 A; 3.2 + 3.2 = 6.4 A bounds every radius sum.
+        VdwScore { radii, weights, cutoff: 7.0 }
+    }
+
+    /// The radii in use.
+    pub fn radii(&self) -> &VdwRadii {
+        &self.radii
+    }
+
+    fn overlap_penalty(&self, d: f64, sigma: f64) -> f64 {
+        let sigma = sigma * self.radii.softness;
+        if d >= sigma || sigma <= 0.0 {
+            0.0
+        } else {
+            let x = (sigma - d) / sigma;
+            x * x
+        }
+    }
+
+    /// Collect the loop's interaction sites: backbone atoms with their
+    /// radii and residue index, plus centroid pseudo-atoms.
+    fn loop_sites(&self, target: &LoopTarget, structure: &LoopStructure) -> Vec<(Vec3, f64, usize, bool)> {
+        let r = &self.radii;
+        let mut sites = Vec::with_capacity(structure.n_residues() * 5);
+        for (i, res) in structure.residues.iter().enumerate() {
+            sites.push((res.n, r.n, i, false));
+            sites.push((res.ca, r.ca, i, false));
+            sites.push((res.c, r.c, i, false));
+            sites.push((res.o, r.o, i, false));
+            if let Some(c) = res.centroid {
+                sites.push((c, target.sequence[i].centroid_radius(), i, true));
+            }
+        }
+        sites
+    }
+
+    /// Intra-loop clash contribution.
+    fn intra_loop(&self, sites: &[(Vec3, f64, usize, bool)]) -> f64 {
+        let mut total = 0.0;
+        for (a_idx, &(pa, ra, ia, ca)) in sites.iter().enumerate() {
+            for &(pb, rb, ib, cb) in &sites[(a_idx + 1)..] {
+                // Residues closer than 2 apart in sequence are covalently
+                // coupled; their short contacts are not clashes.
+                if ib.abs_diff(ia) < 2 {
+                    continue;
+                }
+                let w = match (ca, cb) {
+                    (false, false) => self.weights.atom_atom,
+                    (true, true) => self.weights.centroid_centroid,
+                    _ => self.weights.atom_centroid,
+                };
+                total += w * self.overlap_penalty(pa.distance(pb), ra + rb);
+            }
+        }
+        total
+    }
+
+    /// Loop-to-environment clash contribution.
+    fn against_environment(&self, sites: &[(Vec3, f64, usize, bool)], env: &Environment) -> f64 {
+        let mut total = 0.0;
+        for &(p, r, _i, is_centroid) in sites {
+            env.for_each_within(p, self.cutoff, |atom| {
+                let w = match (is_centroid, atom.is_centroid) {
+                    (false, false) => self.weights.atom_atom,
+                    (true, true) => self.weights.centroid_centroid,
+                    _ => self.weights.atom_centroid,
+                };
+                total += w * self.overlap_penalty(p.distance(atom.position), r + atom.radius);
+            });
+        }
+        total
+    }
+
+    /// Score a structure in the context of a target (needed for the residue
+    /// types and the environment).
+    pub fn score_target(&self, target: &LoopTarget, structure: &LoopStructure) -> f64 {
+        let sites = self.loop_sites(target, structure);
+        let intra = self.intra_loop(&sites);
+        let inter = self.against_environment(&sites, &target.environment);
+        (intra + inter) / structure.n_residues() as f64
+    }
+}
+
+impl ScoringFunction for VdwScore {
+    fn name(&self) -> &'static str {
+        "VDW"
+    }
+
+    fn score(&self, target: &LoopTarget, structure: &LoopStructure, _torsions: &Torsions) -> f64 {
+        self.score_target(target, structure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_geometry::deg_to_rad;
+    use lms_protein::{BenchmarkLibrary, LoopBuilder, Torsions};
+
+    #[test]
+    fn name_is_vdw() {
+        assert_eq!(VdwScore::default().name(), "VDW");
+    }
+
+    #[test]
+    fn overlap_penalty_shape() {
+        let s = VdwScore::default();
+        let sigma = 3.0;
+        // No penalty at or beyond the (softened) radius sum.
+        assert_eq!(s.overlap_penalty(3.0, sigma), 0.0);
+        assert_eq!(s.overlap_penalty(2.8, sigma), 0.0);
+        // Penalty grows monotonically as the overlap deepens.
+        let p1 = s.overlap_penalty(2.5, sigma);
+        let p2 = s.overlap_penalty(2.0, sigma);
+        let p3 = s.overlap_penalty(1.0, sigma);
+        assert!(p1 > 0.0);
+        assert!(p2 > p1);
+        assert!(p3 > p2);
+        // Degenerate sigma contributes nothing rather than NaN.
+        assert_eq!(s.overlap_penalty(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn native_scores_better_than_clashing_conformation() {
+        let s = VdwScore::default();
+        let lib = BenchmarkLibrary::standard();
+        let target = lib.target_by_name("1cex").unwrap();
+        let builder = LoopBuilder::default();
+        let native = target.build(&builder, &target.native_torsions);
+        let native_score = s.score_target(&target, &native);
+
+        // All-zero torsions coil the loop into itself.
+        let clash_t = Torsions::zeros(target.n_residues());
+        let clashing = target.build(&builder, &clash_t);
+        let clash_score = s.score_target(&target, &clashing);
+        assert!(
+            native_score < clash_score,
+            "native {native_score} should beat clashing {clash_score}"
+        );
+    }
+
+    #[test]
+    fn buried_target_penalises_even_reasonable_conformations() {
+        // The buried 1xyz target has a dense, close environment shell; an
+        // arbitrary (but internally clash-free) alpha-helical conformation
+        // should pick up more environment overlap than on a surface loop.
+        let s = VdwScore::default();
+        let lib = BenchmarkLibrary::standard();
+        let buried = lib.target_by_name("1xyz").unwrap();
+        let surface = lib.target_by_name("1cex").unwrap();
+        let builder = LoopBuilder::default();
+        let torsions = |n: usize| {
+            Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); n])
+        };
+        let b = s.score_target(&buried, &buried.build(&builder, &torsions(buried.n_residues())));
+        let srf = s.score_target(&surface, &surface.build(&builder, &torsions(surface.n_residues())));
+        assert!(b > srf, "buried {b} should exceed surface {srf}");
+    }
+
+    #[test]
+    fn score_is_deterministic_and_finite() {
+        let s = VdwScore::default();
+        let lib = BenchmarkLibrary::standard();
+        let target = lib.target_by_name("5pti").unwrap();
+        let builder = LoopBuilder::default();
+        let native = target.build(&builder, &target.native_torsions);
+        let a = s.score_target(&target, &native);
+        let b = s.score_target(&target, &native);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+        assert!(a >= 0.0, "soft-sphere penalties are non-negative");
+    }
+
+    #[test]
+    fn weights_scale_the_contributions() {
+        let lib = BenchmarkLibrary::standard();
+        let target = lib.target_by_name("1dim").unwrap();
+        let builder = LoopBuilder::default();
+        let clash_t = Torsions::zeros(target.n_residues());
+        let clashing = target.build(&builder, &clash_t);
+
+        let base = VdwScore::default().score_target(&target, &clashing);
+        let doubled = VdwScore::new(
+            VdwRadii::default(),
+            ContactWeights { atom_atom: 2.0, atom_centroid: 1.0, centroid_centroid: 0.5 },
+        )
+        .score_target(&target, &clashing);
+        assert!((doubled - 2.0 * base).abs() < 1e-9, "doubling weights doubles the score");
+    }
+
+    #[test]
+    fn harder_spheres_raise_the_score() {
+        let lib = BenchmarkLibrary::standard();
+        let target = lib.target_by_name("153l").unwrap();
+        let builder = LoopBuilder::default();
+        let clash_t = Torsions::zeros(target.n_residues());
+        let clashing = target.build(&builder, &clash_t);
+        let soft = VdwScore::new(
+            VdwRadii { softness: 0.8, ..VdwRadii::default() },
+            ContactWeights::default(),
+        )
+        .score_target(&target, &clashing);
+        let hard = VdwScore::new(
+            VdwRadii { softness: 1.0, ..VdwRadii::default() },
+            ContactWeights::default(),
+        )
+        .score_target(&target, &clashing);
+        assert!(hard > soft);
+    }
+}

@@ -1,0 +1,138 @@
+//! The simulated SIMT device.
+//!
+//! The paper runs on an NVIDIA GeForce GTX 280: 30 streaming multiprocessors
+//! (SMs) × 8 scalar processors = 240 cores, 16 K registers and 16 KiB of
+//! shared memory per SM, blocks of up to 512 threads.  We do not have CUDA
+//! hardware in this environment, so the suite models the device explicitly:
+//! [`DeviceSpec`] carries the resource limits that drive the occupancy
+//! calculation (paper Table III) and the analytic timing model (paper
+//! Table II and Figure 4), while the actual numerical work is executed by
+//! the host-side executors in [`crate::executor`].
+
+/// Static description of a SIMT device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name of the device.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Scalar cores per SM.
+    pub cores_per_sm: usize,
+    /// 32-bit registers available per SM.
+    pub registers_per_sm: usize,
+    /// Shared memory per SM (bytes).
+    pub shared_mem_per_sm: usize,
+    /// Constant memory (bytes).
+    pub constant_mem: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Warp size (threads issued in lockstep).
+    pub warp_size: usize,
+    /// Shader clock in MHz.
+    pub clock_mhz: f64,
+    /// Device-memory bandwidth in GB/s (global memory).
+    pub memory_bandwidth_gb_s: f64,
+    /// Host-device transfer bandwidth in GB/s (PCIe).
+    pub transfer_bandwidth_gb_s: f64,
+    /// Fixed overhead per kernel launch (µs).
+    pub launch_overhead_us: f64,
+    /// Fixed latency per host/device memory copy (µs).
+    pub transfer_latency_us: f64,
+}
+
+impl DeviceSpec {
+    /// The NVIDIA GeForce GTX 280 used in the paper.
+    pub fn gtx280() -> DeviceSpec {
+        DeviceSpec {
+            name: "GeForce GTX 280 (simulated)".to_string(),
+            sm_count: 30,
+            cores_per_sm: 8,
+            registers_per_sm: 16 * 1024,
+            shared_mem_per_sm: 16 * 1024,
+            constant_mem: 64 * 1024,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            warp_size: 32,
+            clock_mhz: 1296.0,
+            memory_bandwidth_gb_s: 141.7,
+            transfer_bandwidth_gb_s: 5.0,
+            launch_overhead_us: 6.0,
+            transfer_latency_us: 8.0,
+        }
+    }
+
+    /// Total scalar cores on the device.
+    pub fn total_cores(&self) -> usize {
+        self.sm_count * self.cores_per_sm
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> usize {
+        self.max_threads_per_sm / self.warp_size
+    }
+}
+
+/// The host CPU the paper compares against (Intel 2.0 GHz quad-core); the
+/// analytic "CPU implementation" time of Figure 4 / Table I is derived from
+/// this model so that the reported speedups do not depend on whatever
+/// machine happens to run the benchmark harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+    /// Effective scalar operations retired per cycle on this workload.
+    pub ops_per_cycle: f64,
+    /// Number of cores (the paper's CPU baseline is single-threaded, but
+    /// the spec records the physical core count).
+    pub cores: usize,
+}
+
+impl HostSpec {
+    /// The Intel 2.0 GHz quad-core host of the paper.
+    pub fn paper_cpu() -> HostSpec {
+        HostSpec {
+            name: "Intel 2.0 GHz quad-core (modeled)".to_string(),
+            clock_mhz: 2000.0,
+            ops_per_cycle: 2.6,
+            cores: 4,
+        }
+    }
+
+    /// Scalar operations per microsecond on one core.
+    pub fn ops_per_us(&self) -> f64 {
+        self.clock_mhz * self.ops_per_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx280_matches_published_resources() {
+        let d = DeviceSpec::gtx280();
+        assert_eq!(d.sm_count, 30);
+        assert_eq!(d.cores_per_sm, 8);
+        assert_eq!(d.total_cores(), 240);
+        assert_eq!(d.registers_per_sm, 16384);
+        assert_eq!(d.shared_mem_per_sm, 16384);
+        assert_eq!(d.max_threads_per_block, 512);
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.max_warps_per_sm(), 32);
+    }
+
+    #[test]
+    fn host_cpu_ops_rate() {
+        let h = HostSpec::paper_cpu();
+        assert_eq!(h.clock_mhz, 2000.0);
+        assert!(h.ops_per_us() > 1000.0);
+        assert_eq!(h.cores, 4);
+    }
+}

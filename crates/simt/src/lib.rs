@@ -1,0 +1,53 @@
+//! # lms-simt
+//!
+//! The heterogeneous CPU–GPU platform substitute: a software model of the
+//! paper's NVIDIA GTX 280 (resource limits, occupancy, kernel/memcpy timing,
+//! profiler) plus host-side executors that actually run the per-conformation
+//! kernels — sequentially (the CPU baseline) or data-parallel across cores
+//! (the device role).
+//!
+//! The numerical work is always performed for real on the host; only the
+//! *device timings* are modeled, which is what lets the benchmark harness
+//! regenerate the paper's Figure 4 and Tables I–III without CUDA hardware.
+//! See DESIGN.md ("Substitutions") for the fidelity argument.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lms_simt::{DeviceSpec, Executor, KernelKind, LaunchConfig, TimingModel};
+//!
+//! // Occupancy of the CCD kernel at the paper's 128-thread blocks.
+//! let spec = DeviceSpec::gtx280();
+//! let launch = LaunchConfig::for_population(15_360);
+//! let occ = launch.occupancy(&spec, KernelKind::Ccd);
+//! assert_eq!(occ.blocks_per_sm, 4);
+//! assert!((occ.occupancy - 0.5).abs() < 1e-9);
+//!
+//! // Run a kernel over a population on all cores.
+//! let mut population = vec![0u64; 1024];
+//! Executor::parallel().for_each_indexed(&mut population, |i, x| *x = i as u64);
+//! assert_eq!(population[1023], 1023);
+//!
+//! // Modeled device time for that launch.
+//! let model = TimingModel::default();
+//! let us = model.kernel_time_us(KernelKind::Ccd, launch, 1000.0);
+//! assert!(us > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod executor;
+pub mod kernel;
+pub mod memory;
+pub mod occupancy;
+pub mod profiler;
+pub mod timing;
+
+pub use device::{DeviceSpec, HostSpec};
+pub use executor::Executor;
+pub use kernel::{KernelKind, LaunchConfig};
+pub use memory::{transfer_time_us, DataPlacement, MemorySpace, TransferKind};
+pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
+pub use profiler::{KernelStats, Profiler, TransferStats};
+pub use timing::TimingModel;

@@ -1,0 +1,187 @@
+//! SM occupancy calculation.
+//!
+//! Occupancy — the ratio of resident warps to the SM's maximum — is what the
+//! paper's Table III reports per kernel.  It is determined by whichever
+//! resource runs out first when stacking blocks onto an SM: registers,
+//! shared memory, the block-count limit, or the thread-count limit.
+
+use crate::device::DeviceSpec;
+
+/// Result of the occupancy calculation for one kernel launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks that fit concurrently on one SM.
+    pub blocks_per_sm: usize,
+    /// Threads resident per SM.
+    pub threads_per_sm: usize,
+    /// Warps resident per SM.
+    pub warps_per_sm: usize,
+    /// Occupancy as a fraction of the SM's maximum resident warps, in `[0, 1]`.
+    pub occupancy: f64,
+    /// The resource that limited the block count.
+    pub limiter: OccupancyLimiter,
+}
+
+/// Which resource limits how many blocks fit on an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// The register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+    /// The hardware block-slot limit.
+    BlockSlots,
+    /// The resident-thread limit.
+    Threads,
+    /// The launch requested zero threads (degenerate).
+    Degenerate,
+}
+
+/// Compute the occupancy of a kernel with the given per-thread register use
+/// and per-block shared-memory use at a given block size.
+pub fn occupancy(
+    spec: &DeviceSpec,
+    registers_per_thread: usize,
+    threads_per_block: usize,
+    shared_mem_per_block: usize,
+) -> Occupancy {
+    if threads_per_block == 0 {
+        return Occupancy {
+            blocks_per_sm: 0,
+            threads_per_sm: 0,
+            warps_per_sm: 0,
+            occupancy: 0.0,
+            limiter: OccupancyLimiter::Degenerate,
+        };
+    }
+    let threads_per_block = threads_per_block.min(spec.max_threads_per_block);
+
+    // Candidate limits; the smallest wins.
+    let reg_limit = if registers_per_thread == 0 {
+        usize::MAX
+    } else {
+        spec.registers_per_sm / (registers_per_thread * threads_per_block)
+    };
+    let smem_limit = if shared_mem_per_block == 0 {
+        usize::MAX
+    } else {
+        spec.shared_mem_per_sm / shared_mem_per_block
+    };
+    let slot_limit = spec.max_blocks_per_sm;
+    let thread_limit = spec.max_threads_per_sm / threads_per_block;
+
+    let blocks_per_sm = reg_limit.min(smem_limit).min(slot_limit).min(thread_limit);
+    let limiter = if blocks_per_sm == reg_limit {
+        OccupancyLimiter::Registers
+    } else if blocks_per_sm == smem_limit {
+        OccupancyLimiter::SharedMemory
+    } else if blocks_per_sm == thread_limit {
+        OccupancyLimiter::Threads
+    } else {
+        OccupancyLimiter::BlockSlots
+    };
+
+    let threads_per_sm = blocks_per_sm * threads_per_block;
+    let warps_per_sm = threads_per_sm / spec.warp_size;
+    let occupancy = warps_per_sm as f64 / spec.max_warps_per_sm() as f64;
+
+    Occupancy { blocks_per_sm, threads_per_sm, warps_per_sm, occupancy, limiter }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtx280() -> DeviceSpec {
+        DeviceSpec::gtx280()
+    }
+
+    #[test]
+    fn paper_table3_register_counts_reproduce_reported_occupancy() {
+        // Table III of the paper, at the paper's 128 threads per block.
+        let spec = gtx280();
+        let cases = [
+            (32usize, 0.50), // CCD, EvalDIST, EvalVDW
+            (20, 0.75),      // EvalTRIP
+            (8, 1.00),       // FitAssg within population
+            (5, 1.00),       // FitAssg within complex
+        ];
+        for (regs, expected) in cases {
+            let occ = occupancy(&spec, regs, 128, 0);
+            assert!(
+                (occ.occupancy - expected).abs() < 1e-9,
+                "{regs} registers: expected {expected}, got {}",
+                occ.occupancy
+            );
+        }
+    }
+
+    #[test]
+    fn register_limited_case_identifies_limiter() {
+        let spec = gtx280();
+        let occ = occupancy(&spec, 32, 128, 0);
+        assert_eq!(occ.limiter, OccupancyLimiter::Registers);
+        assert_eq!(occ.blocks_per_sm, 4);
+        assert_eq!(occ.threads_per_sm, 512);
+        assert_eq!(occ.warps_per_sm, 16);
+    }
+
+    #[test]
+    fn slot_limited_case() {
+        let spec = gtx280();
+        // Tiny register footprint and tiny blocks: the 8-block slot limit binds.
+        let occ = occupancy(&spec, 4, 64, 0);
+        assert_eq!(occ.limiter, OccupancyLimiter::BlockSlots);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.threads_per_sm, 512);
+        assert!((occ.occupancy - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_limited_case() {
+        let spec = gtx280();
+        // 512-thread blocks with few registers: two blocks exhaust 1024 threads.
+        let occ = occupancy(&spec, 8, 512, 0);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, OccupancyLimiter::Threads);
+        assert!((occ.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_memory_limited_case() {
+        let spec = gtx280();
+        // 6 KiB of shared memory per block allows only 2 blocks per SM.
+        let occ = occupancy(&spec, 8, 128, 6 * 1024);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
+        assert!((occ.occupancy - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_threads_is_degenerate() {
+        let spec = gtx280();
+        let occ = occupancy(&spec, 32, 0, 0);
+        assert_eq!(occ.limiter, OccupancyLimiter::Degenerate);
+        assert_eq!(occ.occupancy, 0.0);
+    }
+
+    #[test]
+    fn oversized_blocks_are_clamped_to_device_limit() {
+        let spec = gtx280();
+        let occ = occupancy(&spec, 8, 4096, 0);
+        // Clamped to 512-thread blocks.
+        assert_eq!(occ.threads_per_sm % 512, 0);
+        assert!(occ.blocks_per_sm >= 1);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_register_pressure() {
+        let spec = gtx280();
+        let mut last = 2.0;
+        for regs in [4, 8, 16, 20, 24, 32, 48, 64, 96, 128] {
+            let occ = occupancy(&spec, regs, 128, 0).occupancy;
+            assert!(occ <= last + 1e-12, "occupancy must not increase with more registers");
+            last = occ;
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The device profiler: per-kernel call counts and accumulated modeled
+//! device time, plus memcpy accounting — the data behind the paper's
+//! Table II — and the per-kernel occupancy summary behind its Table III.
+
+use crate::device::DeviceSpec;
+use crate::kernel::KernelKind;
+use crate::memory::{transfer_time_us, TransferKind};
+use crate::occupancy::Occupancy;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One aggregated kernel row.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Number of launches.
+    pub calls: usize,
+    /// Accumulated modeled device time (µs).
+    pub device_us: f64,
+    /// Accumulated measured host wall-clock time spent executing the
+    /// kernel's work on the executor (µs).
+    pub host_us: f64,
+    /// Accumulated abstract work units.
+    pub work_units: f64,
+}
+
+/// One aggregated memory-copy row.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferStats {
+    /// Number of copies.
+    pub calls: usize,
+    /// Total bytes moved.
+    pub bytes: usize,
+    /// Accumulated modeled transfer time (µs).
+    pub device_us: f64,
+}
+
+/// Thread-safe profiler accumulating kernel and transfer statistics.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    inner: Mutex<ProfilerInner>,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerInner {
+    kernels: BTreeMap<KernelKind, KernelStats>,
+    transfers: BTreeMap<TransferKind, TransferStats>,
+    occupancy: BTreeMap<KernelKind, Occupancy>,
+}
+
+impl Profiler {
+    /// Create an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Record one kernel launch.
+    pub fn record_kernel(
+        &self,
+        kind: KernelKind,
+        device_us: f64,
+        host_us: f64,
+        work_units: f64,
+        occupancy: Occupancy,
+    ) {
+        let mut inner = self.inner.lock();
+        let e = inner.kernels.entry(kind).or_default();
+        e.calls += 1;
+        e.device_us += device_us;
+        e.host_us += host_us;
+        e.work_units += work_units;
+        inner.occupancy.insert(kind, occupancy);
+    }
+
+    /// Record one memory copy, modeling its time on the given device.
+    pub fn record_transfer(&self, spec: &DeviceSpec, kind: TransferKind, bytes: usize) {
+        let us = transfer_time_us(spec, kind, bytes);
+        let mut inner = self.inner.lock();
+        let e = inner.transfers.entry(kind).or_default();
+        e.calls += 1;
+        e.bytes += bytes;
+        e.device_us += us;
+    }
+
+    /// Snapshot of the per-kernel statistics.
+    pub fn kernel_stats(&self) -> BTreeMap<KernelKind, KernelStats> {
+        self.inner.lock().kernels.clone()
+    }
+
+    /// Snapshot of the per-transfer statistics.
+    pub fn transfer_stats(&self) -> BTreeMap<TransferKind, TransferStats> {
+        self.inner.lock().transfers.clone()
+    }
+
+    /// Snapshot of the last observed occupancy per kernel.
+    pub fn occupancies(&self) -> BTreeMap<KernelKind, Occupancy> {
+        self.inner.lock().occupancy.clone()
+    }
+
+    /// Total modeled device time across kernels and transfers (µs).
+    pub fn total_device_us(&self) -> f64 {
+        let inner = self.inner.lock();
+        inner.kernels.values().map(|k| k.device_us).sum::<f64>()
+            + inner.transfers.values().map(|t| t.device_us).sum::<f64>()
+    }
+
+    /// Render the paper's Table II: per-kernel and per-memcpy device time
+    /// and percentage of total device time.
+    pub fn table2_report(&self) -> String {
+        let kernels = self.kernel_stats();
+        let transfers = self.transfer_stats();
+        let total = self.total_device_us().max(1e-12);
+
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<10} {:<30} {:>8} {:>16} {:>8}",
+            "Category", "Method", "#calls", "GPU (usec)", "% GPU"
+        )
+        .unwrap();
+        let mut rows: Vec<(KernelKind, KernelStats)> = kernels.into_iter().collect();
+        rows.sort_by(|a, b| b.1.device_us.partial_cmp(&a.1.device_us).unwrap());
+        for (kind, s) in rows {
+            writeln!(
+                out,
+                "{:<10} {:<30} {:>8} {:>16.0} {:>7.2}%",
+                "Kernel",
+                kind.name(),
+                s.calls,
+                s.device_us,
+                100.0 * s.device_us / total
+            )
+            .unwrap();
+        }
+        for kind in TransferKind::ALL {
+            if let Some(s) = transfers.get(&kind) {
+                writeln!(
+                    out,
+                    "{:<10} {:<30} {:>8} {:>16.0} {:>7.2}%",
+                    "Mem sync",
+                    kind.name(),
+                    s.calls,
+                    s.device_us,
+                    100.0 * s.device_us / total
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+
+    /// Render the paper's Table III: registers per thread and occupancy for
+    /// each profiled kernel.
+    pub fn table3_report(&self) -> String {
+        let occ = self.occupancies();
+        let mut out = String::new();
+        writeln!(out, "{:<32} {:>17} {:>11}", "Kernel", "Registers/thread", "Occupancy").unwrap();
+        let mut rows: Vec<(KernelKind, Occupancy)> = occ.into_iter().collect();
+        rows.sort_by_key(|(k, _)| std::cmp::Reverse(k.registers_per_thread()));
+        for (kind, o) in rows {
+            writeln!(
+                out,
+                "{:<32} {:>17} {:>10.0}%",
+                kind.name(),
+                kind.registers_per_thread(),
+                o.occupancy * 100.0
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// Merge another profiler's records into this one (used when worker
+    /// threads keep thread-local profilers).
+    pub fn merge(&self, other: &Profiler) {
+        let other_inner = other.inner.lock();
+        let mut inner = self.inner.lock();
+        for (k, s) in &other_inner.kernels {
+            let e = inner.kernels.entry(*k).or_default();
+            e.calls += s.calls;
+            e.device_us += s.device_us;
+            e.host_us += s.host_us;
+            e.work_units += s.work_units;
+        }
+        for (k, s) in &other_inner.transfers {
+            let e = inner.transfers.entry(*k).or_default();
+            e.calls += s.calls;
+            e.bytes += s.bytes;
+            e.device_us += s.device_us;
+        }
+        for (k, o) in &other_inner.occupancy {
+            inner.occupancy.insert(*k, *o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::occupancy;
+
+    fn sample_occupancy(kind: KernelKind) -> Occupancy {
+        occupancy(&DeviceSpec::gtx280(), kind.registers_per_thread(), 128, 0)
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let p = Profiler::new();
+        let occ = sample_occupancy(KernelKind::Ccd);
+        p.record_kernel(KernelKind::Ccd, 100.0, 50.0, 1000.0, occ);
+        p.record_kernel(KernelKind::Ccd, 200.0, 80.0, 2000.0, occ);
+        p.record_kernel(KernelKind::EvalDist, 30.0, 10.0, 500.0, sample_occupancy(KernelKind::EvalDist));
+        let stats = p.kernel_stats();
+        assert_eq!(stats[&KernelKind::Ccd].calls, 2);
+        assert_eq!(stats[&KernelKind::Ccd].device_us, 300.0);
+        assert_eq!(stats[&KernelKind::Ccd].host_us, 130.0);
+        assert_eq!(stats[&KernelKind::Ccd].work_units, 3000.0);
+        assert_eq!(stats[&KernelKind::EvalDist].calls, 1);
+        assert!((p.total_device_us() - 330.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_records_model_time() {
+        let p = Profiler::new();
+        let spec = DeviceSpec::gtx280();
+        p.record_transfer(&spec, TransferKind::HtoD, 1024 * 1024);
+        p.record_transfer(&spec, TransferKind::HtoD, 1024 * 1024);
+        p.record_transfer(&spec, TransferKind::DtoH, 64);
+        let t = p.transfer_stats();
+        assert_eq!(t[&TransferKind::HtoD].calls, 2);
+        assert_eq!(t[&TransferKind::HtoD].bytes, 2 * 1024 * 1024);
+        assert!(t[&TransferKind::HtoD].device_us > t[&TransferKind::DtoH].device_us);
+    }
+
+    #[test]
+    fn table2_report_contains_rows_and_percentages() {
+        let p = Profiler::new();
+        let spec = DeviceSpec::gtx280();
+        p.record_kernel(KernelKind::Ccd, 750.0, 0.0, 1.0, sample_occupancy(KernelKind::Ccd));
+        p.record_kernel(KernelKind::EvalDist, 140.0, 0.0, 1.0, sample_occupancy(KernelKind::EvalDist));
+        p.record_kernel(KernelKind::EvalTrip, 1.0, 0.0, 1.0, sample_occupancy(KernelKind::EvalTrip));
+        p.record_transfer(&spec, TransferKind::DtoH, 1024);
+        let report = p.table2_report();
+        assert!(report.contains("[CCD]"));
+        assert!(report.contains("[EvalDIST]"));
+        assert!(report.contains("memcpyDtoH"));
+        assert!(report.contains("% GPU"));
+        // CCD should be the first (largest) kernel row.
+        let ccd_pos = report.find("[CCD]").unwrap();
+        let dist_pos = report.find("[EvalDIST]").unwrap();
+        assert!(ccd_pos < dist_pos);
+    }
+
+    #[test]
+    fn table3_report_matches_paper_occupancies() {
+        let p = Profiler::new();
+        for kind in [
+            KernelKind::Ccd,
+            KernelKind::EvalDist,
+            KernelKind::EvalVdw,
+            KernelKind::EvalTrip,
+            KernelKind::FitAssgPopulation,
+            KernelKind::FitAssgComplex,
+        ] {
+            p.record_kernel(kind, 1.0, 1.0, 1.0, sample_occupancy(kind));
+        }
+        let report = p.table3_report();
+        assert!(report.contains("[CCD]"));
+        assert!(report.contains("50%"), "register-bound kernels at 50%:\n{report}");
+        assert!(report.contains("75%"), "EvalTRIP at 75%:\n{report}");
+        assert!(report.contains("100%"), "fitness kernels at 100%:\n{report}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = Profiler::new();
+        let b = Profiler::new();
+        let occ = sample_occupancy(KernelKind::Metropolis);
+        a.record_kernel(KernelKind::Metropolis, 10.0, 5.0, 100.0, occ);
+        b.record_kernel(KernelKind::Metropolis, 20.0, 8.0, 200.0, occ);
+        b.record_transfer(&DeviceSpec::gtx280(), TransferKind::DtoD, 256);
+        a.merge(&b);
+        let stats = a.kernel_stats();
+        assert_eq!(stats[&KernelKind::Metropolis].calls, 2);
+        assert_eq!(stats[&KernelKind::Metropolis].device_us, 30.0);
+        assert_eq!(a.transfer_stats()[&TransferKind::DtoD].calls, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Modeling a user-defined loop: build a loop target from your own anchor
+//! geometry and sequence (rather than the built-in benchmark), sample it,
+//! and write the best decoy to a PDB file.
+//!
+//! Run with: `cargo run --release --example custom_loop`
+
+use lms_core::{MoscemSampler, SamplerConfig};
+use lms_geometry::deg_to_rad;
+use lms_protein::{
+    parse_sequence, to_pdb, AnchorFrame, BenchmarkLibrary, Environment, LoopBuilder, LoopFrame,
+    LoopTarget, Torsions,
+};
+use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
+use lms_simt::Executor;
+use std::sync::Arc;
+
+fn main() {
+    // In a real application the anchors and environment come from the host
+    // protein's crystal structure; here we borrow plausible anchor geometry
+    // from a benchmark target and define our own 10-residue loop sequence.
+    let donor = BenchmarkLibrary::standard().target_by_name("1ads").expect("1ads exists");
+    let sequence = parse_sequence("GSTAKDLQVW").expect("valid one-letter codes");
+    assert_eq!(sequence.len(), donor.n_residues(), "keep the donor anchor spacing");
+
+    // A reference conformation to measure RMSD against (for a genuinely new
+    // loop this would be unknown; we reuse the donor's native torsions so
+    // the example can report a meaningful number).
+    let builder = LoopBuilder::default();
+    let frame: LoopFrame = donor.frame;
+    let reference_torsions: Torsions = donor.native_torsions.clone();
+    let reference_structure = builder.build(&frame, &sequence, &reference_torsions);
+
+    let target = LoopTarget {
+        name: "custom".to_string(),
+        start_res: 1,
+        end_res: sequence.len(),
+        sequence: sequence.clone(),
+        frame,
+        environment: Arc::new(Environment::empty()),
+        native_torsions: reference_torsions,
+        native_structure: reference_structure,
+        buried: false,
+    };
+    println!("custom target: {target}");
+    println!(
+        "anchor gap to bridge: {:.2} A",
+        frame.n_anchor.c.distance(frame.c_anchor.n)
+    );
+
+    let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+    let config = SamplerConfig {
+        population_size: 96,
+        n_complexes: 2,
+        iterations: 12,
+        seed: 314,
+        ..SamplerConfig::default()
+    };
+    let sampler = MoscemSampler::new(target.clone(), kb, config);
+    let production = sampler.produce_decoys(&Executor::parallel(), 30, 3);
+
+    println!(
+        "collected {} structurally distinct decoys in {} trajectories",
+        production.decoys.len(),
+        production.trajectories_run
+    );
+    if let Some(best) = production
+        .decoys
+        .decoys()
+        .iter()
+        .min_by(|a, b| a.rmsd_to_native.partial_cmp(&b.rmsd_to_native).unwrap())
+    {
+        println!(
+            "best decoy: {:.2} A from the reference, scores {}",
+            best.rmsd_to_native, best.scores
+        );
+        let structure = target.build(&builder, &best.torsions);
+        let pdb = to_pdb(&structure, &sequence, 'A', 1);
+        let path = "results/custom_loop_best.pdb";
+        std::fs::create_dir_all("results").ok();
+        std::fs::write(path, pdb).expect("write PDB");
+        println!("wrote {path} (closure deviation {:.2} A)", target.closure_deviation(&structure));
+    }
+
+    // Example torsion check: every decoy satisfies the loop-closure
+    // condition within the sampler's tolerance.
+    let worst_closure = production
+        .decoys
+        .decoys()
+        .iter()
+        .map(|d| target.closure_deviation(&target.build(&builder, &d.torsions)))
+        .fold(0.0f64, f64::max);
+    println!("worst closure deviation across decoys: {worst_closure:.2} A");
+}

@@ -1,0 +1,59 @@
+//! Device-model walkthrough: run a trajectory, then print the simulated
+//! GTX-280 kernel profile (the paper's Table II), the occupancy table
+//! (Table III) and the modeled CPU-vs-GPU speedup (Table I's metric).
+//!
+//! Run with: `cargo run --release --example device_profile`
+
+use lms_core::{MoscemSampler, SamplerConfig};
+use lms_protein::BenchmarkLibrary;
+use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
+use lms_simt::{DeviceSpec, Executor, KernelKind, LaunchConfig};
+
+fn main() {
+    // The device being modeled.
+    let spec = DeviceSpec::gtx280();
+    println!(
+        "device: {} — {} SMs x {} cores = {} scalar processors, {} KiB registers/SM",
+        spec.name,
+        spec.sm_count,
+        spec.cores_per_sm,
+        spec.total_cores(),
+        spec.registers_per_sm * 4 / 1024,
+    );
+
+    // Occupancy of each kernel at the paper's 128-thread blocks.
+    let launch = LaunchConfig::for_population(15_360);
+    println!("\nkernel occupancy at 128 threads/block:");
+    for kind in KernelKind::ALL {
+        let occ = launch.occupancy(&spec, kind);
+        println!(
+            "  {:<32} {:>2} registers/thread  -> {:>3.0}% occupancy ({} blocks/SM)",
+            kind.name(),
+            kind.registers_per_thread(),
+            occ.occupancy * 100.0,
+            occ.blocks_per_sm
+        );
+    }
+
+    // A real (scaled-down) trajectory, instrumented with the device model.
+    let target = BenchmarkLibrary::standard().target_by_name("1cex").expect("1cex exists");
+    let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+    let config = SamplerConfig {
+        population_size: 256,
+        n_complexes: 2,
+        iterations: 8,
+        seed: 5,
+        ..SamplerConfig::default()
+    };
+    let sampler = MoscemSampler::new(target, kb, config);
+    let result = sampler.run(&Executor::parallel());
+
+    println!("\nsimulated device profile (paper Table II analogue):");
+    println!("{}", result.profiler.table2_report());
+    println!("occupancy summary (paper Table III analogue):");
+    println!("{}", result.profiler.table3_report());
+    println!(
+        "modeled speedup over one CPU core: {:.1}x (paper reports ~40x at population 15,360)",
+        result.modeled_speedup()
+    );
+}

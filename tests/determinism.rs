@@ -1,0 +1,99 @@
+//! Reproducibility guarantees across the whole stack: identical seeds give
+//! identical results regardless of executor or repetition, and different
+//! seeds explore different conformations.
+
+use lms_core::{MoscemSampler, SamplerConfig};
+use lms_protein::BenchmarkLibrary;
+use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
+use lms_simt::Executor;
+use std::sync::Arc;
+
+fn kb() -> Arc<KnowledgeBase> {
+    KnowledgeBase::build(KnowledgeBaseConfig::fast())
+}
+
+fn config(seed: u64) -> SamplerConfig {
+    SamplerConfig {
+        population_size: 32,
+        n_complexes: 2,
+        iterations: 5,
+        seed,
+        ..SamplerConfig::default()
+    }
+}
+
+#[test]
+fn identical_runs_are_bitwise_identical() {
+    let target = BenchmarkLibrary::standard().target_by_name("1dim").unwrap();
+    let sampler = MoscemSampler::new(target, kb(), config(77));
+    let a = sampler.run(&Executor::parallel());
+    let b = sampler.run(&Executor::parallel());
+    for (x, y) in a.population.iter().zip(b.population.iter()) {
+        assert_eq!(x.torsions, y.torsions);
+        assert_eq!(x.scores, y.scores);
+        assert_eq!(x.fitness, y.fitness);
+        assert_eq!(x.rmsd_to_native, y.rmsd_to_native);
+    }
+    assert_eq!(a.acceptance_rate, b.acceptance_rate);
+    assert_eq!(a.final_temperature, b.final_temperature);
+}
+
+#[test]
+fn executor_choice_does_not_change_the_science() {
+    // The paper could only claim "functional equivalence" between its CPU
+    // and GPU versions; our per-stream RNG discipline gives exact equality.
+    let target = BenchmarkLibrary::standard().target_by_name("153l").unwrap();
+    let sampler = MoscemSampler::new(target, kb(), config(3));
+    let scalar = sampler.run(&Executor::scalar());
+    let parallel = sampler.run(&Executor::parallel());
+    let two_threads = sampler.run(&Executor::parallel_with_threads(2));
+    for ((a, b), c) in scalar
+        .population
+        .iter()
+        .zip(parallel.population.iter())
+        .zip(two_threads.population.iter())
+    {
+        assert_eq!(a.torsions, b.torsions);
+        assert_eq!(a.torsions, c.torsions);
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.scores, c.scores);
+    }
+}
+
+#[test]
+fn different_seeds_explore_differently_but_same_benchmark() {
+    let library = BenchmarkLibrary::standard();
+    let t1 = library.target_by_name("1cex").unwrap();
+    let t2 = library.target_by_name("1cex").unwrap();
+    // The benchmark target itself is identical across instantiations…
+    assert_eq!(t1.native_torsions, t2.native_torsions);
+    assert_eq!(t1.sequence, t2.sequence);
+    // …while different sampler seeds give different trajectories.
+    let s1 = MoscemSampler::new(t1, kb(), config(1)).run(&Executor::parallel());
+    let s2 = MoscemSampler::new(t2, kb(), config(2)).run(&Executor::parallel());
+    let same = s1
+        .population
+        .iter()
+        .zip(s2.population.iter())
+        .filter(|(a, b)| a.torsions == b.torsions)
+        .count();
+    assert!(
+        same < s1.population.len() / 2,
+        "{same} of {} members identical across different seeds",
+        s1.population.len()
+    );
+}
+
+#[test]
+fn decoy_production_is_reproducible() {
+    let target = BenchmarkLibrary::standard().target_by_name("1bhe").unwrap();
+    let sampler = MoscemSampler::new(target, kb(), config(55));
+    let a = sampler.produce_decoys(&Executor::parallel(), 20, 3);
+    let b = sampler.produce_decoys(&Executor::parallel(), 20, 3);
+    assert_eq!(a.decoys.len(), b.decoys.len());
+    assert_eq!(a.trajectories_run, b.trajectories_run);
+    for (x, y) in a.decoys.decoys().iter().zip(b.decoys.decoys().iter()) {
+        assert_eq!(x.torsions, y.torsions);
+        assert_eq!(x.rmsd_to_native, y.rmsd_to_native);
+    }
+}
