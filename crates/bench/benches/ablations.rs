@@ -3,7 +3,6 @@
 //! number of complexes, the CCD sweep budget, and adaptive temperature vs.
 //! a fixed temperature.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lms_bench::{load_target, shared_kb};
 use lms_closure::CcdConfig;
@@ -11,6 +10,7 @@ use lms_core::{MoscemSampler, ObjectiveMode, SamplerConfig};
 use lms_scoring::Objective;
 use lms_simt::Executor;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn base_config() -> SamplerConfig {
     SamplerConfig {
@@ -36,7 +36,10 @@ fn bench_single_vs_multi(c: &mut Criterion) {
         ("weighted_sum", ObjectiveMode::WeightedSum([1.0, 1.0, 1.0])),
     ];
     for (name, mode) in modes {
-        let cfg = SamplerConfig { objective_mode: mode, ..base_config() };
+        let cfg = SamplerConfig {
+            objective_mode: mode,
+            ..base_config()
+        };
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_function(name, |b| {
             b.iter(|| black_box(sampler.run(&Executor::parallel()).best_rmsd()))
@@ -53,7 +56,10 @@ fn bench_complexes(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
     for &m in &[1usize, 2, 8] {
-        let cfg = SamplerConfig { n_complexes: m, ..base_config() };
+        let cfg = SamplerConfig {
+            n_complexes: m,
+            ..base_config()
+        };
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter(|| black_box(sampler.run(&Executor::parallel()).non_dominated_count()))
@@ -71,7 +77,11 @@ fn bench_ccd_budget(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for &sweeps in &[8usize, 24, 64] {
         let cfg = SamplerConfig {
-            ccd: CcdConfig { max_sweeps: sweeps, tolerance: 0.25, start_index: 0 },
+            ccd: CcdConfig {
+                max_sweeps: sweeps,
+                tolerance: 0.25,
+                start_index: 0,
+            },
             ..base_config()
         };
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
@@ -95,7 +105,10 @@ fn bench_annealing(c: &mut Criterion) {
         b.iter(|| black_box(adaptive.run(&Executor::parallel()).acceptance_rate))
     });
     // Effectively fixed temperature: a band so wide it never adjusts.
-    let fixed_cfg = SamplerConfig { acceptance_band: (0.0, 1.0), ..base_config() };
+    let fixed_cfg = SamplerConfig {
+        acceptance_band: (0.0, 1.0),
+        ..base_config()
+    };
     let fixed = MoscemSampler::new(target, kb, fixed_cfg);
     group.bench_function("fixed", |b| {
         b.iter(|| black_box(fixed.run(&Executor::parallel()).acceptance_rate))

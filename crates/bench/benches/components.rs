@@ -3,16 +3,16 @@
 //! closure, the three scoring functions, and the population fitness
 //! assignment.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lms_bench::{load_target, shared_kb};
 use lms_closure::{CcdCloser, CcdConfig};
 use lms_core::fitness_assignment;
 use lms_geometry::{random_torsion, StreamRngFactory};
 use lms_protein::{LoopBuilder, Torsions};
-use lms_scoring::{DistScore, MultiScorer, ScoreVector, TripletScore, VdwScore};
 use lms_scoring::ScoringFunction;
+use lms_scoring::{DistScore, MultiScorer, ScoreVector, TripletScore, VdwScore};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn perturbed_torsions(target: &lms_protein::LoopTarget, seed: u64, magnitude: f64) -> Torsions {
     let mut rng = StreamRngFactory::new(seed).stream(0, 0);
@@ -26,7 +26,14 @@ fn perturbed_torsions(target: &lms_protein::LoopTarget, seed: u64, magnitude: f6
 
 fn bench_ccd(c: &mut Criterion) {
     let target = load_target("1cex");
-    let closer = CcdCloser::new(LoopBuilder::default(), CcdConfig { max_sweeps: 24, tolerance: 0.25, start_index: 0 });
+    let closer = CcdCloser::new(
+        LoopBuilder::default(),
+        CcdConfig {
+            max_sweeps: 24,
+            tolerance: 0.25,
+            start_index: 0,
+        },
+    );
     let mut group = c.benchmark_group("components/ccd");
     group.sample_size(20);
     group.measurement_time(Duration::from_secs(3));

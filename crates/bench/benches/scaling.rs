@@ -2,12 +2,12 @@
 //! population size on the scalar vs. the parallel executor — the measured
 //! host-side counterpart of the paper's Figure 4 scaling study.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lms_bench::{load_target, shared_kb};
 use lms_core::{MoscemSampler, SamplerConfig};
 use lms_simt::Executor;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_population_scaling(c: &mut Criterion) {
     let target = load_target("1cex");

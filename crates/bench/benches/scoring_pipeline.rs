@@ -1,0 +1,316 @@
+//! Benchmark of the zero-allocation scoring pipeline: the seed's allocating
+//! evaluation path (fresh structure build, AoS site vectors, per-site
+//! spatial-grid environment queries — reproduced verbatim in
+//! [`legacy`]) against the workspace path (`MultiScorer::evaluate_with`
+//! writing into reused SoA buffers with the structure rebuilt in place),
+//! across loop lengths 4, 8 and 12.
+//!
+//! Besides the criterion groups, the harness writes `BENCH_scoring.json`
+//! at the workspace root with the measured ns/eval of both paths so future
+//! PRs have a recorded perf trajectory.
+
+use criterion::{criterion_group, Criterion};
+use lms_bench::shared_kb;
+use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopStructure, LoopTarget, TargetSpec, Torsions};
+use lms_scoring::{MultiScorer, ScoreScratch};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The seed repository's allocating scoring pipeline, kept here as the
+/// benchmark baseline after production scoring moved to the workspace
+/// kernels: AoS interaction-site `Vec` rebuilt per call, spatial-grid
+/// environment queries per site, a `per_res` collection in DIST and a
+/// fresh class `Vec` in TRIPLET.
+mod legacy {
+    use lms_geometry::Vec3;
+    use lms_protein::{LoopStructure, LoopTarget, RamaClass, Torsions};
+    use lms_scoring::{
+        BackboneAtomKind, ContactWeights, KnowledgeBase, ScoreVector, SeparationClass, VdwRadii,
+        DIST_MAX,
+    };
+
+    fn overlap_penalty(softness: f64, d: f64, sigma: f64) -> f64 {
+        let sigma = sigma * softness;
+        if d >= sigma || sigma <= 0.0 {
+            0.0
+        } else {
+            let x = (sigma - d) / sigma;
+            x * x
+        }
+    }
+
+    fn vdw(target: &LoopTarget, structure: &LoopStructure) -> f64 {
+        let radii = VdwRadii::default();
+        let weights = ContactWeights::default();
+        let mut sites: Vec<(Vec3, f64, usize, bool)> =
+            Vec::with_capacity(structure.n_residues() * 5);
+        for (i, res) in structure.residues.iter().enumerate() {
+            sites.push((res.n, radii.n, i, false));
+            sites.push((res.ca, radii.ca, i, false));
+            sites.push((res.c, radii.c, i, false));
+            sites.push((res.o, radii.o, i, false));
+            if let Some(c) = res.centroid {
+                sites.push((c, target.sequence[i].centroid_radius(), i, true));
+            }
+        }
+        let mut total = 0.0;
+        for (a, &(pa, ra, ia, ca)) in sites.iter().enumerate() {
+            for &(pb, rb, ib, cb) in &sites[(a + 1)..] {
+                if ib.abs_diff(ia) < 2 {
+                    continue;
+                }
+                let w = match (ca, cb) {
+                    (false, false) => weights.atom_atom,
+                    (true, true) => weights.centroid_centroid,
+                    _ => weights.atom_centroid,
+                };
+                total += w * overlap_penalty(radii.softness, pa.distance(pb), ra + rb);
+            }
+        }
+        for &(p, r, _i, is_centroid) in &sites {
+            target.environment.for_each_within(p, 7.0, |atom| {
+                let w = match (is_centroid, atom.is_centroid) {
+                    (false, false) => weights.atom_atom,
+                    (true, true) => weights.centroid_centroid,
+                    _ => weights.atom_centroid,
+                };
+                total +=
+                    w * overlap_penalty(radii.softness, p.distance(atom.position), r + atom.radius);
+            });
+        }
+        total / structure.n_residues() as f64
+    }
+
+    fn dist(kb: &KnowledgeBase, structure: &LoopStructure) -> f64 {
+        let per_res: Vec<[(BackboneAtomKind, Vec3); 4]> = structure
+            .residues
+            .iter()
+            .map(|r| {
+                [
+                    (BackboneAtomKind::N, r.n),
+                    (BackboneAtomKind::Ca, r.ca),
+                    (BackboneAtomKind::C, r.c),
+                    (BackboneAtomKind::O, r.o),
+                ]
+            })
+            .collect();
+        let n = per_res.len();
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let Some(sep) = SeparationClass::from_separation(j - i) else {
+                    continue;
+                };
+                for &(ka, pa) in &per_res[i] {
+                    for &(kb_kind, pb) in &per_res[j] {
+                        let d = pa.distance(pb);
+                        if d >= DIST_MAX {
+                            continue;
+                        }
+                        total += kb.dist.energy(ka, kb_kind, sep, d);
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f64
+        }
+    }
+
+    fn triplet(kb: &KnowledgeBase, target: &LoopTarget, torsions: &Torsions) -> f64 {
+        let classes: Vec<RamaClass> = target.sequence.iter().map(|aa| aa.rama_class()).collect();
+        let n = classes.len();
+        let mut total = 0.0;
+        for i in 0..n {
+            let prev = if i == 0 {
+                RamaClass::General
+            } else {
+                classes[i - 1]
+            };
+            let next = if i + 1 == n {
+                RamaClass::General
+            } else {
+                classes[i + 1]
+            };
+            total += kb
+                .triplet
+                .energy(prev, classes[i], next, torsions.phi(i), torsions.psi(i));
+        }
+        total / n as f64
+    }
+
+    /// The seed's `MultiScorer::evaluate` equivalent.
+    pub fn evaluate(
+        kb: &KnowledgeBase,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        torsions: &Torsions,
+    ) -> ScoreVector {
+        ScoreVector::new(
+            vdw(target, structure),
+            dist(kb, structure),
+            triplet(kb, target, torsions),
+        )
+    }
+}
+
+/// Loop lengths the pipeline is profiled at.
+const LOOP_LENGTHS: [usize; 3] = [4, 8, 12];
+
+fn target_of_len(len: usize) -> LoopTarget {
+    // Length 12 matches the paper's headline targets; shorter loops are
+    // generated from ad-hoc specs with the same synthetic machinery.
+    let spec = TargetSpec {
+        name: "1cex",
+        start: 40,
+        len,
+        buried: false,
+    };
+    BenchmarkLibrary::standard().generate(&spec)
+}
+
+fn conformations(target: &LoopTarget, count: usize) -> Vec<Torsions> {
+    // A spread of perturbed-native conformations so the kernels see varied
+    // contact patterns rather than one cache-friendly geometry.
+    let factory = lms_geometry::StreamRngFactory::new(7);
+    (0..count)
+        .map(|i| {
+            let mut rng = factory.stream(i as u64, 0);
+            let mut t = target.native_torsions.clone();
+            for k in 0..t.n_angles() {
+                t.rotate_angle(k, lms_geometry::random_torsion(&mut rng) * 0.15);
+            }
+            t
+        })
+        .collect()
+}
+
+fn bench_scoring_pipeline(c: &mut Criterion) {
+    let kb = shared_kb();
+    let builder = LoopBuilder::default();
+    let mut group = c.benchmark_group("scoring_pipeline");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for &len in &LOOP_LENGTHS {
+        let target = target_of_len(len);
+        let scorer = MultiScorer::new(kb.clone());
+        let torsions = conformations(&target, 16);
+
+        group.bench_function(format!("allocating/len{len}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let t = &torsions[i % torsions.len()];
+                i += 1;
+                // The seed pipeline: fresh structure, AoS sites, grid queries.
+                let structure = target.build(&builder, t);
+                black_box(legacy::evaluate(&kb, &target, &structure, t))
+            })
+        });
+
+        group.bench_function(format!("workspace/len{len}"), |b| {
+            let mut structure = LoopStructure::with_capacity(len);
+            let mut scratch = ScoreScratch::for_loop_len(len);
+            let mut i = 0usize;
+            b.iter(|| {
+                let t = &torsions[i % torsions.len()];
+                i += 1;
+                // The zero-allocation pipeline: in-place rebuild + reused
+                // scoring workspace.
+                target.build_into(&builder, t, &mut structure);
+                black_box(scorer.evaluate_with(&target, &structure, t, &mut scratch))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Median ns/eval of a closure over `samples` timed batches.
+fn median_ns_per_eval<F: FnMut()>(mut f: F, iters: u32, samples: u32) -> f64 {
+    let mut results: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    results[results.len() / 2]
+}
+
+/// Measure both paths and write `BENCH_scoring.json` at the workspace root.
+fn write_bench_json() {
+    let kb = shared_kb();
+    let builder = LoopBuilder::default();
+    let mut entries = Vec::new();
+    for &len in &LOOP_LENGTHS {
+        let target = target_of_len(len);
+        let scorer = MultiScorer::new(kb.clone());
+        let torsions = conformations(&target, 16);
+
+        let iters = 2_000u32.min(40_000 / len as u32);
+        let mut i = 0usize;
+        let allocating = median_ns_per_eval(
+            || {
+                let t = &torsions[i % torsions.len()];
+                i += 1;
+                let structure = target.build(&builder, t);
+                black_box(legacy::evaluate(&kb, &target, &structure, t));
+            },
+            iters,
+            9,
+        );
+
+        let mut structure = LoopStructure::with_capacity(len);
+        let mut scratch = ScoreScratch::for_loop_len(len);
+        let mut j = 0usize;
+        let workspace = median_ns_per_eval(
+            || {
+                let t = &torsions[j % torsions.len()];
+                j += 1;
+                target.build_into(&builder, t, &mut structure);
+                black_box(scorer.evaluate_with(&target, &structure, t, &mut scratch));
+            },
+            iters,
+            9,
+        );
+
+        let speedup = allocating / workspace;
+        println!(
+            "scoring_pipeline len={len}: allocating {allocating:.0} ns/eval, \
+             workspace {workspace:.0} ns/eval, speedup {speedup:.2}x"
+        );
+        entries.push(format!(
+            "    {{\"loop_len\": {len}, \"allocating_ns_per_eval\": {allocating:.1}, \
+             \"workspace_ns_per_eval\": {workspace:.1}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"scoring_pipeline\",\n  \"unit\": \"ns/eval\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // The bench runs from the crate directory under cargo; walk up to the
+    // workspace root so the artifact lands next to ROADMAP.md.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| format!("{d}/../.."))
+        .unwrap_or_else(|_| ".".to_string());
+    let path = format!("{root}/BENCH_scoring.json");
+    std::fs::write(&path, json).expect("write BENCH_scoring.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_scoring_pipeline);
+
+fn main() {
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+    write_bench_json();
+}

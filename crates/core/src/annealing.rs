@@ -121,17 +121,30 @@ impl TemperatureController {
             TemperatureSchedule::Fixed { temperature } => {
                 self.temperature = *temperature;
             }
-            TemperatureSchedule::Geometric { initial, ratio, min } => {
+            TemperatureSchedule::Geometric {
+                initial,
+                ratio,
+                min,
+            } => {
                 self.temperature = (initial * ratio.powi(self.iteration as i32)).max(*min);
             }
-            TemperatureSchedule::Adaptive { band, factor, min, max, .. } => {
+            TemperatureSchedule::Adaptive {
+                band,
+                factor,
+                min,
+                max,
+                ..
+            } => {
                 if acceptance_rate < band.0 {
                     self.temperature = (self.temperature * factor).min(*max);
                 } else if acceptance_rate > band.1 {
                     self.temperature = (self.temperature / factor).max(*min);
                 }
             }
-            TemperatureSchedule::Tempering { ladder, move_probability } => {
+            TemperatureSchedule::Tempering {
+                ladder,
+                move_probability,
+            } => {
                 if rng.gen::<f64>() < *move_probability {
                     // Bias upward (hotter) when the chain is frozen, downward
                     // when it accepts freely — the "accelerated" part.
@@ -176,8 +189,12 @@ mod tests {
 
     #[test]
     fn geometric_schedule_cools_monotonically_to_floor() {
-        let mut c = TemperatureSchedule::Geometric { initial: 1.0, ratio: 0.5, min: 0.05 }
-            .controller();
+        let mut c = TemperatureSchedule::Geometric {
+            initial: 1.0,
+            ratio: 0.5,
+            min: 0.05,
+        }
+        .controller();
         let mut r = rng();
         let mut last = c.temperature();
         for _ in 0..10 {
@@ -228,8 +245,11 @@ mod tests {
     #[test]
     fn tempering_walks_the_ladder_and_heats_when_frozen() {
         let ladder = vec![0.1, 0.2, 0.4, 0.8];
-        let mut c = TemperatureSchedule::Tempering { ladder: ladder.clone(), move_probability: 1.0 }
-            .controller();
+        let mut c = TemperatureSchedule::Tempering {
+            ladder: ladder.clone(),
+            move_probability: 1.0,
+        }
+        .controller();
         let mut r = rng();
         assert_eq!(c.temperature(), 0.1);
         // Frozen chain: always moves up until the top rung.
@@ -252,7 +272,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn empty_tempering_ladder_panics() {
-        let _ = TemperatureSchedule::Tempering { ladder: vec![], move_probability: 0.5 }
-            .initial_temperature();
+        let _ = TemperatureSchedule::Tempering {
+            ladder: vec![],
+            move_probability: 0.5,
+        }
+        .initial_temperature();
     }
 }

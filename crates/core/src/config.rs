@@ -67,6 +67,13 @@ pub struct SamplerConfig {
     pub mutation: MutationConfig,
     /// CCD loop-closure configuration used inside the sampling loop.
     pub ccd: CcdConfig,
+    /// Maximum loop-closure deviation (Å) a proposed conformation may have
+    /// and still enter the Metropolis test: the paper's "loop closure
+    /// condition".  Candidates whose CCD run finishes above this are
+    /// rejected outright, and members above it are never harvested as
+    /// decoys.  Should be at least the CCD tolerance (which bounds the
+    /// deviation of a *converged* closure).
+    pub max_closure_deviation: f64,
     /// Objective handling (multi-scoring Pareto sampling vs. baselines).
     pub objective_mode: ObjectiveMode,
     /// How the initial population is drawn.
@@ -94,7 +101,12 @@ impl Default for SamplerConfig {
             temperature_adjust: 1.15,
             temperature_schedule: None,
             mutation: MutationConfig::default(),
-            ccd: CcdConfig { max_sweeps: 24, tolerance: 0.25, start_index: 0 },
+            ccd: CcdConfig {
+                max_sweeps: 24,
+                tolerance: 0.25,
+                start_index: 0,
+            },
+            max_closure_deviation: 0.75,
             objective_mode: ObjectiveMode::MultiScoring,
             init_mode: InitMode::Ramachandran,
             snapshot_iterations: Vec::new(),
@@ -134,13 +146,15 @@ impl SamplerConfig {
     /// The effective temperature schedule: the explicit one when set,
     /// otherwise the paper's adaptive scheme built from the scalar fields.
     pub fn effective_temperature_schedule(&self) -> TemperatureSchedule {
-        self.temperature_schedule.clone().unwrap_or(TemperatureSchedule::Adaptive {
-            initial: self.initial_temperature,
-            band: self.acceptance_band,
-            factor: self.temperature_adjust,
-            min: self.min_temperature,
-            max: self.max_temperature,
-        })
+        self.temperature_schedule
+            .clone()
+            .unwrap_or(TemperatureSchedule::Adaptive {
+                initial: self.initial_temperature,
+                band: self.acceptance_band,
+                factor: self.temperature_adjust,
+                min: self.min_temperature,
+                max: self.max_temperature,
+            })
     }
 
     /// Basic sanity checks; returns a human-readable error for impossible
@@ -161,7 +175,7 @@ impl SamplerConfig {
         if self.threads_per_block == 0 {
             return Err("threads_per_block must be positive".into());
         }
-        if !(self.initial_temperature > 0.0) {
+        if self.initial_temperature <= 0.0 || self.initial_temperature.is_nan() {
             return Err("initial_temperature must be positive".into());
         }
         if self.acceptance_band.0 >= self.acceptance_band.1 {
@@ -169,6 +183,15 @@ impl SamplerConfig {
         }
         if self.temperature_adjust <= 1.0 {
             return Err("temperature_adjust must exceed 1".into());
+        }
+        if self.max_closure_deviation <= 0.0 || self.max_closure_deviation.is_nan() {
+            return Err("max_closure_deviation must be positive".into());
+        }
+        if self.max_closure_deviation < self.ccd.tolerance {
+            return Err(format!(
+                "max_closure_deviation ({}) must be at least the CCD tolerance ({})",
+                self.max_closure_deviation, self.ccd.tolerance
+            ));
         }
         Ok(())
     }
@@ -197,34 +220,52 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = SamplerConfig::default();
-        c.population_size = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = SamplerConfig::default();
-        c.n_complexes = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = SamplerConfig::default();
-        c.n_complexes = c.population_size + 1;
-        assert!(c.validate().is_err());
-
-        let mut c = SamplerConfig::default();
-        c.acceptance_band = (0.5, 0.2);
-        assert!(c.validate().is_err());
-
-        let mut c = SamplerConfig::default();
-        c.temperature_adjust = 0.9;
-        assert!(c.validate().is_err());
-
-        let mut c = SamplerConfig::default();
-        c.initial_temperature = 0.0;
-        assert!(c.validate().is_err());
+        let cases = [
+            SamplerConfig {
+                population_size: 0,
+                ..Default::default()
+            },
+            SamplerConfig {
+                n_complexes: 0,
+                ..Default::default()
+            },
+            SamplerConfig {
+                n_complexes: SamplerConfig::default().population_size + 1,
+                ..Default::default()
+            },
+            SamplerConfig {
+                acceptance_band: (0.5, 0.2),
+                ..Default::default()
+            },
+            SamplerConfig {
+                temperature_adjust: 0.9,
+                ..Default::default()
+            },
+            SamplerConfig {
+                initial_temperature: 0.0,
+                ..Default::default()
+            },
+            SamplerConfig {
+                max_closure_deviation: 0.0,
+                ..Default::default()
+            },
+            SamplerConfig {
+                max_closure_deviation: 0.1,
+                ..Default::default()
+            },
+        ];
+        for c in cases {
+            assert!(c.validate().is_err(), "config should be rejected: {c:?}");
+        }
     }
 
     #[test]
     fn complex_size_rounds_up() {
-        let c = SamplerConfig { population_size: 10, n_complexes: 3, ..Default::default() };
+        let c = SamplerConfig {
+            population_size: 10,
+            n_complexes: 3,
+            ..Default::default()
+        };
         assert_eq!(c.complex_size(), 4);
     }
 }

@@ -52,7 +52,10 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> Option<f64> {
     let grand_mean = mean(&chain_means);
     // Between-chain variance.
     let b = n as f64 / (m as f64 - 1.0)
-        * chain_means.iter().map(|cm| (cm - grand_mean).powi(2)).sum::<f64>();
+        * chain_means
+            .iter()
+            .map(|cm| (cm - grand_mean).powi(2))
+            .sum::<f64>();
     // Within-chain variance.
     let w = chains.iter().map(|c| variance(c)).sum::<f64>() / m as f64;
     if w <= 1e-300 {
@@ -76,7 +79,9 @@ pub fn autocorrelation(trace: &[f64], lag: usize) -> Option<f64> {
     if denom <= 1e-300 {
         return None;
     }
-    let num: f64 = (0..n - lag).map(|i| (trace[i] - m) * (trace[i + lag] - m)).sum();
+    let num: f64 = (0..n - lag)
+        .map(|i| (trace[i] - m) * (trace[i + lag] - m))
+        .sum();
     Some(num / denom)
 }
 
@@ -160,15 +165,23 @@ mod tests {
         // Identical constant chains: converged.
         assert_eq!(gelman_rubin(&[vec![3.0; 10], vec![3.0; 10]]), Some(1.0));
         // Different constant chains: divergent.
-        assert_eq!(gelman_rubin(&[vec![1.0; 10], vec![2.0; 10]]), Some(f64::INFINITY));
+        assert_eq!(
+            gelman_rubin(&[vec![1.0; 10], vec![2.0; 10]]),
+            Some(f64::INFINITY)
+        );
     }
 
     #[test]
     fn autocorrelation_of_constant_and_alternating_traces() {
         assert!(autocorrelation(&[1.0; 20], 1).is_none());
-        let alternating: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alternating: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let rho1 = autocorrelation(&alternating, 1).unwrap();
-        assert!(rho1 < -0.9, "lag-1 of alternating trace should be ~-1, got {rho1}");
+        assert!(
+            rho1 < -0.9,
+            "lag-1 of alternating trace should be ~-1, got {rho1}"
+        );
         let rho2 = autocorrelation(&alternating, 2).unwrap();
         assert!(rho2 > 0.9);
         assert!(autocorrelation(&[1.0, 2.0], 5).is_none());
@@ -177,7 +190,9 @@ mod tests {
     #[test]
     fn effective_sample_size_bounds() {
         // A scrambled trace keeps a usable fraction of its nominal samples…
-        let trace: Vec<f64> = (0..200).map(|i| ((i * 2654435761u64 as usize) % 997) as f64).collect();
+        let trace: Vec<f64> = (0..200)
+            .map(|i| ((i * 2654435761u64 as usize) % 997) as f64)
+            .collect();
         let ess = effective_sample_size(&trace).unwrap();
         assert!((1.0..=200.0).contains(&ess));
         // …while a slowly-varying (highly autocorrelated) trace keeps far

@@ -30,13 +30,31 @@ pub struct Decoy {
 pub struct DecoySet {
     decoys: Vec<Decoy>,
     threshold_deg: f64,
+    max_closure_deviation: f64,
 }
 
 impl DecoySet {
     /// Create an empty decoy set with the given structural-distinctness
-    /// threshold (degrees of maximum torsion deviation).
+    /// threshold (degrees of maximum torsion deviation).  By default no
+    /// closure filter is applied; see
+    /// [`DecoySet::with_max_closure_deviation`].
     pub fn new(threshold_deg: f64) -> Self {
-        DecoySet { decoys: Vec::new(), threshold_deg }
+        DecoySet {
+            decoys: Vec::new(),
+            threshold_deg,
+            max_closure_deviation: f64::INFINITY,
+        }
+    }
+
+    /// Restrict harvesting to conformations satisfying the loop-closure
+    /// condition: members whose recorded closure deviation exceeds
+    /// `max_deviation` (Å) are never added by
+    /// [`DecoySet::harvest_population`].  An unclosed loop can score
+    /// deceptively well (it simply drifts away from the protein), so decoy
+    /// sets for evaluation should always set this.
+    pub fn with_max_closure_deviation(mut self, max_deviation: f64) -> Self {
+        self.max_closure_deviation = max_deviation;
+        self
     }
 
     /// The distinctness threshold in degrees.
@@ -86,6 +104,11 @@ impl DecoySet {
         let mut added = 0;
         for idx in non_dominated_indices(&scores) {
             let c = &population[idx];
+            if c.closure_deviation > self.max_closure_deviation {
+                // Unclosed conformations are not valid decoys regardless of
+                // how well they score.
+                continue;
+            }
             let decoy = Decoy {
                 torsions: c.torsions.clone(),
                 scores: c.scores,
@@ -109,7 +132,10 @@ impl DecoySet {
 
     /// Number of decoys within an RMSD cutoff of the native.
     pub fn count_within(&self, rmsd_cutoff: f64) -> usize {
-        self.decoys.iter().filter(|d| d.rmsd_to_native <= rmsd_cutoff).count()
+        self.decoys
+            .iter()
+            .filter(|d| d.rmsd_to_native <= rmsd_cutoff)
+            .count()
     }
 
     /// Whether the set contains at least one decoy within the cutoff — the
@@ -125,8 +151,10 @@ mod tests {
     use lms_geometry::deg_to_rad;
 
     fn decoy(phis_deg: &[f64], rmsd: f64) -> Decoy {
-        let pairs: Vec<(f64, f64)> =
-            phis_deg.iter().map(|&p| (deg_to_rad(p), deg_to_rad(p / 2.0))).collect();
+        let pairs: Vec<(f64, f64)> = phis_deg
+            .iter()
+            .map(|&p| (deg_to_rad(p), deg_to_rad(p / 2.0)))
+            .collect();
         Decoy {
             torsions: Torsions::from_pairs(&pairs),
             scores: ScoreVector::new(1.0, 1.0, 1.0),

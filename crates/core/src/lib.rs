@@ -47,10 +47,8 @@ pub mod sampler;
 
 pub use annealing::{TemperatureController, TemperatureSchedule};
 pub use config::{InitMode, ObjectiveMode, SamplerConfig};
-pub use convergence::{
-    autocorrelation, effective_sample_size, gelman_rubin, FrontProgress,
-};
 pub use conformation::Conformation;
+pub use convergence::{autocorrelation, effective_sample_size, gelman_rubin, FrontProgress};
 pub use decoyset::{Decoy, DecoySet};
 pub use mutation::{MutationConfig, MutationOutcome, Mutator};
 pub use pareto::{

@@ -59,7 +59,10 @@ pub struct Mutator {
 impl Mutator {
     /// Create a mutator.
     pub fn new(config: MutationConfig) -> Self {
-        Mutator { config, rama: RamaLibrary::default() }
+        Mutator {
+            config,
+            rama: RamaLibrary::default(),
+        }
     }
 
     /// The configuration in use.
@@ -75,21 +78,47 @@ impl Mutator {
         classes: &[RamaClass],
         rng: &mut R,
     ) -> MutationOutcome {
+        let mut out = torsions.clone();
+        let mut mutated_indices = Vec::new();
+        let ccd_start_index =
+            self.mutate_into(torsions, classes, rng, &mut out, &mut mutated_indices);
+        MutationOutcome {
+            torsions: out,
+            mutated_indices,
+            ccd_start_index,
+        }
+    }
+
+    /// [`Mutator::mutate`] writing into caller-owned buffers: `out` receives
+    /// the mutated torsions (its storage is reused) and `indices` the sorted
+    /// mutated flat indices.  Returns the CCD start index.  Performs no heap
+    /// allocation once the buffers have warmed up, which makes it safe to
+    /// call from the sampler's zero-allocation evolution kernel.
+    pub fn mutate_into<R: Rng + ?Sized>(
+        &self,
+        torsions: &Torsions,
+        classes: &[RamaClass],
+        rng: &mut R,
+        out: &mut Torsions,
+        indices: &mut Vec<usize>,
+    ) -> usize {
         assert_eq!(classes.len(), torsions.n_residues());
         let n_angles = torsions.n_angles();
-        let mut out = torsions.clone();
-        let n_mut = rng.gen_range(1..=self.config.max_mutations.max(1)).min(n_angles);
+        out.copy_from(torsions);
+        let n_mut = rng
+            .gen_range(1..=self.config.max_mutations.max(1))
+            .min(n_angles);
 
-        let mut mutated_indices = Vec::with_capacity(n_mut);
-        while mutated_indices.len() < n_mut {
+        indices.clear();
+        while indices.len() < n_mut {
             let k = rng.gen_range(0..n_angles);
-            if !mutated_indices.contains(&k) {
-                mutated_indices.push(k);
+            if !indices.contains(&k) {
+                indices.push(k);
             }
         }
-        mutated_indices.sort_unstable();
+        indices.sort_unstable();
 
-        for &k in &mutated_indices {
+        for &k in indices.iter() {
             let (residue, kind) = Torsions::describe_angle(k);
             if rng.gen::<f64>() < self.config.resample_probability {
                 // Large move: resample this residue's pair from the
@@ -103,12 +132,14 @@ impl Mutator {
                 out.set_angle(k, value);
             } else {
                 let current = out.angle(k);
-                out.set_angle(k, wrapped_normal(rng, current, self.config.perturbation_sigma));
+                out.set_angle(
+                    k,
+                    wrapped_normal(rng, current, self.config.perturbation_sigma),
+                );
             }
         }
 
-        let ccd_start_index = *mutated_indices.first().expect("at least one mutation");
-        MutationOutcome { torsions: out, mutated_indices, ccd_start_index }
+        *indices.first().expect("at least one mutation")
     }
 }
 
@@ -146,7 +177,11 @@ mod tests {
                     // A mutation may, with vanishing probability, leave the
                     // angle numerically unchanged; do not assert change here.
                 } else {
-                    assert_eq!(out.torsions.angle(k), t0.angle(k), "index {k} must not move");
+                    assert_eq!(
+                        out.torsions.angle(k),
+                        t0.angle(k),
+                        "index {k} must not move"
+                    );
                 }
             }
         }
@@ -154,13 +189,19 @@ mod tests {
 
     #[test]
     fn ccd_start_is_the_smallest_mutated_index() {
-        let mutator = Mutator::new(MutationConfig { max_mutations: 4, ..Default::default() });
+        let mutator = Mutator::new(MutationConfig {
+            max_mutations: 4,
+            ..Default::default()
+        });
         let t0 = base_torsions(10);
         let cls = classes(10);
         let mut rng = StreamRngFactory::new(9).stream(1, 0);
         for _ in 0..50 {
             let out = mutator.mutate(&t0, &cls, &mut rng);
-            assert_eq!(out.ccd_start_index, *out.mutated_indices.iter().min().unwrap());
+            assert_eq!(
+                out.ccd_start_index,
+                *out.mutated_indices.iter().min().unwrap()
+            );
             // Indices are sorted and unique.
             let mut sorted = out.mutated_indices.clone();
             sorted.dedup();
@@ -202,7 +243,10 @@ mod tests {
 
     #[test]
     fn single_angle_loop_is_handled() {
-        let mutator = Mutator::new(MutationConfig { max_mutations: 8, ..Default::default() });
+        let mutator = Mutator::new(MutationConfig {
+            max_mutations: 8,
+            ..Default::default()
+        });
         let t0 = base_torsions(1);
         let cls = classes(1);
         let mut rng = StreamRngFactory::new(1).stream(0, 0);

@@ -16,7 +16,12 @@ use lms_scoring::ScoreVector;
 /// Indices of the non-dominated members of a population of score vectors.
 pub fn non_dominated_indices(scores: &[ScoreVector]) -> Vec<usize> {
     (0..scores.len())
-        .filter(|&i| !scores.iter().enumerate().any(|(j, s)| j != i && s.dominates(&scores[i])))
+        .filter(|&i| {
+            !scores
+                .iter()
+                .enumerate()
+                .any(|(j, s)| j != i && s.dominates(&scores[i]))
+        })
         .collect()
 }
 
@@ -76,28 +81,33 @@ pub fn fitness_against(candidate: &ScoreVector, reference: &[ScoreVector]) -> f6
     // so strengths are fractions of the reference-plus-candidate set.  This
     // keeps front-member fitness strictly below 1 even for a candidate that
     // dominates the entire reference set.
+    // This runs twice per conformation per iteration inside the evolution
+    // kernel, so it iterates the reference set directly instead of
+    // collecting intermediate index vectors (no heap allocation).
     let n = reference.len() + 1;
     let dominated_by_candidate =
         reference.iter().filter(|r| candidate.dominates(r)).count() as f64 / n as f64;
-    let dominators: Vec<usize> = (0..reference.len())
-        .filter(|&j| reference[j].dominates(candidate))
-        .collect();
-    if dominators.is_empty() {
+    let has_dominator = reference.iter().any(|r| r.dominates(candidate));
+    if !has_dominator {
         dominated_by_candidate
     } else {
         // Eq. 1 sums the strengths of the *non-dominated* members that
         // dominate the candidate, with strengths measured within the
         // reference set.
-        1.0 + dominators
-            .iter()
-            .filter(|&&j| {
+        1.0 + (0..reference.len())
+            .filter(|&j| reference[j].dominates(candidate))
+            .filter(|&j| {
                 !reference
                     .iter()
                     .enumerate()
                     .any(|(k, rk)| k != j && rk.dominates(&reference[j]))
             })
-            .map(|&j| {
-                reference.iter().filter(|r| reference[j].dominates(r)).count() as f64 / n as f64
+            .map(|j| {
+                reference
+                    .iter()
+                    .filter(|r| reference[j].dominates(r))
+                    .count() as f64
+                    / n as f64
             })
             .sum::<f64>()
     }
@@ -191,6 +201,7 @@ mod tests {
             .collect();
         let f = fitness_assignment(&pop);
         let nd = non_dominated_indices(&pop);
+        #[allow(clippy::needless_range_loop)] // index drives both fitness and front lookups
         for i in 0..pop.len() {
             if nd.contains(&i) {
                 assert!(f[i] < 1.0, "front member {i} has fitness {}", f[i]);

@@ -25,8 +25,8 @@ use crate::mutation::Mutator;
 use crate::pareto::{fitness_against, non_dominated_indices};
 use lms_closure::CcdCloser;
 use lms_geometry::{random_torsion, StreamRngFactory};
-use lms_protein::{LoopBuilder, LoopTarget, RamaClass, RamaLibrary, Torsions};
-use lms_scoring::{KnowledgeBase, MultiScorer, ScoreVector};
+use lms_protein::{LoopBuilder, LoopStructure, LoopTarget, RamaClass, RamaLibrary, Torsions};
+use lms_scoring::{KnowledgeBase, MultiScorer, ScoreScratch, ScoreVector};
 use lms_simt::{Executor, KernelKind, LaunchConfig, Profiler, TimingModel, TransferKind};
 use rand::Rng;
 use std::sync::Arc;
@@ -180,7 +180,10 @@ impl WorkModel {
         let sites = (4 * n + centroids) as f64;
         let env_neighbors: f64 = {
             let atoms = target.native_structure.backbone_atoms();
-            let total: usize = atoms.iter().map(|a| target.environment.burial_count(*a, 7.0)).sum();
+            let total: usize = atoms
+                .iter()
+                .map(|a| target.environment.burial_count(*a, 7.0))
+                .sum();
             total as f64 / atoms.len().max(1) as f64
         };
         let vdw_work = sites * (sites - 1.0) / 2.0 + sites * env_neighbors;
@@ -193,14 +196,46 @@ impl WorkModel {
     }
 }
 
-/// Internal per-member scratch used inside the population kernels.
+/// Internal per-member state used inside the population kernels.
+///
+/// Besides the conformation itself, every member owns the workspace buffers
+/// of the zero-allocation pipeline, reused across all iterations: a
+/// [`LoopStructure`] that CCD and scoring rebuild in place, a
+/// [`ScoreScratch`] for the SoA scoring kernels, a candidate torsion vector
+/// for proposals, and the mutation-index scratch.  After the first
+/// iteration warms these buffers up, one member-iteration of the evolution
+/// kernel performs no heap allocation (verified by `tests/zero_alloc.rs`).
 #[derive(Debug, Clone)]
 struct Member {
     conf: Conformation,
+    /// Reused structure buffer: holds the most recently built candidate.
+    structure: LoopStructure,
+    /// Reused scoring workspace.
+    scratch: ScoreScratch,
+    /// Reused candidate torsion vector for proposals.
+    cand: Torsions,
+    /// Reused mutated-index buffer for the mutation move.
+    mut_indices: Vec<usize>,
     ccd_us: f64,
     scoring_us: f64,
     ccd_rotations: f64,
     accepted_last: bool,
+}
+
+impl Member {
+    fn new(n_res: usize, max_mutations: usize) -> Member {
+        Member {
+            conf: Conformation::new(Torsions::zeros(n_res)),
+            structure: LoopStructure::with_capacity(n_res),
+            scratch: ScoreScratch::for_loop_len(n_res),
+            cand: Torsions::zeros(n_res),
+            mut_indices: Vec::with_capacity(max_mutations.max(1)),
+            ccd_us: 0.0,
+            scoring_us: 0.0,
+            ccd_rotations: 0.0,
+            accepted_last: false,
+        }
+    }
 }
 
 /// The MOSCEM multi-scoring-functions loop sampler.
@@ -255,8 +290,12 @@ impl MoscemSampler {
         let cfg = &self.config;
         let n = cfg.population_size;
         let n_res = self.target.n_residues();
-        let classes: Vec<RamaClass> =
-            self.target.sequence.iter().map(|aa| aa.rama_class()).collect();
+        let classes: Vec<RamaClass> = self
+            .target
+            .sequence
+            .iter()
+            .map(|aa| aa.rama_class())
+            .collect();
         let factory = StreamRngFactory::new(seed);
         let launch = LaunchConfig::with_block_size(n, cfg.threads_per_block);
         let profiler = Arc::new(Profiler::new());
@@ -284,53 +323,83 @@ impl MoscemSampler {
         modeled_gpu += 0.0; // transfer time is accounted inside the profiler totals
 
         // --- Initialization kernel -----------------------------------------
+        // Warm the per-target environment-candidate cache on the host thread
+        // before the population kernels fan out.
+        self.target.env_candidates();
         let mut members: Vec<Member> = (0..n)
-            .map(|_| Member {
-                conf: Conformation::new(Torsions::zeros(n_res)),
-                ccd_us: 0.0,
-                scoring_us: 0.0,
-                ccd_rotations: 0.0,
-                accepted_last: false,
-            })
+            .map(|_| Member::new(n_res, cfg.mutation.max_mutations))
             .collect();
 
         let init_factory = factory.derive(0xC0);
         let rama = RamaLibrary::default();
         let init_mode = cfg.init_mode;
+        let max_closure = cfg.max_closure_deviation;
+        let ccd_start_index = cfg.ccd.start_index;
         executor.for_each_indexed(&mut members, |i, m| {
             let mut rng = init_factory.stream(i as u64, 0);
-            let mut torsions = Torsions::zeros(n_res);
-            match init_mode {
+            let sample_torsions = |torsions: &mut Torsions, rng: &mut _| match init_mode {
                 InitMode::UniformRandom => {
                     for k in 0..torsions.n_angles() {
-                        torsions.set_angle(k, random_torsion(&mut rng));
+                        torsions.set_angle(k, random_torsion(rng));
                     }
                 }
                 InitMode::Ramachandran => {
                     for (r, &class) in classes.iter().enumerate() {
-                        let (phi, psi) = rama.model(class).sample(&mut rng);
+                        let (phi, psi) = rama.model(class).sample(rng);
                         torsions.set_phi(r, phi);
                         torsions.set_psi(r, psi);
                     }
                 }
-            }
+            };
+            sample_torsions(&mut m.conf.torsions, &mut rng);
+
             let t_ccd = Instant::now();
-            let ccd = closer.close(&self.target.frame, &self.target.sequence, &mut torsions);
+            let mut ccd = closer.close_with_scratch(
+                &self.target.frame,
+                &self.target.sequence,
+                &mut m.conf.torsions,
+                ccd_start_index,
+                &mut m.structure,
+            );
+            // The loop-closure condition gates everything downstream; when
+            // CCD stalls on a bad random start, redraw (deterministically
+            // from this member's stream) rather than seeding the population
+            // with an unclosed conformation.
+            let mut rotations = ccd.rotations_applied;
+            for _ in 0..3 {
+                if ccd.final_deviation <= max_closure {
+                    break;
+                }
+                sample_torsions(&mut m.conf.torsions, &mut rng);
+                ccd = closer.close_with_scratch(
+                    &self.target.frame,
+                    &self.target.sequence,
+                    &mut m.conf.torsions,
+                    ccd_start_index,
+                    &mut m.structure,
+                );
+                rotations += ccd.rotations_applied;
+            }
             let ccd_us = t_ccd.elapsed().as_secs_f64() * 1e6;
 
+            // CCD leaves `m.structure` built from the final torsions, so
+            // scoring needs no rebuild.
             let t_score = Instant::now();
-            let structure = self.target.build(&self.builder, &torsions);
-            let scores = self.scorer.evaluate(&self.target, &structure, &torsions);
-            let rmsd = self.target.rmsd_to_native(&structure);
+            let scores = self.scorer.evaluate_with(
+                &self.target,
+                &m.structure,
+                &m.conf.torsions,
+                &mut m.scratch,
+            );
+            let rmsd = self.target.rmsd_to_native(&m.structure);
             let scoring_us = t_score.elapsed().as_secs_f64() * 1e6;
 
-            m.conf.torsions = torsions;
             m.conf.scores = scores;
             m.conf.closure_deviation = ccd.final_deviation;
             m.conf.rmsd_to_native = rmsd;
             m.ccd_us = ccd_us;
             m.scoring_us = scoring_us;
-            m.ccd_rotations = ccd.rotations_applied as f64;
+            m.ccd_rotations = rotations as f64;
         });
         self.account_population_kernels(
             &members,
@@ -349,7 +418,15 @@ impl MoscemSampler {
         let mut schedule_rng = factory.derive(0xA7).stream(0, 0);
         let mut complex_traces: Vec<Vec<f64>> = vec![Vec::new(); cfg.n_complexes];
         let scores_snapshot: Vec<ScoreVector> = members.iter().map(|m| m.conf.scores).collect();
-        let fitness = self.population_fitness(executor, &scores_snapshot, launch, &profiler, &mut component, &mut modeled_gpu, &mut modeled_cpu);
+        let fitness = self.population_fitness(
+            executor,
+            &scores_snapshot,
+            launch,
+            &profiler,
+            &mut component,
+            &mut modeled_gpu,
+            &mut modeled_cpu,
+        );
         for (m, f) in members.iter_mut().zip(fitness.iter()) {
             m.conf.fitness = *f;
         }
@@ -385,42 +462,61 @@ impl MoscemSampler {
 
             // Evolution kernel: reproduction, CCD, scoring, Metropolis — one
             // thread per conformation, against its complex's snapshot.
+            // Every stage writes into the member's persistent buffers
+            // (candidate torsions, loop structure, scoring scratch), so a
+            // member-iteration performs no heap allocation.
             let evo_factory = factory.derive(1);
             let mode = cfg.objective_mode;
             let temperature_now = temperature;
             executor.for_each_indexed(&mut members, |i, m| {
                 let mut rng = evo_factory.stream(i as u64, iter as u64);
-                let proposal = self.mutator.mutate(&m.conf.torsions, &classes, &mut rng);
-                let mut cand = proposal.torsions;
+                let ccd_start = self.mutator.mutate_into(
+                    &m.conf.torsions,
+                    &classes,
+                    &mut rng,
+                    &mut m.cand,
+                    &mut m.mut_indices,
+                );
 
                 let t_ccd = Instant::now();
-                let ccd = closer.close_with_start(
+                let ccd = closer.close_with_scratch(
                     &self.target.frame,
                     &self.target.sequence,
-                    &mut cand,
-                    proposal.ccd_start_index,
+                    &mut m.cand,
+                    ccd_start,
+                    &mut m.structure,
                 );
                 let ccd_us = t_ccd.elapsed().as_secs_f64() * 1e6;
 
+                // CCD leaves `m.structure` built from the final candidate
+                // torsions; score it directly (no rebuild).
                 let t_score = Instant::now();
-                let structure = self.target.build(&self.builder, &cand);
-                let cand_scores = self.scorer.evaluate(&self.target, &structure, &cand);
-                let cand_rmsd = self.target.rmsd_to_native(&structure);
+                let cand_scores =
+                    self.scorer
+                        .evaluate_with(&self.target, &m.structure, &m.cand, &mut m.scratch);
+                let cand_rmsd = self.target.rmsd_to_native(&m.structure);
                 let scoring_us = t_score.elapsed().as_secs_f64() * 1e6;
 
-                let reference = &complex_scores[complex_of[i]];
-                let cand_fit = candidate_fitness(mode, &cand_scores, reference);
-                let curr_fit = candidate_fitness(mode, &m.conf.scores, reference);
-                let accept = if cand_fit <= curr_fit {
-                    true
+                // The loop-closure condition: candidates that CCD could not
+                // bring back to the anchor are rejected outright (an open
+                // loop scores deceptively well by drifting off the protein).
+                let accept = if ccd.final_deviation > max_closure {
+                    false
                 } else {
-                    let p = ((curr_fit - cand_fit) / temperature_now).exp();
-                    rng.gen::<f64>() < p
+                    let reference = &complex_scores[complex_of[i]];
+                    let cand_fit = candidate_fitness(mode, &cand_scores, reference);
+                    let curr_fit = candidate_fitness(mode, &m.conf.scores, reference);
+                    if cand_fit <= curr_fit {
+                        true
+                    } else {
+                        let p = ((curr_fit - cand_fit) / temperature_now).exp();
+                        rng.gen::<f64>() < p
+                    }
                 };
 
                 m.conf.proposed_moves += 1;
                 if accept {
-                    m.conf.torsions = cand;
+                    std::mem::swap(&mut m.conf.torsions, &mut m.cand);
                     m.conf.scores = cand_scores;
                     m.conf.closure_deviation = ccd.final_deviation;
                     m.conf.rmsd_to_native = cand_rmsd;
@@ -443,11 +539,35 @@ impl MoscemSampler {
             );
             // Reproduction + Metropolis kernels (cheap; recorded for the
             // profiler's completeness).
-            self.account_simple_kernel(KernelKind::Reproduction, launch, n, cfg.mutation.max_mutations as f64 * 5.0, &profiler, &mut modeled_gpu, &mut modeled_cpu);
-            self.account_simple_kernel(KernelKind::Metropolis, launch, n, 2.0, &profiler, &mut modeled_gpu, &mut modeled_cpu);
+            self.account_simple_kernel(
+                KernelKind::Reproduction,
+                launch,
+                n,
+                cfg.mutation.max_mutations as f64 * 5.0,
+                &profiler,
+                &mut modeled_gpu,
+                &mut modeled_cpu,
+            );
+            self.account_simple_kernel(
+                KernelKind::Metropolis,
+                launch,
+                n,
+                2.0,
+                &profiler,
+                &mut modeled_gpu,
+                &mut modeled_cpu,
+            );
             // Fitness against the complex inside the evolution kernel.
             let complex_work = 2.0 * cfg.complex_size() as f64 * 3.0;
-            self.account_simple_kernel(KernelKind::FitAssgComplex, launch, n, complex_work, &profiler, &mut modeled_gpu, &mut modeled_cpu);
+            self.account_simple_kernel(
+                KernelKind::FitAssgComplex,
+                launch,
+                n,
+                complex_work,
+                &profiler,
+                &mut modeled_gpu,
+                &mut modeled_cpu,
+            );
 
             // Acceptance statistics and adaptive temperature.
             let other_start = Instant::now();
@@ -487,7 +607,15 @@ impl MoscemSampler {
 
             // Population-wide fitness for the next iteration's sorting.
             let scores_snapshot: Vec<ScoreVector> = members.iter().map(|m| m.conf.scores).collect();
-            let fitness = self.population_fitness(executor, &scores_snapshot, launch, &profiler, &mut component, &mut modeled_gpu, &mut modeled_cpu);
+            let fitness = self.population_fitness(
+                executor,
+                &scores_snapshot,
+                launch,
+                &profiler,
+                &mut component,
+                &mut modeled_gpu,
+                &mut modeled_cpu,
+            );
             for (m, f) in members.iter_mut().zip(fitness.iter()) {
                 m.conf.fitness = *f;
             }
@@ -498,7 +626,11 @@ impl MoscemSampler {
         }
 
         // Include modeled transfer time in the GPU total.
-        let transfer_us: f64 = profiler.transfer_stats().values().map(|t| t.device_us).sum();
+        let transfer_us: f64 = profiler
+            .transfer_stats()
+            .values()
+            .map(|t| t.device_us)
+            .sum();
         modeled_gpu += transfer_us;
 
         let population: Vec<Conformation> = members.into_iter().map(|m| m.conf).collect();
@@ -530,20 +662,32 @@ impl MoscemSampler {
         target_decoys: usize,
         max_trajectories: usize,
     ) -> DecoyProduction {
-        let mut decoys = DecoySet::new(self.config.distinct_threshold_deg);
+        let mut decoys = DecoySet::new(self.config.distinct_threshold_deg)
+            .with_max_closure_deviation(self.config.max_closure_deviation);
         let mut trajectories = Vec::new();
         let mut t = 0usize;
         while decoys.len() < target_decoys && t < max_trajectories {
-            let seed = StreamRngFactory::new(self.config.seed).derive(t as u64 + 1).master_seed();
+            let seed = StreamRngFactory::new(self.config.seed)
+                .derive(t as u64 + 1)
+                .master_seed();
             let result = self.run_with_seed(executor, seed);
             result.harvest_into(&mut decoys, t);
             trajectories.push(result);
             t += 1;
         }
-        DecoyProduction { decoys, trajectories_run: t, trajectories }
+        DecoyProduction {
+            decoys,
+            trajectories_run: t,
+            trajectories,
+        }
     }
 
-    fn snapshot(&self, iteration: usize, members: &[Member], temperature: f64) -> IterationSnapshot {
+    fn snapshot(
+        &self,
+        iteration: usize,
+        members: &[Member],
+        temperature: f64,
+    ) -> IterationSnapshot {
         let scores: Vec<ScoreVector> = members.iter().map(|m| m.conf.scores).collect();
         let nd = non_dominated_indices(&scores);
         let front: Vec<(ScoreVector, f64)> = nd
@@ -622,13 +766,19 @@ impl MoscemSampler {
 
         let work_per_thread = 2.0 * n as f64 * 3.0;
         let occ = launch.occupancy(&self.timing.device, KernelKind::FitAssgPopulation);
-        let gpu_us = self
-            .timing
-            .kernel_time_us(KernelKind::FitAssgPopulation, launch, work_per_thread);
+        let gpu_us =
+            self.timing
+                .kernel_time_us(KernelKind::FitAssgPopulation, launch, work_per_thread);
         let cpu_us = self
             .timing
             .cpu_time_us(KernelKind::FitAssgPopulation, n, work_per_thread);
-        profiler.record_kernel(KernelKind::FitAssgPopulation, gpu_us, host_us, work_per_thread * n as f64, occ);
+        profiler.record_kernel(
+            KernelKind::FitAssgPopulation,
+            gpu_us,
+            host_us,
+            work_per_thread * n as f64,
+            occ,
+        );
         *modeled_gpu += gpu_us;
         *modeled_cpu += cpu_us;
         fitness
@@ -654,8 +804,7 @@ impl MoscemSampler {
         component.ccd_us += ccd_host_us;
         component.scoring_us += scoring_host_us;
 
-        let mean_rotations: f64 =
-            members.iter().map(|m| m.ccd_rotations).sum::<f64>() / n as f64;
+        let mean_rotations: f64 = members.iter().map(|m| m.ccd_rotations).sum::<f64>() / n as f64;
         let ccd_work = (mean_rotations + 1.0) * work.ccd_per_rotation;
 
         // Split the measured scoring time across the three evaluation
@@ -720,8 +869,8 @@ fn candidate_fitness(mode: ObjectiveMode, scores: &ScoreVector, reference: &[Sco
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lms_scoring::{KnowledgeBaseConfig, Objective};
     use lms_protein::BenchmarkLibrary;
+    use lms_scoring::{KnowledgeBaseConfig, Objective};
 
     fn fast_kb() -> Arc<KnowledgeBase> {
         KnowledgeBase::build(KnowledgeBaseConfig::fast())
@@ -734,7 +883,12 @@ mod tests {
 
     #[test]
     fn trajectory_produces_closed_scored_population() {
-        let cfg = SamplerConfig { population_size: 24, n_complexes: 2, iterations: 3, ..SamplerConfig::test_scale() };
+        let cfg = SamplerConfig {
+            population_size: 24,
+            n_complexes: 2,
+            iterations: 3,
+            ..SamplerConfig::test_scale()
+        };
         let sampler = small_sampler("1cex", cfg);
         let result = sampler.run(&Executor::scalar());
         assert_eq!(result.population.len(), 24);
@@ -756,13 +910,21 @@ mod tests {
 
     #[test]
     fn scalar_and_parallel_executors_agree_exactly() {
-        let cfg = SamplerConfig { population_size: 16, n_complexes: 2, iterations: 2, ..SamplerConfig::test_scale() };
+        let cfg = SamplerConfig {
+            population_size: 16,
+            n_complexes: 2,
+            iterations: 2,
+            ..SamplerConfig::test_scale()
+        };
         let sampler = small_sampler("5pti", cfg);
         let a = sampler.run(&Executor::scalar());
         let b = sampler.run(&Executor::parallel());
         assert_eq!(a.population.len(), b.population.len());
         for (x, y) in a.population.iter().zip(b.population.iter()) {
-            assert_eq!(x.torsions, y.torsions, "executor changed the sampled trajectory");
+            assert_eq!(
+                x.torsions, y.torsions,
+                "executor changed the sampled trajectory"
+            );
             assert_eq!(x.scores, y.scores);
             assert_eq!(x.accepted_moves, y.accepted_moves);
         }
@@ -772,7 +934,12 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_populations() {
-        let cfg = SamplerConfig { population_size: 12, n_complexes: 2, iterations: 2, ..SamplerConfig::test_scale() };
+        let cfg = SamplerConfig {
+            population_size: 12,
+            n_complexes: 2,
+            iterations: 2,
+            ..SamplerConfig::test_scale()
+        };
         let sampler = small_sampler("3pte", cfg);
         let a = sampler.run_with_seed(&Executor::scalar(), 1);
         let b = sampler.run_with_seed(&Executor::scalar(), 2);
@@ -808,18 +975,31 @@ mod tests {
     fn component_times_are_dominated_by_ccd_and_scoring() {
         // The paper's Figure 1: loop closure and scoring evaluation occupy
         // ~99% of the CPU-only run.
-        let cfg = SamplerConfig { population_size: 24, n_complexes: 2, iterations: 3, ..SamplerConfig::test_scale() };
+        let cfg = SamplerConfig {
+            population_size: 24,
+            n_complexes: 2,
+            iterations: 3,
+            ..SamplerConfig::test_scale()
+        };
         let sampler = small_sampler("1cex", cfg);
         let result = sampler.run(&Executor::scalar());
         let f = result.component_times.fractions();
         let heavy = f[0] + f[1];
-        assert!(heavy > 0.80, "CCD+scoring fraction {heavy} too small: {f:?}");
+        assert!(
+            heavy > 0.80,
+            "CCD+scoring fraction {heavy} too small: {f:?}"
+        );
         assert!(f[0] > f[1], "CCD should dominate scoring: {f:?}");
     }
 
     #[test]
     fn modeled_times_favor_the_device_at_large_population() {
-        let cfg = SamplerConfig { population_size: 128, n_complexes: 2, iterations: 1, ..SamplerConfig::test_scale() };
+        let cfg = SamplerConfig {
+            population_size: 128,
+            n_complexes: 2,
+            iterations: 1,
+            ..SamplerConfig::test_scale()
+        };
         let sampler = small_sampler("1dim", cfg);
         let result = sampler.run(&Executor::parallel());
         assert!(result.modeled_cpu_us > 0.0);
@@ -829,7 +1009,12 @@ mod tests {
 
     #[test]
     fn profiler_records_the_papers_kernels_and_transfers() {
-        let cfg = SamplerConfig { population_size: 16, n_complexes: 2, iterations: 2, ..SamplerConfig::test_scale() };
+        let cfg = SamplerConfig {
+            population_size: 16,
+            n_complexes: 2,
+            iterations: 2,
+            ..SamplerConfig::test_scale()
+        };
         let sampler = small_sampler("1ixh", cfg);
         let result = sampler.run(&Executor::scalar());
         let kernels = result.profiler.kernel_stats();
@@ -845,7 +1030,9 @@ mod tests {
         }
         // CCD dominates device time, TRIPLET is negligible — Table II shape.
         assert!(kernels[&KernelKind::Ccd].device_us > kernels[&KernelKind::EvalDist].device_us);
-        assert!(kernels[&KernelKind::EvalDist].device_us > kernels[&KernelKind::EvalTrip].device_us);
+        assert!(
+            kernels[&KernelKind::EvalDist].device_us > kernels[&KernelKind::EvalTrip].device_us
+        );
         let transfers = result.profiler.transfer_stats();
         assert!(transfers.contains_key(&TransferKind::HtoA));
         assert!(transfers.contains_key(&TransferKind::DtoH));
@@ -879,7 +1066,12 @@ mod tests {
             first.non_dominated_count,
             last.non_dominated_count
         );
-        assert!(last.best_rmsd <= first.best_rmsd + 0.5, "best RMSD should not blow up");
+        // RMSD is never part of the acceptance rule, so the single best
+        // member is free to drift; only gross blow-up would indicate a bug.
+        assert!(
+            last.best_rmsd <= first.best_rmsd + 1.0,
+            "best RMSD should not blow up"
+        );
         // The median VDW of the population improves as clashes are resolved.
         let median_vdw = |snap: &IterationSnapshot| {
             let mut v: Vec<f64> = snap.front.iter().map(|(s, _)| s.vdw).collect();
@@ -891,11 +1083,19 @@ mod tests {
 
     #[test]
     fn single_objective_mode_runs_and_differs_from_multi() {
-        let base = SamplerConfig { population_size: 16, n_complexes: 2, iterations: 3, ..SamplerConfig::test_scale() };
+        let base = SamplerConfig {
+            population_size: 16,
+            n_complexes: 2,
+            iterations: 3,
+            ..SamplerConfig::test_scale()
+        };
         let multi = small_sampler("153l", base.clone());
         let single = small_sampler(
             "153l",
-            SamplerConfig { objective_mode: ObjectiveMode::Single(Objective::Vdw), ..base },
+            SamplerConfig {
+                objective_mode: ObjectiveMode::Single(Objective::Vdw),
+                ..base
+            },
         );
         let a = multi.run(&Executor::scalar());
         let b = single.run(&Executor::scalar());
@@ -909,7 +1109,12 @@ mod tests {
     #[test]
     fn convergence_traces_and_schedule_override() {
         use crate::annealing::TemperatureSchedule;
-        let base = SamplerConfig { population_size: 24, n_complexes: 3, iterations: 6, ..SamplerConfig::test_scale() };
+        let base = SamplerConfig {
+            population_size: 24,
+            n_complexes: 3,
+            iterations: 6,
+            ..SamplerConfig::test_scale()
+        };
         let sampler = small_sampler("1cex", base.clone());
         let result = sampler.run(&Executor::parallel());
         // One trace per complex, one point per iteration.
@@ -936,7 +1141,12 @@ mod tests {
 
     #[test]
     fn produce_decoys_accumulates_distinct_decoys() {
-        let cfg = SamplerConfig { population_size: 16, n_complexes: 2, iterations: 2, ..SamplerConfig::test_scale() };
+        let cfg = SamplerConfig {
+            population_size: 16,
+            n_complexes: 2,
+            iterations: 2,
+            ..SamplerConfig::test_scale()
+        };
         let sampler = small_sampler("1bhe", cfg);
         let production = sampler.produce_decoys(&Executor::parallel(), 6, 4);
         assert!(production.trajectories_run >= 1);

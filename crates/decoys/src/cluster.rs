@@ -63,9 +63,15 @@ pub fn cluster_decoys(
 
     let mut clusters: Vec<Cluster> = Vec::new();
     for i in 0..decoys.len() {
-        match clusters.iter_mut().find(|c| distance(c.representative, i) <= radius) {
+        match clusters
+            .iter_mut()
+            .find(|c| distance(c.representative, i) <= radius)
+        {
             Some(c) => c.members.push(i),
-            None => clusters.push(Cluster { representative: i, members: vec![i] }),
+            None => clusters.push(Cluster {
+                representative: i,
+                members: vec![i],
+            }),
         }
     }
     clusters
@@ -119,9 +125,9 @@ pub fn compare_decoy_sets(
     let cb = coords(set_b);
     let cross_distance = |a_idx: usize, b_idx: usize| -> f64 {
         match metric {
-            ClusterMetric::TorsionDeg => {
-                set_a[a_idx].torsions.max_deviation_deg(&set_b[b_idx].torsions)
-            }
+            ClusterMetric::TorsionDeg => set_a[a_idx]
+                .torsions
+                .max_deviation_deg(&set_b[b_idx].torsions),
             ClusterMetric::RmsdAngstrom => rmsd_direct(&ca[a_idx], &cb[b_idx]),
         }
     };

@@ -15,7 +15,10 @@ pub struct TextTable {
 impl TextTable {
     /// Create a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row.  Rows shorter than the header are padded with empty

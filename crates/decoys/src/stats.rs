@@ -57,7 +57,11 @@ impl MinMaxMean {
             max = max.max(v);
             sum += v;
         }
-        Some(MinMaxMean { min, max, mean: sum / values.len() as f64 })
+        Some(MinMaxMean {
+            min,
+            max,
+            mean: sum / values.len() as f64,
+        })
     }
 }
 
@@ -76,7 +80,10 @@ pub struct TrajectoryEnsembleStats {
 
 /// Aggregate independent trajectories (Figure 3's per-population-size
 /// statistics).
-pub fn ensemble_stats(results: &[TrajectoryResult], threshold_deg: f64) -> Option<TrajectoryEnsembleStats> {
+pub fn ensemble_stats(
+    results: &[TrajectoryResult],
+    threshold_deg: f64,
+) -> Option<TrajectoryEnsembleStats> {
     if results.is_empty() {
         return None;
     }
@@ -99,7 +106,10 @@ mod tests {
 
     fn t(phis_deg: &[f64]) -> Torsions {
         Torsions::from_pairs(
-            &phis_deg.iter().map(|&p| (deg_to_rad(p), deg_to_rad(p * 0.5))).collect::<Vec<_>>(),
+            &phis_deg
+                .iter()
+                .map(|&p| (deg_to_rad(p), deg_to_rad(p * 0.5)))
+                .collect::<Vec<_>>(),
         )
     }
 

@@ -110,7 +110,11 @@ pub struct InternalCoords {
 impl InternalCoords {
     /// Construct from explicit values.
     pub fn new(bond_length: f64, bond_angle: f64, dihedral: f64) -> Self {
-        InternalCoords { bond_length, bond_angle, dihedral }
+        InternalCoords {
+            bond_length,
+            bond_angle,
+            dihedral,
+        }
     }
 
     /// Measure the internal coordinates of point `d` with respect to the
@@ -214,7 +218,10 @@ mod tests {
             (1.0, 45.0, -179.0),
         ] {
             let d = place_atom(a, b, c, len, deg_to_rad(ang_deg), deg_to_rad(dih_deg));
-            assert!(close(c.distance(d), len), "bond length for {ang_deg}/{dih_deg}");
+            assert!(
+                close(c.distance(d), len),
+                "bond length for {ang_deg}/{dih_deg}"
+            );
             assert!(
                 close(rad_to_deg(bond_angle(b, c, d)), ang_deg),
                 "bond angle: got {}",

@@ -24,7 +24,10 @@ use crate::vec3::Vec3;
 /// Panics if the slices have different lengths or are empty.
 pub fn rmsd_direct(a: &[Vec3], b: &[Vec3]) -> f64 {
     assert_eq!(a.len(), b.len(), "coordinate sets must have equal length");
-    assert!(!a.is_empty(), "cannot compute RMSD of empty coordinate sets");
+    assert!(
+        !a.is_empty(),
+        "cannot compute RMSD of empty coordinate sets"
+    );
     let sum_sq: f64 = a.iter().zip(b.iter()).map(|(p, q)| p.distance_sq(*q)).sum();
     (sum_sq / a.len() as f64).sqrt()
 }
@@ -54,6 +57,7 @@ impl Superposition {
 ///
 /// Returns `(eigenvalues, eigenvectors)` where `eigenvectors[i]` is the unit
 /// eigenvector for `eigenvalues[i]`, sorted in *descending* eigenvalue order.
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook formulation
 pub fn jacobi_eigen_symmetric3(m: &Mat3) -> ([f64; 3], [Vec3; 3]) {
     let mut a = m.rows;
     // v accumulates the rotations; starts as identity.
@@ -120,6 +124,7 @@ pub fn jacobi_eigen_symmetric3(m: &Mat3) -> ([f64; 3], [Vec3; 3]) {
 /// Returns `(eigenvalues, eigenvectors)` with `eigenvectors[i]` the unit
 /// eigenvector (as a `[f64; 4]` column) for `eigenvalues[i]`, sorted in
 /// descending eigenvalue order.  Used by the quaternion superposition.
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook formulation
 pub fn jacobi_eigen_symmetric4(m: &[[f64; 4]; 4]) -> ([f64; 4], [[f64; 4]; 4]) {
     let mut a = *m;
     let mut v = [[0.0; 4]; 4];
@@ -215,6 +220,7 @@ fn rotation_from_quaternion(q: [f64; 4]) -> Mat3 {
 ///
 /// # Panics
 /// Panics if the sets differ in length or contain fewer than 3 points.
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook formulation
 pub fn kabsch(reference: &[Vec3], mobile: &[Vec3]) -> Superposition {
     assert_eq!(reference.len(), mobile.len(), "coordinate sets must match");
     assert!(reference.len() >= 3, "Kabsch needs at least 3 points");
@@ -425,7 +431,10 @@ mod tests {
             Vec3::new(1.0, 1.0, 0.0),
         ];
         let rot = Rotation::about_axis(Vec3::Z, deg_to_rad(40.0));
-        let b: Vec<Vec3> = a.iter().map(|p| rot.apply(*p) + Vec3::new(0.3, 0.1, 0.0)).collect();
+        let b: Vec<Vec3> = a
+            .iter()
+            .map(|p| rot.apply(*p) + Vec3::new(0.3, 0.1, 0.0))
+            .collect();
         let r = rmsd_superposed(&a, &b);
         assert!(r < 1e-6, "planar rmsd {r}");
     }

@@ -152,7 +152,10 @@ mod tests {
         let mut r = f.stream(0, 0);
         let samples: Vec<f64> = (0..2000).map(|_| random_torsion(&mut r)).collect();
         let pos = samples.iter().filter(|&&t| t > 0.0).count();
-        assert!(pos > 600 && pos < 1400, "suspiciously skewed: {pos}/2000 positive");
+        assert!(
+            pos > 600 && pos < 1400,
+            "suspiciously skewed: {pos}/2000 positive"
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ impl Mat3 {
     };
 
     /// The zero matrix.
-    pub const ZERO: Mat3 = Mat3 { rows: [[0.0; 3]; 3] };
+    pub const ZERO: Mat3 = Mat3 {
+        rows: [[0.0; 3]; 3],
+    };
 
     /// Build from three rows.
     pub const fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {
@@ -138,7 +140,9 @@ pub struct Rotation {
 
 impl Rotation {
     /// The identity rotation.
-    pub const IDENTITY: Rotation = Rotation { matrix: Mat3::IDENTITY };
+    pub const IDENTITY: Rotation = Rotation {
+        matrix: Mat3::IDENTITY,
+    };
 
     /// Build a rotation of `angle` radians about the (not necessarily unit)
     /// `axis`, using Rodrigues' rotation formula.
@@ -193,12 +197,16 @@ impl Rotation {
     /// Compose rotations: the returned rotation applies `other` first, then
     /// `self`.
     pub fn compose(&self, other: &Rotation) -> Rotation {
-        Rotation { matrix: self.matrix.mul_mat(&other.matrix) }
+        Rotation {
+            matrix: self.matrix.mul_mat(&other.matrix),
+        }
     }
 
     /// The inverse rotation (transpose, since the matrix is orthonormal).
     pub fn inverse(&self) -> Rotation {
-        Rotation { matrix: self.matrix.transpose() }
+        Rotation {
+            matrix: self.matrix.transpose(),
+        }
     }
 
     /// Check orthonormality and determinant +1 within `tol`.
@@ -331,6 +339,9 @@ mod tests {
         let m = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 10.0]);
         assert_eq!(m.mul_mat(&Mat3::IDENTITY), m);
         assert_eq!(Mat3::IDENTITY.mul_mat(&m), m);
-        assert_eq!(Mat3::IDENTITY.mul_vec(Vec3::new(1.0, 2.0, 3.0)), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(
+            Mat3::IDENTITY.mul_vec(Vec3::new(1.0, 2.0, 3.0)),
+            Vec3::new(1.0, 2.0, 3.0)
+        );
     }
 }

@@ -133,7 +133,10 @@ impl AminoAcid {
     /// Index in `[0, 20)`, stable across runs; used by the knowledge-based
     /// scoring tables.
     pub fn index(self) -> usize {
-        AminoAcid::ALL.iter().position(|&aa| aa == self).expect("amino acid in ALL")
+        AminoAcid::ALL
+            .iter()
+            .position(|&aa| aa == self)
+            .expect("amino acid in ALL")
     }
 
     /// Build from an index in `[0, 20)`.

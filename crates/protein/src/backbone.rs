@@ -124,6 +124,16 @@ pub struct LoopStructure {
 }
 
 impl LoopStructure {
+    /// An empty structure whose residue buffer has capacity for `n_residues`
+    /// residues; intended as the reusable target of
+    /// [`LoopBuilder::build_into`] so steady-state rebuilds never allocate.
+    pub fn with_capacity(n_residues: usize) -> Self {
+        LoopStructure {
+            residues: Vec::with_capacity(n_residues),
+            end_frame: AnchorFrame::new(Vec3::ZERO, Vec3::ZERO, Vec3::ZERO),
+        }
+    }
+
     /// Number of loop residues.
     pub fn n_residues(&self) -> usize {
         self.residues.len()
@@ -193,15 +203,40 @@ impl LoopBuilder {
     ///
     /// # Panics
     /// Panics if `torsions.n_residues() != sequence.len()`.
-    pub fn build(&self, frame: &LoopFrame, sequence: &[AminoAcid], torsions: &Torsions) -> LoopStructure {
+    pub fn build(
+        &self,
+        frame: &LoopFrame,
+        sequence: &[AminoAcid],
+        torsions: &Torsions,
+    ) -> LoopStructure {
+        let mut out = LoopStructure::with_capacity(sequence.len());
+        self.build_into(frame, sequence, torsions, &mut out);
+        out
+    }
+
+    /// Rebuild a loop structure *in place*: identical to [`LoopBuilder::build`]
+    /// but writing into a caller-owned [`LoopStructure`], reusing its residue
+    /// buffer.  After the first call on a given buffer, rebuilding performs no
+    /// heap allocation — this is the primitive the zero-allocation scoring
+    /// pipeline and the CCD inner loop are built on.
+    ///
+    /// # Panics
+    /// Panics if `torsions.n_residues() != sequence.len()`.
+    pub fn build_into(
+        &self,
+        frame: &LoopFrame,
+        sequence: &[AminoAcid],
+        torsions: &Torsions,
+        out: &mut LoopStructure,
+    ) {
         assert_eq!(
             torsions.n_residues(),
             sequence.len(),
             "torsion vector and sequence must have the same number of residues"
         );
         let g = &self.geometry;
-        let n_res = sequence.len();
-        let mut residues = Vec::with_capacity(n_res);
+        let residues = &mut out.residues;
+        residues.clear();
 
         let mut prev_n = frame.n_anchor.n;
         let mut prev_ca = frame.n_anchor.ca;
@@ -221,12 +256,17 @@ impl LoopBuilder {
             let centroid = if aa.is_glycine() {
                 None
             } else {
-                let cb_dir =
-                    place_atom(n, c, ca, 1.0, g.ang_c_ca_cb, g.dih_n_c_ca_cb) - ca;
+                let cb_dir = place_atom(n, c, ca, 1.0, g.ang_c_ca_cb, g.dih_n_c_ca_cb) - ca;
                 Some(ca + cb_dir.normalized() * aa.centroid_distance())
             };
 
-            residues.push(ResidueAtoms { n, ca, c, o, centroid });
+            residues.push(ResidueAtoms {
+                n,
+                ca,
+                c,
+                o,
+                centroid,
+            });
 
             prev_n = n;
             prev_ca = ca;
@@ -238,12 +278,16 @@ impl LoopBuilder {
         // from omega, C' from the (fixed) phi of the anchor residue.
         let end_n = place_atom(prev_n, prev_ca, prev_c, g.len_c_n, g.ang_ca_c_n, prev_psi);
         let end_ca = place_atom(prev_ca, prev_c, end_n, g.len_n_ca, g.ang_c_n_ca, g.omega);
-        let end_c = place_atom(prev_c, end_n, end_ca, g.len_ca_c, g.ang_n_ca_c, frame.c_anchor_phi);
+        let end_c = place_atom(
+            prev_c,
+            end_n,
+            end_ca,
+            g.len_ca_c,
+            g.ang_n_ca_c,
+            frame.c_anchor_phi,
+        );
 
-        LoopStructure {
-            residues,
-            end_frame: AnchorFrame::new(end_n, end_ca, end_c),
-        }
+        out.end_frame = AnchorFrame::new(end_n, end_ca, end_c);
     }
 
     /// Measure the `(φ, ψ)` torsions realised by a built structure.  Used in
@@ -252,7 +296,11 @@ impl LoopBuilder {
         let n_res = structure.n_residues();
         let mut t = Torsions::zeros(n_res);
         for i in 0..n_res {
-            let prev_c = if i == 0 { frame.n_anchor.c } else { structure.residues[i - 1].c };
+            let prev_c = if i == 0 {
+                frame.n_anchor.c
+            } else {
+                structure.residues[i - 1].c
+            };
             let r = &structure.residues[i];
             let next_n = if i + 1 < n_res {
                 structure.residues[i + 1].n
@@ -302,7 +350,9 @@ mod tests {
     use lms_geometry::{bond_angle, rad_to_deg, wrap_rad};
 
     fn test_sequence(n: usize) -> Vec<AminoAcid> {
-        (0..n).map(|i| AminoAcid::from_index((i * 7 + 3) % 20)).collect()
+        (0..n)
+            .map(|i| AminoAcid::from_index((i * 7 + 3) % 20))
+            .collect()
     }
 
     fn test_frame() -> LoopFrame {
@@ -349,12 +399,21 @@ mod tests {
         let seq = test_sequence(6);
         let s = builder.build(&test_frame(), &seq, &alpha_torsions(6));
         for (i, r) in s.residues.iter().enumerate() {
-            assert!((r.n.distance(r.ca) - g.len_n_ca).abs() < 1e-9, "N-CA at {i}");
-            assert!((r.ca.distance(r.c) - g.len_ca_c).abs() < 1e-9, "CA-C at {i}");
+            assert!(
+                (r.n.distance(r.ca) - g.len_n_ca).abs() < 1e-9,
+                "N-CA at {i}"
+            );
+            assert!(
+                (r.ca.distance(r.c) - g.len_ca_c).abs() < 1e-9,
+                "CA-C at {i}"
+            );
             assert!((r.c.distance(r.o) - g.len_c_o).abs() < 1e-9, "C-O at {i}");
             if i > 0 {
                 let prev = &s.residues[i - 1];
-                assert!((prev.c.distance(r.n) - g.len_c_n).abs() < 1e-9, "C-N at {i}");
+                assert!(
+                    (prev.c.distance(r.n) - g.len_c_n).abs() < 1e-9,
+                    "C-N at {i}"
+                );
             }
         }
         // Peptide bond to the moving end frame.
@@ -399,11 +458,22 @@ mod tests {
         let frame = test_frame();
         let s = builder.build(&frame, &seq, &torsions);
         let measured = builder.measure_torsions(&frame, &s);
+        #[allow(clippy::needless_range_loop)] // indexes measured, torsions and pairs together
         for i in 0..10 {
             let dphi = wrap_rad(measured.phi(i) - torsions.phi(i)).abs();
             let dpsi = wrap_rad(measured.psi(i) - torsions.psi(i)).abs();
-            assert!(dphi < 1e-8, "phi {i}: {} vs {}", rad_to_deg(measured.phi(i)), pairs[i].0);
-            assert!(dpsi < 1e-8, "psi {i}: {} vs {}", rad_to_deg(measured.psi(i)), pairs[i].1);
+            assert!(
+                dphi < 1e-8,
+                "phi {i}: {} vs {}",
+                rad_to_deg(measured.phi(i)),
+                pairs[i].0
+            );
+            assert!(
+                dpsi < 1e-8,
+                "psi {i}: {} vs {}",
+                rad_to_deg(measured.psi(i)),
+                pairs[i].1
+            );
         }
     }
 
@@ -501,7 +571,11 @@ mod tests {
     #[test]
     fn anchor_frame_rms_distance() {
         let a = AnchorFrame::new(Vec3::ZERO, Vec3::X, Vec3::Y);
-        let b = AnchorFrame::new(Vec3::new(1.0, 0.0, 0.0), Vec3::X + Vec3::new(1.0, 0.0, 0.0), Vec3::Y + Vec3::new(1.0, 0.0, 0.0));
+        let b = AnchorFrame::new(
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::X + Vec3::new(1.0, 0.0, 0.0),
+            Vec3::Y + Vec3::new(1.0, 0.0, 0.0),
+        );
         assert!((a.rms_distance(&b) - 1.0).abs() < 1e-12);
         assert_eq!(a.rms_distance(&a), 0.0);
     }

@@ -79,7 +79,12 @@ pub fn standard_specs() -> Vec<TargetSpec> {
         ("1tml", 243, false),
     ];
     for (name, start, buried) in twelve {
-        specs.push(TargetSpec { name, start, len: 12, buried });
+        specs.push(TargetSpec {
+            name,
+            start,
+            len: 12,
+            buried,
+        });
     }
 
     // Eleven-residue loops (17) — includes 3pte(91:101) and 5pti(7:17).
@@ -103,7 +108,12 @@ pub fn standard_specs() -> Vec<TargetSpec> {
         ("1pbe", 130),
     ];
     for (name, start) in eleven {
-        specs.push(TargetSpec { name, start, len: 11, buried: false });
+        specs.push(TargetSpec {
+            name,
+            start,
+            len: 11,
+            buried: false,
+        });
     }
 
     // Ten-residue loops (27).
@@ -137,7 +147,12 @@ pub fn standard_specs() -> Vec<TargetSpec> {
         ("1w66", 36),
     ];
     for (name, start) in ten {
-        specs.push(TargetSpec { name, start, len: 10, buried: false });
+        specs.push(TargetSpec {
+            name,
+            start,
+            len: 10,
+            buried: false,
+        });
     }
 
     debug_assert_eq!(specs.len(), 53);
@@ -205,6 +220,7 @@ impl BenchmarkLibrary {
         );
     }
 
+    #[allow(clippy::needless_range_loop)] // parallel index into sequence and torsions
     fn try_generate(
         &self,
         spec: &TargetSpec,
@@ -280,7 +296,11 @@ impl BenchmarkLibrary {
         }
 
         // Shell of pseudo-atoms approximating the rest of the protein.
-        let clearance = if spec.buried { BURIED_CLEARANCE } else { SURFACE_CLEARANCE };
+        let clearance = if spec.buried {
+            BURIED_CLEARANCE
+        } else {
+            SURFACE_CLEARANCE
+        };
         let shell_per_residue = if spec.buried { 14 } else { 6 };
         let n_shell = shell_per_residue * spec.len;
         let mut placed = 0usize;
@@ -329,6 +349,7 @@ impl BenchmarkLibrary {
             native_torsions,
             native_structure,
             buried: spec.buried,
+            env_cache: Default::default(),
         })
     }
 
@@ -522,7 +543,10 @@ mod tests {
     fn unknown_target_name_returns_none() {
         let lib = BenchmarkLibrary::standard();
         assert!(lib.target_by_name("9zzz").is_none());
-        assert!(lib.target_by_name("1CEX").is_some(), "name lookup is case-insensitive");
+        assert!(
+            lib.target_by_name("1CEX").is_some(),
+            "name lookup is case-insensitive"
+        );
     }
 
     #[test]

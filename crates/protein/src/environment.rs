@@ -25,12 +25,20 @@ pub struct EnvAtom {
 impl EnvAtom {
     /// A backbone heavy atom with the given radius.
     pub fn backbone(position: Vec3, radius: f64) -> Self {
-        EnvAtom { position, radius, is_centroid: false }
+        EnvAtom {
+            position,
+            radius,
+            is_centroid: false,
+        }
     }
 
     /// A side-chain centroid pseudo-atom with the given radius.
     pub fn centroid(position: Vec3, radius: f64) -> Self {
-        EnvAtom { position, radius, is_centroid: true }
+        EnvAtom {
+            position,
+            radius,
+            is_centroid: true,
+        }
     }
 }
 
@@ -85,6 +93,63 @@ impl SpatialGrid {
 pub struct Environment {
     atoms: Vec<EnvAtom>,
     grid: SpatialGrid,
+}
+
+/// A precomputed, flat structure-of-arrays snapshot of the environment atoms
+/// that can ever interact with a loop region.
+///
+/// Scoring functions walk these parallel arrays linearly instead of querying
+/// the spatial grid per loop atom per evaluation: the inner contact loop
+/// becomes branch-light, auto-vectorizable, and — because the candidate set
+/// is computed once per target — entirely allocation-free at evaluation
+/// time.  The set is a conservative superset (every atom within the caller's
+/// reach radius), so kernels that skip non-overlapping pairs produce results
+/// identical to an exact neighbour query.
+#[derive(Debug, Clone, Default)]
+pub struct EnvCandidates {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
+    radii: Vec<f64>,
+    centroid: Vec<bool>,
+}
+
+impl EnvCandidates {
+    /// Number of candidate atoms.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether no environment atom is in reach of the loop region.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Candidate x coordinates.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Candidate y coordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Candidate z coordinates.
+    pub fn zs(&self) -> &[f64] {
+        &self.zs
+    }
+
+    /// Candidate soft-sphere radii.
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// Per-candidate centroid flags (`true` = side-chain centroid
+    /// pseudo-atom, `false` = backbone heavy atom).
+    pub fn centroid_flags(&self) -> &[bool] {
+        &self.centroid
+    }
 }
 
 /// Default grid cell size (Å).  Chosen near the typical clash cutoff so a
@@ -145,6 +210,25 @@ impl Environment {
         let mut n = 0;
         self.for_each_within(p, radius, |_| n += 1);
         n
+    }
+
+    /// Collect a flat SoA candidate set of every atom whose centre lies
+    /// within `radius` of `center`.  Computed once per loop target (the
+    /// caller passes a conservative reach bound) and then scanned linearly
+    /// by the scoring kernels.
+    pub fn candidates_within(&self, center: Vec3, radius: f64) -> EnvCandidates {
+        let mut out = EnvCandidates::default();
+        let r2 = radius * radius;
+        for a in &self.atoms {
+            if a.position.distance_sq(center) <= r2 {
+                out.xs.push(a.position.x);
+                out.ys.push(a.position.y);
+                out.zs.push(a.position.z);
+                out.radii.push(a.radius);
+                out.centroid.push(a.is_centroid);
+            }
+        }
+        out
     }
 
     /// Minimum distance from `p` to any environment atom centre, or `None`

@@ -38,8 +38,8 @@ pub use backbone::{
     ResidueAtoms,
 };
 pub use benchmark::{standard_specs, BenchmarkLibrary, TargetSpec};
-pub use environment::{EnvAtom, Environment};
-pub use loop_def::LoopTarget;
+pub use environment::{EnvAtom, EnvCandidates, Environment};
+pub use loop_def::{LoopTarget, ENV_CONTACT_MARGIN};
 pub use pdb::{parse_pdb_atoms, to_pdb, PdbAtom};
 pub use ramachandran::{RamaBasin, RamaLibrary, RamaModel};
-pub use torsions::{Torsions, TorsionKind};
+pub use torsions::{TorsionKind, Torsions};

@@ -8,11 +8,10 @@
 
 use crate::amino::AminoAcid;
 use crate::backbone::{LoopBuilder, LoopFrame, LoopStructure};
-use crate::environment::Environment;
+use crate::environment::{EnvCandidates, Environment};
 use crate::torsions::Torsions;
-use lms_geometry::rmsd_direct;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A loop-modeling target: the problem definition plus its (known) native
 /// answer.
@@ -38,12 +37,53 @@ pub struct LoopTarget {
     /// Whether the loop is deeply buried in the protein (the paper's
     /// hardest case, 1xyz 813:824).
     pub buried: bool,
+    /// Lazily computed environment-neighbour cache: the fixed-environment
+    /// atoms reachable from this loop region, in SoA layout.  Shared across
+    /// clones (worker threads score the same target) and initialised at most
+    /// once per target; use [`LoopTarget::env_candidates`] to access it.
+    ///
+    /// **Staleness warning:** the cache is keyed to the `environment` and
+    /// `frame` values present at first use and is never invalidated.  If you
+    /// mutate those fields after scoring once — or build a variant target
+    /// with struct-update syntax (`LoopTarget { environment: …, ..other }`),
+    /// which copies the `Arc` and therefore the warmed cache — reset this
+    /// field to `Default::default()` or scoring will silently use the old
+    /// candidate set.
+    pub env_cache: Arc<OnceLock<EnvCandidates>>,
 }
+
+/// Safety margin (Å) added to the loop reach bound when collecting
+/// environment candidates; must be at least as large as the biggest contact
+/// cutoff any scoring function uses (the VDW soft-sphere query uses 7 Å —
+/// it asserts against this constant).
+pub const ENV_CONTACT_MARGIN: f64 = 8.0;
 
 impl LoopTarget {
     /// Number of residues in the loop.
     pub fn n_residues(&self) -> usize {
         self.sequence.len()
+    }
+
+    /// A conservative upper bound (Å) on the distance from the N-anchor Cα
+    /// to any atom of any conformation of this loop.  Each residue advances
+    /// the chain by at most the sum of the three backbone bond lengths
+    /// (≈ 4.32 Å with ideal geometry); the bound adds slack for the anchor
+    /// offset, the carbonyl oxygen and the largest side-chain centroid.
+    pub fn reach_radius(&self) -> f64 {
+        4.4 * (self.n_residues() as f64 + 2.0) + 6.0
+    }
+
+    /// The fixed-environment atoms that can ever be within contact range of
+    /// this loop, as a flat SoA candidate set.  Computed on first use (once
+    /// per target, shared across clones) so per-evaluation scoring performs
+    /// no spatial-grid queries and no allocation.
+    pub fn env_candidates(&self) -> &EnvCandidates {
+        self.env_cache.get_or_init(|| {
+            self.environment.candidates_within(
+                self.frame.n_anchor.ca,
+                self.reach_radius() + ENV_CONTACT_MARGIN,
+            )
+        })
     }
 
     /// Display label in the paper's `name(start:end)` convention.
@@ -53,16 +93,41 @@ impl LoopTarget {
 
     /// Backbone RMSD (no superposition — anchors fix the frame) between a
     /// candidate structure and the native loop, over N, Cα, C', O atoms.
+    ///
+    /// Iterates the residue buffers directly (same atom order and summation
+    /// order as `rmsd_direct` over `backbone_atoms()`, hence bit-identical)
+    /// without materialising the atom vectors, so the sampler's hot loop can
+    /// measure RMSD allocation-free.
     pub fn rmsd_to_native(&self, structure: &LoopStructure) -> f64 {
-        rmsd_direct(
-            &self.native_structure.backbone_atoms(),
-            &structure.backbone_atoms(),
-        )
+        let native = &self.native_structure.residues;
+        let cand = &structure.residues;
+        assert_eq!(
+            native.len(),
+            cand.len(),
+            "RMSD over mismatched residue counts"
+        );
+        if native.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (a, b) in native.iter().zip(cand.iter()) {
+            sum += a.n.distance_sq(b.n);
+            sum += a.ca.distance_sq(b.ca);
+            sum += a.c.distance_sq(b.c);
+            sum += a.o.distance_sq(b.o);
+        }
+        (sum / (4 * native.len()) as f64).sqrt()
     }
 
     /// Build a structure for this target from a torsion vector.
     pub fn build(&self, builder: &LoopBuilder, torsions: &Torsions) -> LoopStructure {
         builder.build(&self.frame, &self.sequence, torsions)
+    }
+
+    /// Rebuild a structure for this target *in place* (no allocation after
+    /// the first call on a given buffer); see [`LoopBuilder::build_into`].
+    pub fn build_into(&self, builder: &LoopBuilder, torsions: &Torsions, out: &mut LoopStructure) {
+        builder.build_into(&self.frame, &self.sequence, torsions, out);
     }
 
     /// Closure deviation (Å) of a candidate structure for this target.
@@ -92,7 +157,12 @@ mod tests {
 
     fn tiny_target() -> LoopTarget {
         let builder = LoopBuilder::default();
-        let sequence = vec![AminoAcid::Ala, AminoAcid::Gly, AminoAcid::Leu, AminoAcid::Ser];
+        let sequence = vec![
+            AminoAcid::Ala,
+            AminoAcid::Gly,
+            AminoAcid::Leu,
+            AminoAcid::Ser,
+        ];
         let native_torsions = Torsions::from_pairs(&[
             (deg_to_rad(-63.0), deg_to_rad(-43.0)),
             (deg_to_rad(-120.0), deg_to_rad(135.0)),
@@ -112,7 +182,10 @@ mod tests {
             c_anchor_phi: deg_to_rad(-70.0),
         };
         let provisional = builder.build(&frame, &sequence, &native_torsions);
-        let frame = LoopFrame { c_anchor: provisional.end_frame, ..frame };
+        let frame = LoopFrame {
+            c_anchor: provisional.end_frame,
+            ..frame
+        };
         let native_structure = builder.build(&frame, &sequence, &native_torsions);
         LoopTarget {
             name: "test".to_string(),
@@ -124,6 +197,7 @@ mod tests {
             native_torsions,
             native_structure,
             buried: false,
+            env_cache: Default::default(),
         }
     }
 

@@ -13,7 +13,12 @@ use std::fmt::Write as _;
 ///
 /// * `chain` — chain identifier character.
 /// * `first_res` — residue number assigned to the first loop residue.
-pub fn to_pdb(structure: &LoopStructure, sequence: &[AminoAcid], chain: char, first_res: usize) -> String {
+pub fn to_pdb(
+    structure: &LoopStructure,
+    sequence: &[AminoAcid],
+    chain: char,
+    first_res: usize,
+) -> String {
     assert_eq!(
         structure.n_residues(),
         sequence.len(),
@@ -24,12 +29,7 @@ pub fn to_pdb(structure: &LoopStructure, sequence: &[AminoAcid], chain: char, fi
     for (i, (res, aa)) in structure.residues.iter().zip(sequence.iter()).enumerate() {
         let resnum = first_res + i;
         let atoms: Vec<(&str, Vec3)> = {
-            let mut v = vec![
-                ("N", res.n),
-                ("CA", res.ca),
-                ("C", res.c),
-                ("O", res.o),
-            ];
+            let mut v = vec![("N", res.n), ("CA", res.ca), ("C", res.c), ("O", res.o)];
             if let Some(cen) = res.centroid {
                 v.push(("CB", cen));
             }
@@ -97,7 +97,12 @@ pub fn parse_pdb_atoms(text: &str) -> Result<Vec<PdbAtom>, String> {
         let x = parse_f(&line[30..38], "x coordinate")?;
         let y = parse_f(&line[38..46], "y coordinate")?;
         let z = parse_f(&line[46..54], "z coordinate")?;
-        atoms.push(PdbAtom { name, residue, res_seq, position: Vec3::new(x, y, z) });
+        atoms.push(PdbAtom {
+            name,
+            residue,
+            res_seq,
+            position: Vec3::new(x, y, z),
+        });
     }
     Ok(atoms)
 }
@@ -138,7 +143,10 @@ mod tests {
         // 4 backbone atoms per residue + CB for non-Gly (2 of 3 residues).
         assert_eq!(atoms.len(), 3 * 4 + 2);
         // First residue's CA matches (to PDB's 3-decimal precision).
-        let ca = atoms.iter().find(|a| a.name == "CA" && a.res_seq == 40).unwrap();
+        let ca = atoms
+            .iter()
+            .find(|a| a.name == "CA" && a.res_seq == 40)
+            .unwrap();
         assert!(ca.position.max_abs_diff(s.residues[0].ca) < 1e-3);
         assert_eq!(ca.residue, "ALA");
         // Glycine residue has no CB record.
@@ -167,7 +175,8 @@ mod tests {
         let truncated = "ATOM      1 N    ALA A  40       1.000\n";
         assert!(parse_pdb_atoms(truncated).is_err());
 
-        let bad_number = "ATOM      1 N    ALA A  4x       1.000   2.000   3.000  1.00  0.00           N\n";
+        let bad_number =
+            "ATOM      1 N    ALA A  4x       1.000   2.000   3.000  1.00  0.00           N\n";
         assert!(parse_pdb_atoms(bad_number).is_err());
     }
 

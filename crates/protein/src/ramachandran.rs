@@ -50,8 +50,7 @@ impl RamaBasin {
     fn density(&self, phi: f64, psi: f64) -> f64 {
         let dphi = wrap_rad(phi - self.phi_mean) / self.phi_sigma;
         let dpsi = wrap_rad(psi - self.psi_mean) / self.psi_sigma;
-        self.weight * (-0.5 * (dphi * dphi + dpsi * dpsi)).exp()
-            / (self.phi_sigma * self.psi_sigma)
+        self.weight * (-0.5 * (dphi * dphi + dpsi * dpsi)).exp() / (self.phi_sigma * self.psi_sigma)
     }
 }
 
@@ -91,7 +90,11 @@ impl RamaModel {
             ],
         };
         let total_weight = basins.iter().map(|b| b.weight).sum();
-        RamaModel { class, basins, total_weight }
+        RamaModel {
+            class,
+            basins,
+            total_weight,
+        }
     }
 
     /// The residue class this model describes.
@@ -187,8 +190,14 @@ mod tests {
         let alpha = model.density(deg_to_rad(-63.0), deg_to_rad(-43.0));
         let beta = model.density(deg_to_rad(-120.0), deg_to_rad(135.0));
         let forbidden = model.density(deg_to_rad(60.0), deg_to_rad(-120.0));
-        assert!(alpha > forbidden * 50.0, "alpha {alpha} vs forbidden {forbidden}");
-        assert!(beta > forbidden * 10.0, "beta {beta} vs forbidden {forbidden}");
+        assert!(
+            alpha > forbidden * 50.0,
+            "alpha {alpha} vs forbidden {forbidden}"
+        );
+        assert!(
+            beta > forbidden * 10.0,
+            "beta {beta} vs forbidden {forbidden}"
+        );
     }
 
     #[test]
@@ -232,7 +241,10 @@ mod tests {
                 pos_gen += 1;
             }
         }
-        assert!(pos_gen < positive, "general {pos_gen} >= glycine {positive}");
+        assert!(
+            pos_gen < positive,
+            "general {pos_gen} >= glycine {positive}"
+        );
     }
 
     #[test]

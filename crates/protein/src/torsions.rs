@@ -19,7 +19,9 @@ pub struct Torsions {
 impl Torsions {
     /// Create a torsion vector of `n_residues` residues, all angles zero.
     pub fn zeros(n_residues: usize) -> Self {
-        Torsions { values: vec![0.0; 2 * n_residues] }
+        Torsions {
+            values: vec![0.0; 2 * n_residues],
+        }
     }
 
     /// Create from a flat `(φ1, ψ1, …, φn, ψn)` vector.
@@ -27,7 +29,10 @@ impl Torsions {
     /// # Panics
     /// Panics if the length is odd.
     pub fn from_flat(values: Vec<f64>) -> Self {
-        assert!(values.len() % 2 == 0, "torsion vector length must be even");
+        assert!(
+            values.len().is_multiple_of(2),
+            "torsion vector length must be even"
+        );
         Torsions { values }
     }
 
@@ -100,7 +105,11 @@ impl Torsions {
     pub fn describe_angle(flat_index: usize) -> (usize, TorsionKind) {
         (
             flat_index / 2,
-            if flat_index % 2 == 0 { TorsionKind::Phi } else { TorsionKind::Psi },
+            if flat_index.is_multiple_of(2) {
+                TorsionKind::Phi
+            } else {
+                TorsionKind::Psi
+            },
         )
     }
 
@@ -108,6 +117,16 @@ impl Torsions {
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Copy another torsion vector into this one, reusing the existing
+    /// buffer (no allocation when the capacity suffices, which is always
+    /// the case for equal-length vectors).  The derived `Clone` cannot make
+    /// that guarantee, so the zero-allocation sampler paths use this.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Torsions) {
+        self.values.clear();
+        self.values.extend_from_slice(&other.values);
     }
 
     /// `(φ, ψ)` of residue `i`.

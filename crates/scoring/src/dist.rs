@@ -9,9 +9,15 @@
 
 use crate::library::{BackboneAtomKind, KnowledgeBase, SeparationClass, DIST_MAX};
 use crate::traits::ScoringFunction;
-use lms_geometry::Vec3;
+use crate::workspace::ScoreScratch;
 use lms_protein::{LoopStructure, LoopTarget, Torsions};
 use std::sync::Arc;
+
+/// Upper bound (Å) on the distance from any backbone heavy atom to its own
+/// residue's Cα under ideal covalent geometry.  N sits 1.458 Å away, C'
+/// 1.525 Å, and O at most 2.41 Å (law of cosines over Cα–C'=O); 2.45 Å
+/// bounds all three with margin.
+const MAX_ATOM_CA_OFFSET: f64 = 2.45;
 
 /// Atom pair-wise distance-based statistical potential.
 #[derive(Debug, Clone)]
@@ -25,36 +31,63 @@ impl DistScore {
         DistScore { kb }
     }
 
-    /// Score a built structure directly (without needing the target).
-    pub fn score_structure(&self, structure: &LoopStructure) -> f64 {
-        let per_res: Vec<[(BackboneAtomKind, Vec3); 4]> = structure
-            .residues
-            .iter()
-            .map(|r| {
-                [
-                    (BackboneAtomKind::N, r.n),
-                    (BackboneAtomKind::Ca, r.ca),
-                    (BackboneAtomKind::C, r.c),
-                    (BackboneAtomKind::O, r.o),
-                ]
-            })
-            .collect();
-        let n = per_res.len();
+    /// Score a built structure directly, staging atom coordinates in the
+    /// caller's scratch SoA buffers (no allocation after warm-up).
+    pub fn score_structure_with(
+        &self,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        // Stage the backbone atoms as flat split-coordinate arrays: atom
+        // `4*i + k` is residue i's (N, Cα, C', O)[k].
+        scratch.atom_x.clear();
+        scratch.atom_y.clear();
+        scratch.atom_z.clear();
+        for r in &structure.residues {
+            for p in r.backbone() {
+                scratch.atom_x.push(p.x);
+                scratch.atom_y.push(p.y);
+                scratch.atom_z.push(p.z);
+            }
+        }
+        let (xs, ys, zs) = (&scratch.atom_x, &scratch.atom_y, &scratch.atom_z);
+        let n = structure.residues.len();
         let mut total = 0.0;
         let mut pairs = 0usize;
         for i in 0..n {
             for j in (i + 1)..n {
-                let Some(sep) = SeparationClass::from_separation(j - i) else { continue };
-                for &(ka, pa) in &per_res[i] {
-                    for &(kb_kind, pb) in &per_res[j] {
-                        let d = pa.distance(pb);
+                let Some(sep) = SeparationClass::from_separation(j - i) else {
+                    continue;
+                };
+                // Cheap bounding check: every atom lies within
+                // MAX_ATOM_CA_OFFSET of its residue's Cα, so when the Cα–Cα
+                // distance exceeds DIST_MAX by twice that offset, all 16
+                // atom pairs are ≥ DIST_MAX and would be skipped anyway.
+                let (ca_i, ca_j) = (4 * i + 1, 4 * j + 1);
+                let dx = xs[ca_i] - xs[ca_j];
+                let dy = ys[ca_i] - ys[ca_j];
+                let dz = zs[ca_i] - zs[ca_j];
+                let bound = DIST_MAX + 2.0 * MAX_ATOM_CA_OFFSET;
+                if dx * dx + dy * dy + dz * dz >= bound * bound {
+                    continue;
+                }
+                for a in (4 * i)..(4 * i + 4) {
+                    let ka = BackboneAtomKind::ALL[a % 4];
+                    for b in (4 * j)..(4 * j + 4) {
+                        let dx = xs[a] - xs[b];
+                        let dy = ys[a] - ys[b];
+                        let dz = zs[a] - zs[b];
+                        let d = (dx * dx + dy * dy + dz * dz).sqrt();
                         // Pairs beyond the table range carry no statistical
                         // signal and are skipped, matching how the table was
                         // built.
                         if d >= DIST_MAX {
                             continue;
                         }
-                        total += self.kb.dist.energy(ka, kb_kind, sep, d);
+                        total += self
+                            .kb
+                            .dist
+                            .energy(ka, BackboneAtomKind::ALL[b % 4], sep, d);
                         pairs += 1;
                     }
                 }
@@ -66,6 +99,13 @@ impl DistScore {
             total / pairs as f64
         }
     }
+
+    /// Score a built structure directly (without needing the target);
+    /// allocating wrapper over [`DistScore::score_structure_with`].
+    pub fn score_structure(&self, structure: &LoopStructure) -> f64 {
+        let mut scratch = ScoreScratch::new();
+        self.score_structure_with(structure, &mut scratch)
+    }
 }
 
 impl ScoringFunction for DistScore {
@@ -73,8 +113,14 @@ impl ScoringFunction for DistScore {
         "DIST"
     }
 
-    fn score(&self, _target: &LoopTarget, structure: &LoopStructure, _torsions: &Torsions) -> f64 {
-        self.score_structure(structure)
+    fn score_with(
+        &self,
+        _target: &LoopTarget,
+        structure: &LoopStructure,
+        _torsions: &Torsions,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        self.score_structure_with(structure, scratch)
     }
 }
 
@@ -128,7 +174,10 @@ mod tests {
         let lib = BenchmarkLibrary::standard();
         let t1 = lib.target_by_name("1cex").unwrap();
         let builder = LoopBuilder::default();
-        let torsions = Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); t1.n_residues()]);
+        let torsions = Torsions::from_pairs(&vec![
+            (deg_to_rad(-63.0), deg_to_rad(-43.0));
+            t1.n_residues()
+        ]);
         let s1 = t1.build(&builder, &torsions);
         let a = s.score_structure(&s1);
         let b = s.score_structure(&s1);
@@ -138,7 +187,10 @@ mod tests {
         assert_eq!(t2.n_residues(), t1.n_residues());
         let s2 = t2.build(&builder, &torsions);
         let c = s.score_structure(&s2);
-        assert!((a - c).abs() < 1e-9, "same torsions, different frame: {a} vs {c}");
+        assert!(
+            (a - c).abs() < 1e-9,
+            "same torsions, different frame: {a} vs {c}"
+        );
     }
 
     #[test]

@@ -6,6 +6,33 @@
 //! two knowledge-based potentials are derived from, a combined
 //! [`MultiScorer`], and score-normalisation utilities.
 //!
+//! ## The workspace API and the allocation-free invariant
+//!
+//! Scoring runs once per conformation per iteration — millions of times per
+//! trajectory — so the hot path must not touch the allocator.  Every scoring
+//! function therefore has two entry points:
+//!
+//! * [`ScoringFunction::score_with`] (and [`MultiScorer::evaluate_with`]):
+//!   the primary, zero-allocation path.  The caller owns a [`ScoreScratch`]
+//!   whose structure-of-arrays buffers (split x/y/z coordinates, radii,
+//!   atom kinds, residue classes) are `clear()`ed and refilled per
+//!   evaluation.  After one warm-up call per loop length, **no
+//!   `score_with`/`evaluate_with` call allocates** — this invariant is
+//!   enforced by a counting-allocator test in `lms-core`
+//!   (`tests/zero_alloc.rs`) and by the equivalence property tests in this
+//!   crate (`tests/workspace_equivalence.rs`).
+//! * [`ScoringFunction::score`] (and [`MultiScorer::evaluate`]): thin
+//!   wrappers that allocate a throwaway scratch and delegate to the
+//!   workspace path.  Because both paths run the identical kernel, they
+//!   return **bit-identical** values.
+//!
+//! The environment half of the VDW kernel additionally relies on the
+//! per-target environment-neighbour cache
+//! (`LoopTarget::env_candidates`): the fixed-environment atoms reachable
+//! from the loop region are collected once per target into a flat SoA
+//! candidate set, so per-evaluation scoring performs a branch-light linear
+//! scan instead of spatial-hash queries.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -30,6 +57,7 @@ pub mod normalize;
 pub mod traits;
 pub mod triplet;
 pub mod vdw;
+pub mod workspace;
 
 pub use dist::DistScore;
 pub use library::{
@@ -41,3 +69,4 @@ pub use normalize::{normalize_population, ScoreRange};
 pub use traits::{Objective, ScoreVector, ScoringFunction, NUM_OBJECTIVES};
 pub use triplet::TripletScore;
 pub use vdw::{ContactWeights, VdwRadii, VdwScore};
+pub use workspace::ScoreScratch;

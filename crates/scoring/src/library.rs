@@ -140,7 +140,14 @@ impl TripletTable {
 
     /// Look up the energy for a residue with classes `(prev, center, next)`
     /// and torsions `(φ, ψ)`.
-    pub fn energy(&self, prev: RamaClass, center: RamaClass, next: RamaClass, phi: f64, psi: f64) -> f64 {
+    pub fn energy(
+        &self,
+        prev: RamaClass,
+        center: RamaClass,
+        next: RamaClass,
+        phi: f64,
+        psi: f64,
+    ) -> f64 {
         let ctx = Self::context_index(prev, center, next);
         self.energies[Self::flat_index(ctx, torsion_bin(phi), torsion_bin(psi))]
     }
@@ -171,13 +178,24 @@ pub struct DistTable {
 }
 
 impl DistTable {
-    fn flat_index(a: BackboneAtomKind, b: BackboneAtomKind, sep: SeparationClass, bin: usize) -> usize {
+    fn flat_index(
+        a: BackboneAtomKind,
+        b: BackboneAtomKind,
+        sep: SeparationClass,
+        bin: usize,
+    ) -> usize {
         ((a.index() * 4 + b.index()) * SeparationClass::COUNT + sep.index()) * DIST_BINS + bin
     }
 
     /// Look up the energy of a pair of atoms of the given kinds at residue
     /// separation `sep` and distance `d` (Å).
-    pub fn energy(&self, a: BackboneAtomKind, b: BackboneAtomKind, sep: SeparationClass, d: f64) -> f64 {
+    pub fn energy(
+        &self,
+        a: BackboneAtomKind,
+        b: BackboneAtomKind,
+        sep: SeparationClass,
+        d: f64,
+    ) -> f64 {
         // The table is symmetrised at build time, so (a, b) and (b, a) agree.
         self.energies[Self::flat_index(a, b, sep, distance_bin(d))]
     }
@@ -254,7 +272,11 @@ impl KnowledgeBase {
         let rama = RamaLibrary::default();
         let triplet = build_triplet_table(&rama, &config);
         let dist = build_dist_table(&rama, &config);
-        Arc::new(KnowledgeBase { triplet, dist, config })
+        Arc::new(KnowledgeBase {
+            triplet,
+            dist,
+            config,
+        })
     }
 
     /// Build with default (full-size) parameters.
@@ -352,6 +374,7 @@ fn build_dist_table(rama: &RamaLibrary, config: &KnowledgeBaseConfig) -> DistTab
             .map(|_| AminoAcid::from_index(rng.gen_range(0..20)))
             .collect();
         let mut torsions = Torsions::zeros(config.dist_fragment_len);
+        #[allow(clippy::needless_range_loop)] // parallel index into sequence and torsions
         for i in 0..config.dist_fragment_len {
             let (phi, psi) = rama.model(sequence[i].rama_class()).sample(&mut rng);
             torsions.set_phi(i, phi);
@@ -372,7 +395,9 @@ fn build_dist_table(rama: &RamaLibrary, config: &KnowledgeBaseConfig) -> DistTab
             .collect();
         for i in 0..per_res.len() {
             for j in (i + 1)..per_res.len() {
-                let Some(sep) = SeparationClass::from_separation(j - i) else { continue };
+                let Some(sep) = SeparationClass::from_separation(j - i) else {
+                    continue;
+                };
                 for &(ka, pa) in &per_res[i] {
                     for &(kb, pb) in &per_res[j] {
                         let d = pa.distance(pb);
@@ -397,7 +422,11 @@ fn build_dist_table(rama: &RamaLibrary, config: &KnowledgeBaseConfig) -> DistTab
     let p_ref = 1.0 / DIST_BINS as f64;
     for a in BackboneAtomKind::ALL {
         for b in BackboneAtomKind::ALL {
-            for sep in [SeparationClass::Near, SeparationClass::Medium, SeparationClass::Far] {
+            for sep in [
+                SeparationClass::Near,
+                SeparationClass::Medium,
+                SeparationClass::Far,
+            ] {
                 let pair_total: f64 = (0..DIST_BINS)
                     .map(|bin| counts[DistTable::flat_index(a, b, sep, bin)])
                     .sum();
@@ -417,16 +446,23 @@ mod tests {
     use lms_geometry::deg_to_rad;
 
     fn fast_kb() -> Arc<KnowledgeBase> {
-        KnowledgeBase::build(KnowledgeBaseConfig { seed: 11, ..KnowledgeBaseConfig::fast() })
+        KnowledgeBase::build(KnowledgeBaseConfig {
+            seed: 11,
+            ..KnowledgeBaseConfig::fast()
+        })
     }
 
     #[test]
     fn torsion_bins_cover_the_circle() {
         assert_eq!(torsion_bin(-PI + 1e-6), 0);
-        assert_eq!(torsion_bin(PI), 0, "+pi wraps to the first bin (same as -pi)");
+        assert_eq!(
+            torsion_bin(PI),
+            0,
+            "+pi wraps to the first bin (same as -pi)"
+        );
         assert_eq!(torsion_bin(0.0), TRIPLET_BINS / 2);
         // Every bin is hit.
-        let mut seen = vec![false; TRIPLET_BINS];
+        let mut seen = [false; TRIPLET_BINS];
         for i in 0..720 {
             let a = -PI + (i as f64 + 0.5) / 720.0 * 2.0 * PI;
             seen[torsion_bin(a)] = true;
@@ -446,10 +482,22 @@ mod tests {
     fn separation_classes() {
         assert_eq!(SeparationClass::from_separation(0), None);
         assert_eq!(SeparationClass::from_separation(1), None);
-        assert_eq!(SeparationClass::from_separation(2), Some(SeparationClass::Near));
-        assert_eq!(SeparationClass::from_separation(3), Some(SeparationClass::Medium));
-        assert_eq!(SeparationClass::from_separation(4), Some(SeparationClass::Medium));
-        assert_eq!(SeparationClass::from_separation(9), Some(SeparationClass::Far));
+        assert_eq!(
+            SeparationClass::from_separation(2),
+            Some(SeparationClass::Near)
+        );
+        assert_eq!(
+            SeparationClass::from_separation(3),
+            Some(SeparationClass::Medium)
+        );
+        assert_eq!(
+            SeparationClass::from_separation(4),
+            Some(SeparationClass::Medium)
+        );
+        assert_eq!(
+            SeparationClass::from_separation(9),
+            Some(SeparationClass::Far)
+        );
     }
 
     #[test]
@@ -514,15 +562,26 @@ mod tests {
             deg_to_rad(-63.0),
             deg_to_rad(-43.0),
         );
-        assert!(before_pro > plain, "pre-proline context should raise the alpha energy");
+        assert!(
+            before_pro > plain,
+            "pre-proline context should raise the alpha energy"
+        );
     }
 
     #[test]
     fn dist_table_penalises_clashing_distances() {
         let kb = fast_kb();
-        for sep in [SeparationClass::Near, SeparationClass::Medium, SeparationClass::Far] {
-            let clash = kb.dist.energy(BackboneAtomKind::Ca, BackboneAtomKind::Ca, sep, 1.2);
-            let typical = kb.dist.energy(BackboneAtomKind::Ca, BackboneAtomKind::Ca, sep, 6.0);
+        for sep in [
+            SeparationClass::Near,
+            SeparationClass::Medium,
+            SeparationClass::Far,
+        ] {
+            let clash = kb
+                .dist
+                .energy(BackboneAtomKind::Ca, BackboneAtomKind::Ca, sep, 1.2);
+            let typical = kb
+                .dist
+                .energy(BackboneAtomKind::Ca, BackboneAtomKind::Ca, sep, 6.0);
             assert!(
                 clash > typical,
                 "sep {sep:?}: clash energy {clash} should exceed typical {typical}"
@@ -535,8 +594,12 @@ mod tests {
         let kb = fast_kb();
         for sep in [SeparationClass::Near, SeparationClass::Far] {
             for d in [3.0, 5.5, 8.0] {
-                let ab = kb.dist.energy(BackboneAtomKind::N, BackboneAtomKind::O, sep, d);
-                let ba = kb.dist.energy(BackboneAtomKind::O, BackboneAtomKind::N, sep, d);
+                let ab = kb
+                    .dist
+                    .energy(BackboneAtomKind::N, BackboneAtomKind::O, sep, d);
+                let ba = kb
+                    .dist
+                    .energy(BackboneAtomKind::O, BackboneAtomKind::N, sep, d);
                 assert!((ab - ba).abs() < 1e-12);
             }
         }

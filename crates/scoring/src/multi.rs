@@ -5,6 +5,7 @@ use crate::library::KnowledgeBase;
 use crate::traits::{ScoreVector, ScoringFunction};
 use crate::triplet::TripletScore;
 use crate::vdw::VdwScore;
+use crate::workspace::ScoreScratch;
 use lms_protein::{LoopStructure, LoopTarget, Torsions};
 use std::sync::Arc;
 
@@ -38,16 +39,34 @@ impl MultiScorer {
     }
 
     /// Evaluate all three scoring functions on a built conformation.
+    /// Allocating wrapper over [`MultiScorer::evaluate_with`].
     pub fn evaluate(
         &self,
         target: &LoopTarget,
         structure: &LoopStructure,
         torsions: &Torsions,
     ) -> ScoreVector {
+        let mut scratch = ScoreScratch::new();
+        self.evaluate_with(target, structure, torsions, &mut scratch)
+    }
+
+    /// Evaluate all three scoring functions using caller-owned scratch
+    /// buffers: the zero-allocation path the sampler's evolution kernel
+    /// runs once per conformation per iteration.  Returns exactly the same
+    /// vector as [`MultiScorer::evaluate`].
+    pub fn evaluate_with(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        torsions: &Torsions,
+        scratch: &mut ScoreScratch,
+    ) -> ScoreVector {
         ScoreVector {
-            vdw: self.vdw.score(target, structure, torsions),
-            dist: self.dist.score(target, structure, torsions),
-            triplet: self.triplet.score(target, structure, torsions),
+            vdw: self.vdw.score_with(target, structure, torsions, scratch),
+            dist: self.dist.score_with(target, structure, torsions, scratch),
+            triplet: self
+                .triplet
+                .score_with(target, structure, torsions, scratch),
         }
     }
 
@@ -80,9 +99,18 @@ mod tests {
         assert_eq!(comps[0].name(), "VDW");
         assert_eq!(comps[1].name(), "DIST");
         assert_eq!(comps[2].name(), "TRIPLET");
-        assert_eq!(v.vdw, comps[0].score(&target, &native, &target.native_torsions));
-        assert_eq!(v.dist, comps[1].score(&target, &native, &target.native_torsions));
-        assert_eq!(v.triplet, comps[2].score(&target, &native, &target.native_torsions));
+        assert_eq!(
+            v.vdw,
+            comps[0].score(&target, &native, &target.native_torsions)
+        );
+        assert_eq!(
+            v.dist,
+            comps[1].score(&target, &native, &target.native_torsions)
+        );
+        assert_eq!(
+            v.triplet,
+            comps[2].score(&target, &native, &target.native_torsions)
+        );
         assert!(v.is_finite());
     }
 

@@ -39,7 +39,11 @@ impl ScoreRange {
         let mut out = [0.0; NUM_OBJECTIVES];
         for i in 0..NUM_OBJECTIVES {
             let span = self.max[i] - self.min[i];
-            out[i] = if span > 1e-12 { (a[i] - self.min[i]) / span } else { 0.0 };
+            out[i] = if span > 1e-12 {
+                (a[i] - self.min[i]) / span
+            } else {
+                0.0
+            };
         }
         ScoreVector::from_array(out)
     }
@@ -101,7 +105,10 @@ mod tests {
 
     #[test]
     fn degenerate_objective_maps_to_zero() {
-        let scores = vec![ScoreVector::new(2.0, 5.0, 1.0), ScoreVector::new(2.0, 6.0, 3.0)];
+        let scores = vec![
+            ScoreVector::new(2.0, 5.0, 1.0),
+            ScoreVector::new(2.0, 6.0, 3.0),
+        ];
         let normed = normalize_population(&scores);
         assert_eq!(normed[0].vdw, 0.0);
         assert_eq!(normed[1].vdw, 0.0);
@@ -110,7 +117,10 @@ mod tests {
 
     #[test]
     fn range_and_span() {
-        let scores = vec![ScoreVector::new(1.0, 2.0, 3.0), ScoreVector::new(4.0, 2.0, 0.0)];
+        let scores = vec![
+            ScoreVector::new(1.0, 2.0, 3.0),
+            ScoreVector::new(4.0, 2.0, 0.0),
+        ];
         let r = ScoreRange::of(&scores).unwrap();
         assert_eq!(r.span(Objective::Vdw), 3.0);
         assert_eq!(r.span(Objective::Dist), 0.0);

@@ -1,5 +1,6 @@
 //! Scoring-function abstractions shared by the three objectives.
 
+use crate::workspace::ScoreScratch;
 use lms_protein::{LoopStructure, LoopTarget, Torsions};
 use std::fmt;
 
@@ -11,12 +12,35 @@ pub const NUM_OBJECTIVES: usize = 3;
 /// Implementations must be cheap to evaluate (they run once per
 /// conformation per iteration, i.e. millions of times per trajectory) and
 /// thread-safe, because the executor evaluates the population in parallel.
+///
+/// The primary entry point is [`ScoringFunction::score_with`], which stages
+/// intermediate data in a caller-owned [`ScoreScratch`] and performs no heap
+/// allocation after warm-up.  [`ScoringFunction::score`] is a convenience
+/// wrapper that allocates a throwaway scratch; both paths run the identical
+/// kernel and therefore return bit-identical values.
 pub trait ScoringFunction: Send + Sync {
     /// Short identifier used in reports (`"VDW"`, `"DIST"`, `"TRIPLET"`).
     fn name(&self) -> &'static str;
 
-    /// Score a conformation; lower is better.
-    fn score(&self, target: &LoopTarget, structure: &LoopStructure, torsions: &Torsions) -> f64;
+    /// Score a conformation; lower is better.  Thin allocating wrapper over
+    /// [`ScoringFunction::score_with`], kept for call sites that evaluate
+    /// rarely and don't want to manage a workspace.
+    fn score(&self, target: &LoopTarget, structure: &LoopStructure, torsions: &Torsions) -> f64 {
+        let mut scratch = ScoreScratch::new();
+        self.score_with(target, structure, torsions, &mut scratch)
+    }
+
+    /// Score a conformation using caller-owned scratch buffers; lower is
+    /// better.  Must not allocate once `scratch` has warmed up on this loop
+    /// length, and must return exactly the same value as
+    /// [`ScoringFunction::score`].
+    fn score_with(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        torsions: &Torsions,
+        scratch: &mut ScoreScratch,
+    ) -> f64;
 }
 
 /// The vector of the three objective values for one conformation, in the
@@ -44,7 +68,11 @@ impl ScoreVector {
 
     /// Build from an array in (VDW, DIST, TRIPLET) order.
     pub fn from_array(a: [f64; NUM_OBJECTIVES]) -> Self {
-        ScoreVector { vdw: a[0], dist: a[1], triplet: a[2] }
+        ScoreVector {
+            vdw: a[0],
+            dist: a[1],
+            triplet: a[2],
+        }
     }
 
     /// Pareto dominance: `self` dominates `other` iff it is no worse in
@@ -94,7 +122,8 @@ pub enum Objective {
 
 impl Objective {
     /// All objectives in canonical (VDW, DIST, TRIPLET) order.
-    pub const ALL: [Objective; NUM_OBJECTIVES] = [Objective::Vdw, Objective::Dist, Objective::Triplet];
+    pub const ALL: [Objective; NUM_OBJECTIVES] =
+        [Objective::Vdw, Objective::Dist, Objective::Triplet];
 
     /// Extract this objective's value from a score vector.
     pub fn value(&self, s: &ScoreVector) -> f64 {

@@ -13,6 +13,7 @@
 
 use crate::library::KnowledgeBase;
 use crate::traits::ScoringFunction;
+use crate::workspace::ScoreScratch;
 use lms_protein::{LoopStructure, LoopTarget, RamaClass, Torsions};
 use std::sync::Arc;
 
@@ -38,9 +39,20 @@ impl TripletScore {
         for i in 0..n {
             // Terminal residues take the loop anchor (general class) as
             // their missing neighbour.
-            let prev = if i == 0 { RamaClass::General } else { classes[i - 1] };
-            let next = if i + 1 == n { RamaClass::General } else { classes[i + 1] };
-            total += self.kb.triplet.energy(prev, classes[i], next, torsions.phi(i), torsions.psi(i));
+            let prev = if i == 0 {
+                RamaClass::General
+            } else {
+                classes[i - 1]
+            };
+            let next = if i + 1 == n {
+                RamaClass::General
+            } else {
+                classes[i + 1]
+            };
+            total +=
+                self.kb
+                    .triplet
+                    .energy(prev, classes[i], next, torsions.phi(i), torsions.psi(i));
         }
         total / n as f64
     }
@@ -51,9 +63,20 @@ impl ScoringFunction for TripletScore {
         "TRIPLET"
     }
 
-    fn score(&self, target: &LoopTarget, _structure: &LoopStructure, torsions: &Torsions) -> f64 {
-        let classes: Vec<RamaClass> = target.sequence.iter().map(|aa| aa.rama_class()).collect();
-        self.score_torsions(&classes, torsions)
+    fn score_with(
+        &self,
+        target: &LoopTarget,
+        _structure: &LoopStructure,
+        torsions: &Torsions,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        // Stage the residue classes in the reusable scratch buffer instead
+        // of collecting a fresh Vec per evaluation.
+        scratch.classes.clear();
+        scratch
+            .classes
+            .extend(target.sequence.iter().map(|aa| aa.rama_class()));
+        self.score_torsions(&scratch.classes, torsions)
     }
 }
 
@@ -77,8 +100,8 @@ mod tests {
     fn alpha_torsions_beat_disallowed_torsions() {
         let s = scorer();
         let classes = vec![RamaClass::General; 8];
-        let good = Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); 8]);
-        let bad = Torsions::from_pairs(&vec![(deg_to_rad(75.0), deg_to_rad(-100.0)); 8]);
+        let good = Torsions::from_pairs(&[(deg_to_rad(-63.0), deg_to_rad(-43.0)); 8]);
+        let bad = Torsions::from_pairs(&[(deg_to_rad(75.0), deg_to_rad(-100.0)); 8]);
         assert!(s.score_torsions(&classes, &good) < s.score_torsions(&classes, &bad) - 1.0);
     }
 
@@ -96,7 +119,12 @@ mod tests {
         let n = target.n_residues();
         let uniform = Torsions::from_pairs(
             &(0..n)
-                .map(|i| (deg_to_rad(160.0 - 40.0 * i as f64), deg_to_rad(-170.0 + 37.0 * i as f64)))
+                .map(|i| {
+                    (
+                        deg_to_rad(160.0 - 40.0 * i as f64),
+                        deg_to_rad(-170.0 + 37.0 * i as f64),
+                    )
+                })
                 .collect::<Vec<_>>(),
         );
         let uniform_struct = target.build(&builder, &uniform);
@@ -114,7 +142,7 @@ mod tests {
         // the scores on a comparable scale.
         let short = vec![RamaClass::General; 4];
         let long = vec![RamaClass::General; 16];
-        let t_short = Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); 4]);
+        let t_short = Torsions::from_pairs(&[(deg_to_rad(-63.0), deg_to_rad(-43.0)); 4]);
         let t_long = Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); 16]);
         let a = s.score_torsions(&short, &t_short);
         let b = s.score_torsions(&long, &t_long);
@@ -132,6 +160,9 @@ mod tests {
             (deg_to_rad(80.0), deg_to_rad(10.0)),
             (deg_to_rad(-65.0), deg_to_rad(150.0)),
         ]);
-        assert_eq!(s.score_torsions(&classes, &t), s.score_torsions(&classes, &t));
+        assert_eq!(
+            s.score_torsions(&classes, &t),
+            s.score_torsions(&classes, &t)
+        );
     }
 }

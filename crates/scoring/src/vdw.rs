@@ -16,8 +16,8 @@
 //!   within a cutoff, using the environment's spatial grid.
 
 use crate::traits::ScoringFunction;
-use lms_protein::{Environment, LoopStructure, LoopTarget, Torsions};
-use lms_geometry::Vec3;
+use crate::workspace::ScoreScratch;
+use lms_protein::{EnvCandidates, LoopStructure, LoopTarget, Torsions};
 
 /// Soft-sphere radii (Å) of the backbone heavy atoms.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,7 +37,13 @@ pub struct VdwRadii {
 
 impl Default for VdwRadii {
     fn default() -> Self {
-        VdwRadii { n: 1.55, ca: 1.70, c: 1.70, o: 1.40, softness: 0.90 }
+        VdwRadii {
+            n: 1.55,
+            ca: 1.70,
+            c: 1.70,
+            o: 1.40,
+            softness: 0.90,
+        }
     }
 }
 
@@ -54,7 +60,11 @@ pub struct ContactWeights {
 
 impl Default for ContactWeights {
     fn default() -> Self {
-        ContactWeights { atom_atom: 1.0, atom_centroid: 0.5, centroid_centroid: 0.25 }
+        ContactWeights {
+            atom_atom: 1.0,
+            atom_centroid: 0.5,
+            centroid_centroid: 0.25,
+        }
     }
 }
 
@@ -79,12 +89,23 @@ impl VdwScore {
     pub fn new(radii: VdwRadii, weights: ContactWeights) -> Self {
         // Largest centroid radius is ~3.2 A (Trp); largest backbone radius
         // 1.7 A; 3.2 + 3.2 = 6.4 A bounds every radius sum.
-        VdwScore { radii, weights, cutoff: 7.0 }
+        VdwScore {
+            radii,
+            weights,
+            cutoff: 7.0,
+        }
     }
 
     /// The radii in use.
     pub fn radii(&self) -> &VdwRadii {
         &self.radii
+    }
+
+    /// The neighbour-query cutoff (Å).  The environment candidate cache is
+    /// built with a reach margin at least this large, so the linear SoA
+    /// scan sees every atom a grid query within `cutoff` would see.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
     }
 
     fn overlap_penalty(&self, d: f64, sigma: f64) -> f64 {
@@ -97,67 +118,130 @@ impl VdwScore {
         }
     }
 
-    /// Collect the loop's interaction sites: backbone atoms with their
-    /// radii and residue index, plus centroid pseudo-atoms.
-    fn loop_sites(&self, target: &LoopTarget, structure: &LoopStructure) -> Vec<(Vec3, f64, usize, bool)> {
+    /// Stage the loop's interaction sites into the scratch SoA buffers:
+    /// backbone atoms with their radii and residue index, plus centroid
+    /// pseudo-atoms.  `clear` + `push` only — no allocation after warm-up.
+    fn fill_sites(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) {
         let r = &self.radii;
-        let mut sites = Vec::with_capacity(structure.n_residues() * 5);
+        scratch.clear();
         for (i, res) in structure.residues.iter().enumerate() {
-            sites.push((res.n, r.n, i, false));
-            sites.push((res.ca, r.ca, i, false));
-            sites.push((res.c, r.c, i, false));
-            sites.push((res.o, r.o, i, false));
+            for (p, radius) in [(res.n, r.n), (res.ca, r.ca), (res.c, r.c), (res.o, r.o)] {
+                scratch.site_x.push(p.x);
+                scratch.site_y.push(p.y);
+                scratch.site_z.push(p.z);
+                scratch.site_r.push(radius);
+                scratch.site_res.push(i as u32);
+                scratch.site_centroid.push(false);
+            }
             if let Some(c) = res.centroid {
-                sites.push((c, target.sequence[i].centroid_radius(), i, true));
+                scratch.site_x.push(c.x);
+                scratch.site_y.push(c.y);
+                scratch.site_z.push(c.z);
+                scratch.site_r.push(target.sequence[i].centroid_radius());
+                scratch.site_res.push(i as u32);
+                scratch.site_centroid.push(true);
             }
         }
-        sites
     }
 
-    /// Intra-loop clash contribution.
-    fn intra_loop(&self, sites: &[(Vec3, f64, usize, bool)]) -> f64 {
+    #[inline(always)]
+    fn contact_weight(&self, a_centroid: bool, b_centroid: bool) -> f64 {
+        match (a_centroid, b_centroid) {
+            (false, false) => self.weights.atom_atom,
+            (true, true) => self.weights.centroid_centroid,
+            _ => self.weights.atom_centroid,
+        }
+    }
+
+    /// Intra-loop clash contribution over the staged SoA sites.
+    fn intra_loop(&self, s: &ScoreScratch) -> f64 {
+        let n = s.site_x.len();
         let mut total = 0.0;
-        for (a_idx, &(pa, ra, ia, ca)) in sites.iter().enumerate() {
-            for &(pb, rb, ib, cb) in &sites[(a_idx + 1)..] {
+        for a in 0..n {
+            let (xa, ya, za) = (s.site_x[a], s.site_y[a], s.site_z[a]);
+            let (ra, ia, ca) = (s.site_r[a], s.site_res[a], s.site_centroid[a]);
+            for b in (a + 1)..n {
                 // Residues closer than 2 apart in sequence are covalently
                 // coupled; their short contacts are not clashes.
-                if ib.abs_diff(ia) < 2 {
+                if s.site_res[b].abs_diff(ia) < 2 {
                     continue;
                 }
-                let w = match (ca, cb) {
-                    (false, false) => self.weights.atom_atom,
-                    (true, true) => self.weights.centroid_centroid,
-                    _ => self.weights.atom_centroid,
-                };
-                total += w * self.overlap_penalty(pa.distance(pb), ra + rb);
+                let dx = xa - s.site_x[b];
+                let dy = ya - s.site_y[b];
+                let dz = za - s.site_z[b];
+                let d2 = dx * dx + dy * dy + dz * dz;
+                let sigma = (ra + s.site_r[b]) * self.radii.softness;
+                // Squared-distance early-out: pairs at or beyond the softened
+                // radius sum contribute exactly 0, so skipping them before
+                // the sqrt leaves the score bit-identical.
+                if d2 >= sigma * sigma || sigma <= 0.0 {
+                    continue;
+                }
+                total += self.contact_weight(ca, s.site_centroid[b])
+                    * self.overlap_penalty(d2.sqrt(), ra + s.site_r[b]);
             }
         }
         total
     }
 
-    /// Loop-to-environment clash contribution.
-    fn against_environment(&self, sites: &[(Vec3, f64, usize, bool)], env: &Environment) -> f64 {
+    /// Loop-to-environment clash contribution: a linear scan of the target's
+    /// precomputed SoA candidate set instead of a spatial-grid query per
+    /// site.  Candidates beyond overlap range contribute exactly 0, so the
+    /// conservative candidate superset changes nothing but speed.
+    fn against_environment(&self, s: &ScoreScratch, env: &EnvCandidates) -> f64 {
+        let (ex, ey, ez) = (env.xs(), env.ys(), env.zs());
+        let (er, ec) = (env.radii(), env.centroid_flags());
         let mut total = 0.0;
-        for &(p, r, _i, is_centroid) in sites {
-            env.for_each_within(p, self.cutoff, |atom| {
-                let w = match (is_centroid, atom.is_centroid) {
-                    (false, false) => self.weights.atom_atom,
-                    (true, true) => self.weights.centroid_centroid,
-                    _ => self.weights.atom_centroid,
-                };
-                total += w * self.overlap_penalty(p.distance(atom.position), r + atom.radius);
-            });
+        for a in 0..s.site_x.len() {
+            let (xa, ya, za) = (s.site_x[a], s.site_y[a], s.site_z[a]);
+            let (ra, ca) = (s.site_r[a], s.site_centroid[a]);
+            for b in 0..ex.len() {
+                let dx = xa - ex[b];
+                let dy = ya - ey[b];
+                let dz = za - ez[b];
+                let d2 = dx * dx + dy * dy + dz * dz;
+                let sigma = (ra + er[b]) * self.radii.softness;
+                if d2 >= sigma * sigma || sigma <= 0.0 {
+                    continue;
+                }
+                total +=
+                    self.contact_weight(ca, ec[b]) * self.overlap_penalty(d2.sqrt(), ra + er[b]);
+            }
         }
         total
     }
 
     /// Score a structure in the context of a target (needed for the residue
-    /// types and the environment).
-    pub fn score_target(&self, target: &LoopTarget, structure: &LoopStructure) -> f64 {
-        let sites = self.loop_sites(target, structure);
-        let intra = self.intra_loop(&sites);
-        let inter = self.against_environment(&sites, &target.environment);
+    /// types and the environment), staging data in `scratch`.
+    pub fn score_target_with(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        // The candidate cache must cover everything a grid query within
+        // `cutoff` would see; the reach margin guarantees that coupling.
+        debug_assert!(
+            self.cutoff <= lms_protein::ENV_CONTACT_MARGIN,
+            "VDW cutoff {} exceeds the environment candidate margin {}",
+            self.cutoff,
+            lms_protein::ENV_CONTACT_MARGIN
+        );
+        self.fill_sites(target, structure, scratch);
+        let intra = self.intra_loop(scratch);
+        let inter = self.against_environment(scratch, target.env_candidates());
         (intra + inter) / structure.n_residues() as f64
+    }
+
+    /// Allocating convenience wrapper over [`VdwScore::score_target_with`].
+    pub fn score_target(&self, target: &LoopTarget, structure: &LoopStructure) -> f64 {
+        let mut scratch = ScoreScratch::new();
+        self.score_target_with(target, structure, &mut scratch)
     }
 }
 
@@ -166,8 +250,14 @@ impl ScoringFunction for VdwScore {
         "VDW"
     }
 
-    fn score(&self, target: &LoopTarget, structure: &LoopStructure, _torsions: &Torsions) -> f64 {
-        self.score_target(target, structure)
+    fn score_with(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        _torsions: &Torsions,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        self.score_target_with(target, structure, scratch)
     }
 }
 
@@ -229,11 +319,16 @@ mod tests {
         let buried = lib.target_by_name("1xyz").unwrap();
         let surface = lib.target_by_name("1cex").unwrap();
         let builder = LoopBuilder::default();
-        let torsions = |n: usize| {
-            Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); n])
-        };
-        let b = s.score_target(&buried, &buried.build(&builder, &torsions(buried.n_residues())));
-        let srf = s.score_target(&surface, &surface.build(&builder, &torsions(surface.n_residues())));
+        let torsions =
+            |n: usize| Torsions::from_pairs(&vec![(deg_to_rad(-63.0), deg_to_rad(-43.0)); n]);
+        let b = s.score_target(
+            &buried,
+            &buried.build(&builder, &torsions(buried.n_residues())),
+        );
+        let srf = s.score_target(
+            &surface,
+            &surface.build(&builder, &torsions(surface.n_residues())),
+        );
         assert!(b > srf, "buried {b} should exceed surface {srf}");
     }
 
@@ -262,10 +357,17 @@ mod tests {
         let base = VdwScore::default().score_target(&target, &clashing);
         let doubled = VdwScore::new(
             VdwRadii::default(),
-            ContactWeights { atom_atom: 2.0, atom_centroid: 1.0, centroid_centroid: 0.5 },
+            ContactWeights {
+                atom_atom: 2.0,
+                atom_centroid: 1.0,
+                centroid_centroid: 0.5,
+            },
         )
         .score_target(&target, &clashing);
-        assert!((doubled - 2.0 * base).abs() < 1e-9, "doubling weights doubles the score");
+        assert!(
+            (doubled - 2.0 * base).abs() < 1e-9,
+            "doubling weights doubles the score"
+        );
     }
 
     #[test]
@@ -276,12 +378,18 @@ mod tests {
         let clash_t = Torsions::zeros(target.n_residues());
         let clashing = target.build(&builder, &clash_t);
         let soft = VdwScore::new(
-            VdwRadii { softness: 0.8, ..VdwRadii::default() },
+            VdwRadii {
+                softness: 0.8,
+                ..VdwRadii::default()
+            },
             ContactWeights::default(),
         )
         .score_target(&target, &clashing);
         let hard = VdwScore::new(
-            VdwRadii { softness: 1.0, ..VdwRadii::default() },
+            VdwRadii {
+                softness: 1.0,
+                ..VdwRadii::default()
+            },
             ContactWeights::default(),
         )
         .score_target(&target, &clashing);

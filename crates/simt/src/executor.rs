@@ -79,7 +79,10 @@ impl Executor {
             }
             Executor::Parallel { threads } => {
                 if *threads == 0 {
-                    items.par_iter_mut().enumerate().for_each(|(i, item)| f(i, item));
+                    items
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(i, item)| f(i, item));
                 } else {
                     // A scoped pool with an explicit size; building one per
                     // call is cheap relative to kernel work and keeps the
@@ -89,7 +92,10 @@ impl Executor {
                         .build()
                         .expect("failed to build rayon pool");
                     pool.install(|| {
-                        items.par_iter_mut().enumerate().for_each(|(i, item)| f(i, item));
+                        items
+                            .par_iter_mut()
+                            .enumerate()
+                            .for_each(|(i, item)| f(i, item));
                     });
                 }
             }

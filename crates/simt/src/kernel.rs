@@ -123,7 +123,10 @@ impl LaunchConfig {
     /// that every conformation gets a thread.
     pub fn with_block_size(population: usize, threads_per_block: usize) -> LaunchConfig {
         let tpb = threads_per_block.max(1);
-        LaunchConfig { blocks: population.div_ceil(tpb), threads_per_block: tpb }
+        LaunchConfig {
+            blocks: population.div_ceil(tpb),
+            threads_per_block: tpb,
+        }
     }
 
     /// Total threads launched (may exceed the population in the last block).
@@ -133,7 +136,12 @@ impl LaunchConfig {
 
     /// The occupancy this launch achieves for a given kernel on a device.
     pub fn occupancy(&self, spec: &DeviceSpec, kernel: KernelKind) -> Occupancy {
-        occupancy(spec, kernel.registers_per_thread(), self.threads_per_block, 0)
+        occupancy(
+            spec,
+            kernel.registers_per_thread(),
+            self.threads_per_block,
+            0,
+        )
     }
 }
 
@@ -155,9 +163,15 @@ mod tests {
     fn kernel_names_match_paper_labels() {
         assert_eq!(KernelKind::Ccd.name(), "[CCD]");
         assert_eq!(KernelKind::EvalDist.name(), "[EvalDIST]");
-        assert_eq!(KernelKind::FitAssgComplex.name(), "[FitAssg] within Complex");
+        assert_eq!(
+            KernelKind::FitAssgComplex.name(),
+            "[FitAssg] within Complex"
+        );
         // Exactly the six Table II kernel rows are flagged as such.
-        let in_table = KernelKind::ALL.iter().filter(|k| k.in_paper_table()).count();
+        let in_table = KernelKind::ALL
+            .iter()
+            .filter(|k| k.in_paper_table())
+            .count();
         assert_eq!(in_table, 6);
     }
 
@@ -187,7 +201,12 @@ mod tests {
 
     #[test]
     fn ccd_is_the_most_expensive_per_work_unit_scoring_kernel() {
-        assert!(KernelKind::Ccd.cycles_per_work_unit() > KernelKind::EvalDist.cycles_per_work_unit());
-        assert!(KernelKind::EvalDist.cycles_per_work_unit() > KernelKind::FitAssgPopulation.cycles_per_work_unit());
+        assert!(
+            KernelKind::Ccd.cycles_per_work_unit() > KernelKind::EvalDist.cycles_per_work_unit()
+        );
+        assert!(
+            KernelKind::EvalDist.cycles_per_work_unit()
+                > KernelKind::FitAssgPopulation.cycles_per_work_unit()
+        );
     }
 }

@@ -62,7 +62,10 @@ impl TransferKind {
 
     /// Whether the copy crosses the PCIe bus (host on one side).
     pub fn crosses_host_boundary(&self) -> bool {
-        matches!(self, TransferKind::HtoA | TransferKind::HtoD | TransferKind::DtoH)
+        matches!(
+            self,
+            TransferKind::HtoA | TransferKind::HtoD | TransferKind::DtoH
+        )
     }
 }
 
@@ -93,7 +96,11 @@ pub struct DataPlacement {
 impl DataPlacement {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, space: MemorySpace, bytes: usize) -> Self {
-        DataPlacement { name: name.into(), space, bytes }
+        DataPlacement {
+            name: name.into(),
+            space,
+            bytes,
+        }
     }
 }
 

@@ -62,11 +62,10 @@ pub fn occupancy(
     } else {
         spec.registers_per_sm / (registers_per_thread * threads_per_block)
     };
-    let smem_limit = if shared_mem_per_block == 0 {
-        usize::MAX
-    } else {
-        spec.shared_mem_per_sm / shared_mem_per_block
-    };
+    let smem_limit = spec
+        .shared_mem_per_sm
+        .checked_div(shared_mem_per_block)
+        .unwrap_or(usize::MAX);
     let slot_limit = spec.max_blocks_per_sm;
     let thread_limit = spec.max_threads_per_sm / threads_per_block;
 
@@ -85,7 +84,13 @@ pub fn occupancy(
     let warps_per_sm = threads_per_sm / spec.warp_size;
     let occupancy = warps_per_sm as f64 / spec.max_warps_per_sm() as f64;
 
-    Occupancy { blocks_per_sm, threads_per_sm, warps_per_sm, occupancy, limiter }
+    Occupancy {
+        blocks_per_sm,
+        threads_per_sm,
+        warps_per_sm,
+        occupancy,
+        limiter,
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +185,10 @@ mod tests {
         let mut last = 2.0;
         for regs in [4, 8, 16, 20, 24, 32, 48, 64, 96, 128] {
             let occ = occupancy(&spec, regs, 128, 0).occupancy;
-            assert!(occ <= last + 1e-12, "occupancy must not increase with more registers");
+            assert!(
+                occ <= last + 1e-12,
+                "occupancy must not increase with more registers"
+            );
             last = occ;
         }
     }

@@ -154,7 +154,12 @@ impl Profiler {
     pub fn table3_report(&self) -> String {
         let occ = self.occupancies();
         let mut out = String::new();
-        writeln!(out, "{:<32} {:>17} {:>11}", "Kernel", "Registers/thread", "Occupancy").unwrap();
+        writeln!(
+            out,
+            "{:<32} {:>17} {:>11}",
+            "Kernel", "Registers/thread", "Occupancy"
+        )
+        .unwrap();
         let mut rows: Vec<(KernelKind, Occupancy)> = occ.into_iter().collect();
         rows.sort_by_key(|(k, _)| std::cmp::Reverse(k.registers_per_thread()));
         for (kind, o) in rows {
@@ -209,7 +214,13 @@ mod tests {
         let occ = sample_occupancy(KernelKind::Ccd);
         p.record_kernel(KernelKind::Ccd, 100.0, 50.0, 1000.0, occ);
         p.record_kernel(KernelKind::Ccd, 200.0, 80.0, 2000.0, occ);
-        p.record_kernel(KernelKind::EvalDist, 30.0, 10.0, 500.0, sample_occupancy(KernelKind::EvalDist));
+        p.record_kernel(
+            KernelKind::EvalDist,
+            30.0,
+            10.0,
+            500.0,
+            sample_occupancy(KernelKind::EvalDist),
+        );
         let stats = p.kernel_stats();
         assert_eq!(stats[&KernelKind::Ccd].calls, 2);
         assert_eq!(stats[&KernelKind::Ccd].device_us, 300.0);
@@ -236,9 +247,27 @@ mod tests {
     fn table2_report_contains_rows_and_percentages() {
         let p = Profiler::new();
         let spec = DeviceSpec::gtx280();
-        p.record_kernel(KernelKind::Ccd, 750.0, 0.0, 1.0, sample_occupancy(KernelKind::Ccd));
-        p.record_kernel(KernelKind::EvalDist, 140.0, 0.0, 1.0, sample_occupancy(KernelKind::EvalDist));
-        p.record_kernel(KernelKind::EvalTrip, 1.0, 0.0, 1.0, sample_occupancy(KernelKind::EvalTrip));
+        p.record_kernel(
+            KernelKind::Ccd,
+            750.0,
+            0.0,
+            1.0,
+            sample_occupancy(KernelKind::Ccd),
+        );
+        p.record_kernel(
+            KernelKind::EvalDist,
+            140.0,
+            0.0,
+            1.0,
+            sample_occupancy(KernelKind::EvalDist),
+        );
+        p.record_kernel(
+            KernelKind::EvalTrip,
+            1.0,
+            0.0,
+            1.0,
+            sample_occupancy(KernelKind::EvalTrip),
+        );
         p.record_transfer(&spec, TransferKind::DtoH, 1024);
         let report = p.table2_report();
         assert!(report.contains("[CCD]"));
@@ -266,9 +295,15 @@ mod tests {
         }
         let report = p.table3_report();
         assert!(report.contains("[CCD]"));
-        assert!(report.contains("50%"), "register-bound kernels at 50%:\n{report}");
+        assert!(
+            report.contains("50%"),
+            "register-bound kernels at 50%:\n{report}"
+        );
         assert!(report.contains("75%"), "EvalTRIP at 75%:\n{report}");
-        assert!(report.contains("100%"), "fitness kernels at 100%:\n{report}");
+        assert!(
+            report.contains("100%"),
+            "fitness kernels at 100%:\n{report}"
+        );
     }
 
     #[test]

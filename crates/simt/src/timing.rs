@@ -39,7 +39,10 @@ pub struct TimingModel {
 
 impl Default for TimingModel {
     fn default() -> Self {
-        TimingModel { device: DeviceSpec::gtx280(), host: HostSpec::paper_cpu() }
+        TimingModel {
+            device: DeviceSpec::gtx280(),
+            host: HostSpec::paper_cpu(),
+        }
     }
 }
 
@@ -67,8 +70,12 @@ impl TimingModel {
         let waves = launch.blocks.div_ceil(resident_blocks).max(1);
 
         let cycles_per_thread = work_units_per_thread * kernel.cycles_per_work_unit();
-        let threads_per_sm_per_wave = (blocks_per_sm * launch.threads_per_block)
-            .min(launch.total_threads().div_ceil(self.device.sm_count).max(launch.threads_per_block));
+        let threads_per_sm_per_wave = (blocks_per_sm * launch.threads_per_block).min(
+            launch
+                .total_threads()
+                .div_ceil(self.device.sm_count)
+                .max(launch.threads_per_block),
+        );
         let efficiency = latency_hiding_efficiency(occ.occupancy);
         let wave_cycles = (threads_per_sm_per_wave as f64 * cycles_per_thread)
             / (self.device.cores_per_sm as f64 * efficiency);
@@ -78,7 +85,12 @@ impl TimingModel {
 
     /// Modeled single-core host time (µs) for the same total work: the CPU
     /// baseline processes every conformation sequentially.
-    pub fn cpu_time_us(&self, kernel: KernelKind, population: usize, work_units_per_thread: f64) -> f64 {
+    pub fn cpu_time_us(
+        &self,
+        kernel: KernelKind,
+        population: usize,
+        work_units_per_thread: f64,
+    ) -> f64 {
         let total_work = population as f64 * work_units_per_thread;
         // The host runs the same arithmetic; charge it the same cycle count
         // per work unit scaled by the host's superscalar throughput.
@@ -88,7 +100,13 @@ impl TimingModel {
 
     /// Modeled speedup of the device over the single-core host for one
     /// launch.
-    pub fn speedup(&self, kernel: KernelKind, launch: LaunchConfig, population: usize, work: f64) -> f64 {
+    pub fn speedup(
+        &self,
+        kernel: KernelKind,
+        launch: LaunchConfig,
+        population: usize,
+        work: f64,
+    ) -> f64 {
         self.cpu_time_us(kernel, population, work) / self.kernel_time_us(kernel, launch, work)
     }
 }
@@ -121,10 +139,16 @@ mod tests {
         let work = 2_000.0;
         let small = m.kernel_time_us(KernelKind::Ccd, LaunchConfig::for_population(512), work);
         let large = m.kernel_time_us(KernelKind::Ccd, LaunchConfig::for_population(7_680), work);
-        assert!(large < small * 2.0, "device should not scale linearly below saturation");
+        assert!(
+            large < small * 2.0,
+            "device should not scale linearly below saturation"
+        );
         let cpu_small = m.cpu_time_us(KernelKind::Ccd, 512, work);
         let cpu_large = m.cpu_time_us(KernelKind::Ccd, 7_680, work);
-        assert!((cpu_large / cpu_small - 15.0).abs() < 1e-9, "CPU scales linearly");
+        assert!(
+            (cpu_large / cpu_small - 15.0).abs() < 1e-9,
+            "CPU scales linearly"
+        );
     }
 
     #[test]
@@ -136,23 +160,45 @@ mod tests {
         let lc = LaunchConfig::for_population(15_360);
         for kernel in [KernelKind::Ccd, KernelKind::EvalDist, KernelKind::EvalVdw] {
             let s = m.speedup(kernel, lc, 15_360, 3_000.0);
-            assert!(s > 20.0 && s < 80.0, "{kernel:?} speedup {s} outside plausible band");
+            assert!(
+                s > 20.0 && s < 80.0,
+                "{kernel:?} speedup {s} outside plausible band"
+            );
         }
     }
 
     #[test]
     fn tiny_populations_underutilize_the_device() {
         let m = model();
-        let s_small = m.speedup(KernelKind::Ccd, LaunchConfig::for_population(256), 256, 3_000.0);
-        let s_large = m.speedup(KernelKind::Ccd, LaunchConfig::for_population(15_360), 15_360, 3_000.0);
-        assert!(s_small < s_large, "small populations must not reach full speedup");
+        let s_small = m.speedup(
+            KernelKind::Ccd,
+            LaunchConfig::for_population(256),
+            256,
+            3_000.0,
+        );
+        let s_large = m.speedup(
+            KernelKind::Ccd,
+            LaunchConfig::for_population(15_360),
+            15_360,
+            3_000.0,
+        );
+        assert!(
+            s_small < s_large,
+            "small populations must not reach full speedup"
+        );
     }
 
     #[test]
     fn zero_block_launch_costs_only_overhead() {
         let m = model();
-        let lc = LaunchConfig { blocks: 0, threads_per_block: 128 };
-        assert_eq!(m.kernel_time_us(KernelKind::Ccd, lc, 100.0), m.device.launch_overhead_us);
+        let lc = LaunchConfig {
+            blocks: 0,
+            threads_per_block: 128,
+        };
+        assert_eq!(
+            m.kernel_time_us(KernelKind::Ccd, lc, 100.0),
+            m.device.launch_overhead_us
+        );
     }
 
     #[test]
@@ -163,7 +209,8 @@ mod tests {
         let m = model();
         let lc = LaunchConfig::for_population(15_360);
         let work = 1_000.0;
-        let t_ccd = m.kernel_time_us(KernelKind::Ccd, lc, work) / KernelKind::Ccd.cycles_per_work_unit();
+        let t_ccd =
+            m.kernel_time_us(KernelKind::Ccd, lc, work) / KernelKind::Ccd.cycles_per_work_unit();
         let t_fit = m.kernel_time_us(KernelKind::FitAssgPopulation, lc, work)
             / KernelKind::FitAssgPopulation.cycles_per_work_unit();
         assert!(t_fit < t_ccd);

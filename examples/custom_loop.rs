@@ -5,10 +5,9 @@
 //! Run with: `cargo run --release --example custom_loop`
 
 use lms_core::{MoscemSampler, SamplerConfig};
-use lms_geometry::deg_to_rad;
 use lms_protein::{
-    parse_sequence, to_pdb, AnchorFrame, BenchmarkLibrary, Environment, LoopBuilder, LoopFrame,
-    LoopTarget, Torsions,
+    parse_sequence, to_pdb, BenchmarkLibrary, Environment, LoopBuilder, LoopFrame, LoopTarget,
+    Torsions,
 };
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
 use lms_simt::Executor;
@@ -18,9 +17,15 @@ fn main() {
     // In a real application the anchors and environment come from the host
     // protein's crystal structure; here we borrow plausible anchor geometry
     // from a benchmark target and define our own 10-residue loop sequence.
-    let donor = BenchmarkLibrary::standard().target_by_name("1ads").expect("1ads exists");
+    let donor = BenchmarkLibrary::standard()
+        .target_by_name("1ads")
+        .expect("1ads exists");
     let sequence = parse_sequence("GSTAKDLQVW").expect("valid one-letter codes");
-    assert_eq!(sequence.len(), donor.n_residues(), "keep the donor anchor spacing");
+    assert_eq!(
+        sequence.len(),
+        donor.n_residues(),
+        "keep the donor anchor spacing"
+    );
 
     // A reference conformation to measure RMSD against (for a genuinely new
     // loop this would be unknown; we reuse the donor's native torsions so
@@ -40,6 +45,7 @@ fn main() {
         native_torsions: reference_torsions,
         native_structure: reference_structure,
         buried: false,
+        env_cache: Default::default(),
     };
     println!("custom target: {target}");
     println!(
@@ -78,7 +84,10 @@ fn main() {
         let path = "results/custom_loop_best.pdb";
         std::fs::create_dir_all("results").ok();
         std::fs::write(path, pdb).expect("write PDB");
-        println!("wrote {path} (closure deviation {:.2} A)", target.closure_deviation(&structure));
+        println!(
+            "wrote {path} (closure deviation {:.2} A)",
+            target.closure_deviation(&structure)
+        );
     }
 
     // Example torsion check: every decoy satisfies the loop-closure

@@ -12,7 +12,9 @@ use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
 use lms_simt::Executor;
 
 fn main() {
-    let target = BenchmarkLibrary::standard().target_by_name("3pte").expect("3pte exists");
+    let target = BenchmarkLibrary::standard()
+        .target_by_name("3pte")
+        .expect("3pte exists");
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
     println!("target: {target}");
 
@@ -53,8 +55,16 @@ fn main() {
         gpu_like.decoys.best_rmsd().unwrap_or(f64::NAN)
     );
 
-    let clusters = cluster_decoys(&target, cpu_like.decoys.decoys(), ClusterMetric::RmsdAngstrom, 1.5);
-    println!("\nscalar decoys fall into {} structure clusters (1.5 A radius)", clusters.len());
+    let clusters = cluster_decoys(
+        &target,
+        cpu_like.decoys.decoys(),
+        ClusterMetric::RmsdAngstrom,
+        1.5,
+    );
+    println!(
+        "\nscalar decoys fall into {} structure clusters (1.5 A radius)",
+        clusters.len()
+    );
     for (i, c) in clusters.iter().take(5).enumerate() {
         println!("  cluster {i}: {} members", c.size());
     }

@@ -36,7 +36,9 @@ fn main() {
     }
 
     // A real (scaled-down) trajectory, instrumented with the device model.
-    let target = BenchmarkLibrary::standard().target_by_name("1cex").expect("1cex exists");
+    let target = BenchmarkLibrary::standard()
+        .target_by_name("1cex")
+        .expect("1cex exists");
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
     let config = SamplerConfig {
         population_size: 256,

@@ -12,12 +12,17 @@ use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
 use lms_simt::Executor;
 
 fn main() {
-    let target = BenchmarkLibrary::standard().target_by_name("1akz").expect("1akz exists");
+    let target = BenchmarkLibrary::standard()
+        .target_by_name("1akz")
+        .expect("1akz exists");
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
     let trajectories = 4;
 
     println!("target: {target}");
-    println!("{:<12} {:>26} {:>12} {:>12} {:>12}", "population", "avg distinct non-dominated", "min RMSD", "avg RMSD", "max RMSD");
+    println!(
+        "{:<12} {:>26} {:>12} {:>12} {:>12}",
+        "population", "avg distinct non-dominated", "min RMSD", "avg RMSD", "max RMSD"
+    );
     for population in [32usize, 96, 256] {
         let config = SamplerConfig {
             population_size: population,

@@ -12,7 +12,9 @@ fn main() {
     // 1. Pick a target from the synthetic 53-loop benchmark (the paper's
     //    1cex 40:51, a 12-residue loop).
     let library = BenchmarkLibrary::standard();
-    let target = library.target_by_name("1cex").expect("1cex is in the benchmark");
+    let target = library
+        .target_by_name("1cex")
+        .expect("1cex is in the benchmark");
     println!("Target: {target}");
 
     // 2. Build the knowledge base behind the TRIPLET and DIST potentials.

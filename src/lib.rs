@@ -1,8 +1,8 @@
 //! Facade crate re-exporting the loop-modeling suite.
+pub use lms_closure as closure;
 pub use lms_core as core;
 pub use lms_decoys as decoys;
 pub use lms_geometry as geometry;
 pub use lms_protein as protein;
 pub use lms_scoring as scoring;
 pub use lms_simt as simt;
-pub use lms_closure as closure;

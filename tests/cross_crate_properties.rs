@@ -7,7 +7,7 @@ use lms_geometry::wrap_rad;
 use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopTarget, Torsions};
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig, MultiScorer, ScoreVector};
 use proptest::prelude::*;
-use std::sync::{Arc, OnceLock};
+use std::sync::OnceLock;
 
 fn shared_target() -> &'static LoopTarget {
     static TARGET: OnceLock<LoopTarget> = OnceLock::new();
@@ -16,9 +16,7 @@ fn shared_target() -> &'static LoopTarget {
 
 fn shared_scorer() -> &'static MultiScorer {
     static SCORER: OnceLock<MultiScorer> = OnceLock::new();
-    SCORER.get_or_init(|| {
-        MultiScorer::new(KnowledgeBase::build(KnowledgeBaseConfig::fast()))
-    })
+    SCORER.get_or_init(|| MultiScorer::new(KnowledgeBase::build(KnowledgeBaseConfig::fast())))
 }
 
 fn arb_torsions(n_residues: usize) -> impl Strategy<Value = Torsions> {
@@ -27,8 +25,11 @@ fn arb_torsions(n_residues: usize) -> impl Strategy<Value = Torsions> {
 }
 
 fn arb_scores(n: usize) -> impl Strategy<Value = Vec<ScoreVector>> {
-    prop::collection::vec((0.0..10.0f64, 0.0..10.0f64, 0.0..10.0f64), n)
-        .prop_map(|v| v.into_iter().map(|(a, b, c)| ScoreVector::new(a, b, c)).collect())
+    prop::collection::vec((0.0..10.0f64, 0.0..10.0f64, 0.0..10.0f64), n).prop_map(|v| {
+        v.into_iter()
+            .map(|(a, b, c)| ScoreVector::new(a, b, c))
+            .collect()
+    })
 }
 
 proptest! {
@@ -74,11 +75,11 @@ proptest! {
     fn fitness_assignment_respects_front_partition(scores in arb_scores(12)) {
         let fitness = fitness_assignment(&scores);
         let front = non_dominated_indices(&scores);
-        for i in 0..scores.len() {
+        for (i, fit) in fitness.iter().enumerate() {
             if front.contains(&i) {
-                prop_assert!(fitness[i] < 1.0, "front member {} has fitness {}", i, fitness[i]);
+                prop_assert!(*fit < 1.0, "front member {} has fitness {}", i, fit);
             } else {
-                prop_assert!(fitness[i] >= 1.0, "dominated member {} has fitness {}", i, fitness[i]);
+                prop_assert!(*fit >= 1.0, "dominated member {} has fitness {}", i, fit);
             }
         }
         // Dominance implies better (lower) fitness.

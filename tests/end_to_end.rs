@@ -47,7 +47,12 @@ fn full_pipeline_produces_reasonable_decoys() {
     }
 
     // Decoys form at least one structural cluster and clustering covers all.
-    let clusters = cluster_decoys(&target, production.decoys.decoys(), ClusterMetric::TorsionDeg, 30.0);
+    let clusters = cluster_decoys(
+        &target,
+        production.decoys.decoys(),
+        ClusterMetric::TorsionDeg,
+        30.0,
+    );
     let members: usize = clusters.iter().map(|c| c.size()).sum();
     assert_eq!(members, production.decoys.len());
 }
@@ -102,11 +107,18 @@ fn sampling_with_more_iterations_does_not_regress() {
     // drift; what must hold is that both runs stay in a sane band for an
     // 11-residue loop started from Ramachandran-distributed torsions.
     assert!(short_result.best_rmsd().is_finite());
-    assert!(long_result.best_rmsd() < 6.0, "long run best RMSD {}", long_result.best_rmsd());
+    assert!(
+        long_result.best_rmsd() < 6.0,
+        "long run best RMSD {}",
+        long_result.best_rmsd()
+    );
     // And keep or grow the distinct non-dominated count.
     let short_nd = distinct_non_dominated(&short_result, 30.0);
     let long_nd = distinct_non_dominated(&long_result, 30.0);
-    assert!(long_nd + 3 >= short_nd, "front collapsed: {short_nd} -> {long_nd}");
+    assert!(
+        long_nd + 3 >= short_nd,
+        "front collapsed: {short_nd} -> {long_nd}"
+    );
 }
 
 #[test]

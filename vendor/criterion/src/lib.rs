@@ -1,0 +1,318 @@
+//! Offline micro-benchmark harness with a criterion-compatible API.
+//!
+//! Implements the subset of the `criterion` crate interface this
+//! workspace's benches use — groups, `bench_function`, `bench_with_input`,
+//! `iter`, `iter_batched`, and the `criterion_group!`/`criterion_main!`
+//! macros — with straightforward wall-clock measurement: per sample the
+//! routine runs enough iterations to amortise timer overhead, and the
+//! median over samples is reported as ns/iter on stdout.
+//!
+//! Statistical analysis, HTML reports and baseline comparison are out of
+//! scope; the numbers are honest medians suitable for relative
+//! comparisons within one run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batching strategy for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; every batch re-runs the setup closure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Measurement state handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh `setup` product per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let ns = run_benchmark(
+            &mut f,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+        );
+        println!("{full:<60} time: [{} per iter]", format_ns(ns));
+        self
+    }
+
+    /// Run one benchmark that receives an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (prints nothing extra; provided for compatibility).
+    pub fn finish(self) {}
+}
+
+/// Run one benchmark closure and return the median ns/iter.
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    f: &mut F,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+) -> f64 {
+    // Warm-up & calibration: find an iteration count whose sample takes
+    // roughly measurement_time / sample_size.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    f(&mut bencher);
+    let mut per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    while warm_start.elapsed() < warm_up {
+        f(&mut bencher);
+        per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    }
+    let target_sample = measurement.as_secs_f64() / sample_size as f64;
+    let iters = (target_sample / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    let deadline = Instant::now() + measurement;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Create a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Run a standalone benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let ns = run_benchmark(
+            &mut f,
+            self.default_sample_size,
+            Duration::from_millis(500),
+            Duration::from_secs(3),
+        );
+        println!("{id:<60} time: [{} per iter]", format_ns(ns));
+        self
+    }
+
+    /// Parse command-line arguments (accepted for compatibility; filters
+    /// and baseline flags are ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            let _ = $config;
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_runs_and_reports() {
+        let ns = run_benchmark(
+            &mut |b: &mut Bencher| b.iter(|| black_box(3u64).wrapping_mul(7)),
+            5,
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+        );
+        assert!(ns > 0.0 && ns < 1e7, "implausible ns/iter: {ns}");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            iters: 50,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("scalar", 32).id, "scalar/32");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

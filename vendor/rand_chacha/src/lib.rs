@@ -1,0 +1,143 @@
+//! Offline ChaCha8 random number generator.
+//!
+//! Implements the ChaCha stream cipher with 8 rounds as a counter-based
+//! RNG behind the vendored [`rand`] traits.  The keystream follows the
+//! original djb construction (256-bit key, 64-bit block counter, 64-bit
+//! nonce fixed at zero).  Streams within this workspace are reproducible;
+//! bit-compatibility with the upstream `rand_chacha` crate is not a goal.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha RNG with 8 rounds: fast, high-quality, counter-addressable.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..4 {
+            // One double round: 4 column rounds then 4 diagonal rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let seed = [7u8; 32];
+        let a: Vec<u64> = {
+            let mut r = ChaCha8Rng::from_seed(seed);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha8Rng::from_seed(seed);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::from_seed([1u8; 32]);
+        let mut b = ChaCha8Rng::from_seed([2u8; 32]);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_floats_look_uniform() {
+        let mut r = ChaCha8Rng::from_seed([9u8; 32]);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut r = ChaCha8Rng::from_seed([3u8; 32]);
+        for _ in 0..37 {
+            r.next_u32();
+        }
+        let mut c = r.clone();
+        assert_eq!(r.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,383 @@
+//! Offline subset of the `rayon` API implemented with `std::thread::scope`.
+//!
+//! Supports the slice patterns this workspace uses:
+//!
+//! * `slice.par_iter_mut().enumerate().for_each(|(i, x)| …)`
+//! * `slice.par_iter().enumerate().map(|(i, x)| …).collect::<Vec<_>>()`
+//! * `ThreadPoolBuilder::new().num_threads(n).build()?.install(|| …)`
+//! * `rayon::current_num_threads()`
+//!
+//! Work is split into contiguous chunks, one per worker thread, executed
+//! under `std::thread::scope` so borrowed data needs no `'static` bound.
+//! Results of `map` are concatenated in index order, so the observable
+//! semantics (including ordering) match rayon's indexed iterators.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let configured = POOL_THREADS.with(|c| c.get());
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error building a thread pool (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Set the worker-thread count (0 = one per core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: parallel operations run inside [`ThreadPool::install`]
+/// use its thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count active on the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let result = op();
+        POOL_THREADS.with(|c| c.set(previous));
+        result
+    }
+
+    /// The pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Run `f(chunk_start, chunk)` for disjoint chunks of `0..len` on scoped threads.
+fn split_run<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
+    if len == 0 {
+        return;
+    }
+    let workers = current_num_threads().clamp(1, len);
+    if workers == 1 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut start = chunk;
+        while start < len {
+            let end = (start + chunk).min(len);
+            scope.spawn(move || f(start, end));
+            start = end;
+        }
+        // The calling thread takes the first chunk instead of idling.
+        f(0, chunk.min(len));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Mutable path: par_iter_mut().enumerate().for_each(...)
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync + Send>(self, f: F) {
+        self.enumerate().for_each(|(_, x)| f(x));
+    }
+}
+
+/// Indexed parallel iterator over `&mut [T]`.
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumerateMut<'a, T> {
+    /// Apply `f` to every `(index, element)` pair in parallel.
+    #[allow(clippy::needless_range_loop)] // raw-pointer chunk walk
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync + Send>(self, f: F) {
+        let base = self.slice.as_mut_ptr() as usize;
+        let len = self.slice.len();
+        split_run(len, |start, end| {
+            // SAFETY: chunks [start, end) are disjoint across workers, each
+            // within the original exclusive borrow held by `self`.
+            let ptr = base as *mut T;
+            for i in start..end {
+                let item = unsafe { &mut *ptr.add(i) };
+                f((i, item));
+            }
+        });
+    }
+}
+
+/// Extension trait providing `par_iter_mut` on slices and vectors.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type.
+    type Item: Send;
+    /// Create a parallel iterator over exclusive references.
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared path: par_iter().enumerate().map(...).collect()
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> Enumerate<'a, T> {
+        Enumerate { slice: self.slice }
+    }
+
+    /// Map each element through `f`.
+    pub fn map<R: Send, F: Fn(&'a T) -> R + Sync + Send>(
+        self,
+        f: F,
+    ) -> MapIndexed<'a, T, impl Fn((usize, &'a T)) -> R + Sync + Send> {
+        MapIndexed {
+            slice: self.slice,
+            f: move |(_, x): (usize, &'a T)| f(x),
+        }
+    }
+}
+
+/// Indexed parallel iterator over `&[T]`.
+pub struct Enumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Enumerate<'a, T> {
+    /// Map each `(index, element)` pair through `f`.
+    pub fn map<R: Send, F: Fn((usize, &'a T)) -> R + Sync + Send>(
+        self,
+        f: F,
+    ) -> MapIndexed<'a, T, F> {
+        MapIndexed {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Apply `f` to every `(index, element)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &'a T)) + Sync + Send>(self, f: F) {
+        let slice = self.slice;
+        split_run(slice.len(), |start, end| {
+            for (i, item) in slice[start..end].iter().enumerate() {
+                f((start + i, item));
+            }
+        });
+    }
+}
+
+/// The result of mapping an indexed parallel iterator.
+pub struct MapIndexed<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MapIndexed<'a, T, F> {
+    /// Execute the map in parallel and collect results in index order.
+    #[allow(clippy::needless_range_loop)] // index addresses both input and output slots
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn((usize, &'a T)) -> R + Sync + Send,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let len = self.slice.len();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+        out.resize_with(len, || None);
+        {
+            let slots = SendPtr(out.as_mut_ptr());
+            let slice = self.slice;
+            let f = &self.f;
+            split_run(len, move |start, end| {
+                let slots = slots;
+                for i in start..end {
+                    let value = f((i, &slice[i]));
+                    // SAFETY: each index is written by exactly one worker.
+                    unsafe { *slots.0.add(i) = Some(value) };
+                }
+            });
+        }
+        C::from(
+            out.into_iter()
+                .map(|v| v.expect("parallel map slot filled"))
+                .collect(),
+        )
+    }
+}
+
+struct SendPtr<R>(*mut Option<R>);
+impl<R> Clone for SendPtr<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for SendPtr<R> {}
+unsafe impl<R: Send> Send for SendPtr<R> {}
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+
+/// Extension trait providing `par_iter` on slices and vectors.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type.
+    type Item: Sync;
+    /// Create a parallel iterator over shared references.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter {
+            slice: self.as_slice(),
+        }
+    }
+}
+
+/// The traits that make `par_iter`/`par_iter_mut` available.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let mut items = vec![0usize; 4097];
+        let visits = AtomicUsize::new(0);
+        items.par_iter_mut().enumerate().for_each(|(i, x)| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            *x = i * 2;
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 4097);
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let out: Vec<u64> = items
+            .par_iter()
+            .enumerate()
+            .map(|(i, x)| *x as u64 + i as u64)
+            .collect();
+        assert_eq!(out.len(), items.len());
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 2);
+            let items: Vec<u8> = vec![1; 100];
+            let out: Vec<u16> = items
+                .par_iter()
+                .enumerate()
+                .map(|(_, x)| *x as u16)
+                .collect();
+            assert_eq!(out.iter().sum::<u16>(), 100);
+        });
+        assert_ne!(crate::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_slices_are_noops() {
+        let mut empty: Vec<u8> = Vec::new();
+        empty
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|_| panic!("must not run"));
+        let out: Vec<u8> = empty.par_iter().enumerate().map(|(_, x)| *x).collect();
+        assert!(out.is_empty());
+    }
+}
