@@ -1,0 +1,388 @@
+//! Benchmark of the two per-conformation hot-path optimizations landed
+//! after the zero-allocation pipeline:
+//!
+//! * **CCD closure**: the pre-incremental sweep (full NeRF rebuild of the
+//!   whole loop after every accepted rotation, reproduced verbatim in
+//!   [`full_rebuild`]) against the production sweep
+//!   (`CcdCloser::close_with_scratch`, suffix-only `rebuild_from`), at
+//!   loop lengths 4, 8 and 12.  Both run the identical rotation schedule —
+//!   the results are bit-identical — so the ratio isolates the rebuild
+//!   cost.
+//! * **VDW environment term**: the exhaustive linear candidate scan
+//!   against the cell-list query path, on environments scaled 1×/10×/100×
+//!   at roughly constant *local* density (extra atoms fill the candidate
+//!   reach sphere, emulating a full-size protein around the loop).  The
+//!   linear scan degrades with the total candidate count; the cell list
+//!   should stay near-flat.
+//!
+//! Besides the criterion groups, the harness writes `BENCH_ccd.json` at
+//! the workspace root recording both comparisons for the perf trajectory.
+
+use criterion::{criterion_group, Criterion};
+use lms_closure::CcdCloser;
+use lms_geometry::{StreamRngFactory, Vec3};
+use lms_protein::{
+    AminoAcid, BenchmarkLibrary, EnvAtom, Environment, LoopBuilder, LoopFrame, LoopStructure,
+    LoopTarget, TargetSpec, Torsions, ENV_CONTACT_MARGIN,
+};
+use lms_scoring::{ScoreScratch, VdwScore};
+use rand::Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The pre-incremental CCD sweep, kept as the benchmark baseline after
+/// production closure moved to suffix-only rebuilds: identical maths and
+/// rotation schedule, but `build_into` over the whole loop after every
+/// accepted rotation.
+mod full_rebuild {
+    use super::*;
+
+    fn optimal_rotation(moving: &[Vec3; 3], targets: &[Vec3; 3], pivot: Vec3, axis: Vec3) -> f64 {
+        let mut a = 0.0;
+        let mut b = 0.0;
+        for (m, t) in moving.iter().zip(targets.iter()) {
+            let m_rel = *m - pivot;
+            let t_rel = *t - pivot;
+            let r = m_rel - axis * m_rel.dot(axis);
+            let f = t_rel - axis * t_rel.dot(axis);
+            a += f.dot(r);
+            b += f.dot(axis.cross(r));
+        }
+        if a.abs() < 1e-15 && b.abs() < 1e-15 {
+            0.0
+        } else {
+            b.atan2(a)
+        }
+    }
+
+    /// One closure with a full rebuild per accepted rotation; mirrors
+    /// `CcdCloser::close_with_scratch` with default `CcdConfig` (the
+    /// schedule parameters are read from it, so config tuning cannot
+    /// silently desynchronise the two sides of the comparison).
+    pub fn close(
+        builder: &LoopBuilder,
+        frame: &LoopFrame,
+        sequence: &[AminoAcid],
+        torsions: &mut Torsions,
+        scratch: &mut LoopStructure,
+    ) -> (bool, usize) {
+        let config = lms_closure::CcdConfig::default();
+        let max_sweeps = config.max_sweeps;
+        let tolerance = config.tolerance;
+        let targets = frame.c_anchor.atoms();
+        builder.build_into(frame, sequence, torsions, scratch);
+        let mut deviation = builder.closure_deviation(frame, scratch);
+        let mut sweeps = 0;
+        let mut rotations = 0usize;
+        while deviation > tolerance && sweeps < max_sweeps {
+            sweeps += 1;
+            for k in 0..torsions.n_angles() {
+                let (residue, kind) = Torsions::describe_angle(k);
+                let res_atoms = &scratch.residues[residue];
+                let (pivot, axis_end) = match kind {
+                    lms_protein::TorsionKind::Phi => (res_atoms.n, res_atoms.ca),
+                    lms_protein::TorsionKind::Psi => (res_atoms.ca, res_atoms.c),
+                };
+                let Some(axis) = (axis_end - pivot).try_normalize() else {
+                    continue;
+                };
+                let moving = scratch.end_frame.atoms();
+                let delta = optimal_rotation(&moving, &targets, pivot, axis);
+                if delta.abs() < 1e-9 {
+                    continue;
+                }
+                torsions.rotate_angle(k, delta);
+                rotations += 1;
+                builder.build_into(frame, sequence, torsions, scratch);
+            }
+            deviation = builder.closure_deviation(frame, scratch);
+        }
+        (deviation <= tolerance, rotations)
+    }
+}
+
+/// Loop lengths the closure comparison runs at.
+const LOOP_LENGTHS: [usize; 3] = [4, 8, 12];
+
+/// Environment scale factors for the VDW comparison.
+const ENV_FACTORS: [usize; 3] = [1, 10, 100];
+
+fn target_of_len(len: usize) -> LoopTarget {
+    let spec = TargetSpec {
+        name: "1cex",
+        start: 40,
+        len,
+        buried: false,
+    };
+    BenchmarkLibrary::standard().generate(&spec)
+}
+
+/// Perturbed-native torsion starts: far enough from closure that CCD does
+/// real work, close enough that it reliably converges at every length.
+fn starts(target: &LoopTarget, count: usize) -> Vec<Torsions> {
+    let factory = StreamRngFactory::new(31);
+    (0..count)
+        .map(|i| {
+            let mut rng = factory.stream(i as u64, 0);
+            let mut t = target.native_torsions.clone();
+            for k in 0..t.n_angles() {
+                t.rotate_angle(k, lms_geometry::random_torsion(&mut rng) * 0.25);
+            }
+            t
+        })
+        .collect()
+}
+
+/// A variant of `base` whose environment is scaled `factor`× by filling the
+/// candidate reach sphere with extra atoms at constant density (clear of
+/// the native loop), emulating the rest of a full-size protein: every
+/// extra atom lands in the candidate set, but the density *local* to any
+/// loop site stays roughly that of the base shell.
+fn scaled_env_target(base: &LoopTarget, factor: usize) -> LoopTarget {
+    let mut atoms = base.environment.atoms().to_vec();
+    if factor > 1 {
+        let n_extra = atoms.len() * (factor - 1);
+        let mut rng = StreamRngFactory::new(77).stream(factor as u64, 0);
+        let center = base.frame.n_anchor.ca;
+        let reach = base.reach_radius() + ENV_CONTACT_MARGIN - 1.0;
+        let native = base.native_structure.backbone_atoms();
+        let mut placed = 0usize;
+        while placed < n_extra {
+            let v = Vec3::new(
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+            );
+            let n = v.norm();
+            if !(1e-3..=1.0).contains(&n) {
+                continue;
+            }
+            // Uniform in the ball: direction × reach × ∛u.
+            let pos = center + (v / n) * (reach * rng.gen::<f64>().cbrt());
+            if native.iter().any(|a| a.distance(pos) < 4.0) {
+                continue;
+            }
+            atoms.push(EnvAtom::backbone(pos, 1.7));
+            placed += 1;
+        }
+    }
+    LoopTarget {
+        environment: Arc::new(Environment::new(atoms)),
+        env_cache: Default::default(),
+        ..base.clone()
+    }
+}
+
+fn bench_ccd_closure(c: &mut Criterion) {
+    let builder = LoopBuilder::default();
+    let mut group = c.benchmark_group("ccd_closure");
+    group.sample_size(12);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for &len in &LOOP_LENGTHS {
+        let target = target_of_len(len);
+        let torsions = starts(&target, 16);
+        let closer = CcdCloser::default();
+
+        group.bench_function(format!("full/len{len}"), |b| {
+            let mut scratch = LoopStructure::with_capacity(len);
+            let mut i = 0usize;
+            b.iter(|| {
+                let mut t = torsions[i % torsions.len()].clone();
+                i += 1;
+                black_box(full_rebuild::close(
+                    &builder,
+                    &target.frame,
+                    &target.sequence,
+                    &mut t,
+                    &mut scratch,
+                ))
+            })
+        });
+
+        group.bench_function(format!("incremental/len{len}"), |b| {
+            let mut scratch = LoopStructure::with_capacity(len);
+            let mut i = 0usize;
+            b.iter(|| {
+                let mut t = torsions[i % torsions.len()].clone();
+                i += 1;
+                black_box(closer.close_with_scratch(
+                    &target.frame,
+                    &target.sequence,
+                    &mut t,
+                    0,
+                    &mut scratch,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vdw_environment(c: &mut Criterion) {
+    let builder = LoopBuilder::default();
+    let vdw = VdwScore::default();
+    let base = target_of_len(12);
+    let mut group = c.benchmark_group("vdw_env");
+    group.sample_size(12);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for &factor in &ENV_FACTORS {
+        let target = scaled_env_target(&base, factor);
+        let structure = target.build(&builder, &target.native_torsions);
+        target.env_candidates();
+
+        group.bench_function(format!("linear/x{factor}"), |b| {
+            let mut scratch = ScoreScratch::for_loop_len(12);
+            b.iter(|| black_box(vdw.environment_term_linear(&target, &structure, &mut scratch)))
+        });
+        group.bench_function(format!("cells/x{factor}"), |b| {
+            let mut scratch = ScoreScratch::for_loop_len(12);
+            b.iter(|| black_box(vdw.environment_term(&target, &structure, &mut scratch)))
+        });
+    }
+    group.finish();
+}
+
+/// Median ns/call of a closure over `samples` timed batches.
+fn median_ns<F: FnMut()>(mut f: F, iters: u32, samples: u32) -> f64 {
+    let mut results: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    results[results.len() / 2]
+}
+
+/// Measure both comparisons and write `BENCH_ccd.json` at the workspace
+/// root.
+fn write_bench_json() {
+    let builder = LoopBuilder::default();
+
+    // --- CCD: full rebuild vs incremental -----------------------------
+    let mut ccd_entries = Vec::new();
+    for &len in &LOOP_LENGTHS {
+        let target = target_of_len(len);
+        let torsions = starts(&target, 16);
+        let closer = CcdCloser::default();
+        let iters = 60u32;
+
+        let mut scratch = LoopStructure::with_capacity(len);
+        let mut i = 0usize;
+        let full = median_ns(
+            || {
+                let mut t = torsions[i % torsions.len()].clone();
+                i += 1;
+                black_box(full_rebuild::close(
+                    &builder,
+                    &target.frame,
+                    &target.sequence,
+                    &mut t,
+                    &mut scratch,
+                ));
+            },
+            iters,
+            9,
+        );
+
+        let mut j = 0usize;
+        let incremental = median_ns(
+            || {
+                let mut t = torsions[j % torsions.len()].clone();
+                j += 1;
+                black_box(closer.close_with_scratch(
+                    &target.frame,
+                    &target.sequence,
+                    &mut t,
+                    0,
+                    &mut scratch,
+                ));
+            },
+            iters,
+            9,
+        );
+
+        let speedup = full / incremental;
+        println!(
+            "ccd_closure len={len}: full {full:.0} ns/closure, \
+             incremental {incremental:.0} ns/closure, speedup {speedup:.2}x"
+        );
+        ccd_entries.push(format!(
+            "      {{\"loop_len\": {len}, \"full_ns_per_closure\": {full:.1}, \
+             \"incremental_ns_per_closure\": {incremental:.1}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+
+    // --- VDW environment: linear scan vs cell list ---------------------
+    let vdw = VdwScore::default();
+    let base = target_of_len(12);
+    let mut env_entries = Vec::new();
+    let mut cells_by_factor = Vec::new();
+    for &factor in &ENV_FACTORS {
+        let target = scaled_env_target(&base, factor);
+        let structure = target.build(&builder, &target.native_torsions);
+        let candidates = target.env_candidates().len();
+        let iters = (40_000 / factor as u32).max(200);
+
+        let mut scratch = ScoreScratch::for_loop_len(12);
+        let linear = median_ns(
+            || {
+                black_box(vdw.environment_term_linear(&target, &structure, &mut scratch));
+            },
+            iters,
+            9,
+        );
+        let cells = median_ns(
+            || {
+                black_box(vdw.environment_term(&target, &structure, &mut scratch));
+            },
+            iters,
+            9,
+        );
+        cells_by_factor.push(cells);
+        let speedup = linear / cells;
+        println!(
+            "vdw_env x{factor}: {candidates} candidates, linear {linear:.0} ns/eval, \
+             cells {cells:.0} ns/eval, speedup {speedup:.2}x"
+        );
+        env_entries.push(format!(
+            "      {{\"env_factor\": {factor}, \"candidates\": {candidates}, \
+             \"linear_ns_per_eval\": {linear:.1}, \"cells_ns_per_eval\": {cells:.1}, \
+             \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let growth = cells_by_factor[2] / cells_by_factor[0];
+    println!("vdw_env cell-list cost growth 100x/1x: {growth:.2}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"ccd_closure\",\n  \"unit\": \"ns\",\n  \"ccd\": {{\n    \
+         \"comparison\": \"full NeRF rebuild per rotation vs suffix-only rebuild_from\",\n    \
+         \"results\": [\n{}\n    ]\n  }},\n  \"vdw_env\": {{\n    \
+         \"comparison\": \"linear candidate scan vs cell-list query per site\",\n    \
+         \"results\": [\n{}\n    ],\n    \"cells_cost_growth_100x_over_1x\": {growth:.3}\n  }}\n}}\n",
+        ccd_entries.join(",\n"),
+        env_entries.join(",\n")
+    );
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| format!("{d}/../.."))
+        .unwrap_or_else(|_| ".".to_string());
+    let path = format!("{root}/BENCH_ccd.json");
+    std::fs::write(&path, json).expect("write BENCH_ccd.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_ccd_closure, bench_vdw_environment);
+
+fn main() {
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+    write_bench_json();
+}

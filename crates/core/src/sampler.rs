@@ -172,6 +172,10 @@ struct WorkModel {
 impl WorkModel {
     fn for_target(target: &LoopTarget) -> WorkModel {
         let n = target.n_residues();
+        // CCD rebuilds only the suffix from the rotated torsion onward
+        // (LoopBuilder::rebuild_from); rotations are spread over the sweep,
+        // so the expected rebuild is half the loop's 5 placements/residue.
+        let ccd_per_rotation = (n * 5) as f64 * 0.5;
         // DIST: 16 atom-kind pairs per residue pair at separation >= 2.
         let res_pairs_sep2: usize = (2..n).map(|d| n - d).sum();
         let dist_work = (res_pairs_sep2 * 16) as f64;
@@ -188,7 +192,7 @@ impl WorkModel {
         };
         let vdw_work = sites * (sites - 1.0) / 2.0 + sites * env_neighbors;
         WorkModel {
-            ccd_per_rotation: (n * 5) as f64,
+            ccd_per_rotation,
             dist_work,
             vdw_work,
             trip_work: n as f64,
@@ -200,11 +204,14 @@ impl WorkModel {
 ///
 /// Besides the conformation itself, every member owns the workspace buffers
 /// of the zero-allocation pipeline, reused across all iterations: a
-/// [`LoopStructure`] that CCD and scoring rebuild in place, a
-/// [`ScoreScratch`] for the SoA scoring kernels, a candidate torsion vector
-/// for proposals, and the mutation-index scratch.  After the first
-/// iteration warms these buffers up, one member-iteration of the evolution
-/// kernel performs no heap allocation (verified by `tests/zero_alloc.rs`).
+/// [`LoopStructure`] that CCD rebuilds in place (suffix-only via
+/// `LoopBuilder::rebuild_from` after each accepted rotation) and hands to
+/// scoring, a [`ScoreScratch`] for the SoA scoring kernels (including the
+/// index buffer the VDW environment term gathers its per-site cell-list
+/// query results into), a candidate torsion vector for proposals, and the
+/// mutation-index scratch.  After the first iteration warms these buffers
+/// up, one member-iteration of the evolution kernel performs no heap
+/// allocation (verified by `tests/zero_alloc.rs`).
 #[derive(Debug, Clone)]
 struct Member {
     conf: Conformation,

@@ -1,14 +1,20 @@
 //! Counting-allocator proof of the zero-allocation invariant: after
 //! warm-up, one member-iteration of the evolution kernel's work —
 //! mutation into a reused candidate buffer, CCD closure into a reused
-//! structure, workspace scoring, and allocation-free RMSD — performs zero
-//! heap allocations.
+//! structure (suffix-only incremental rebuilds included), workspace
+//! scoring through the environment-candidate **cell list**, and
+//! allocation-free RMSD — performs zero heap allocations.
+//!
+//! Two proofs: the full member-iteration on a surface target, and a
+//! dense-environment (buried-target) variant that drives the incremental
+//! `rebuild_from` path and the per-site cell-list gather directly, so
+//! neither optimization can silently regress into allocating.
 
 use lms_closure::{CcdCloser, CcdConfig};
 use lms_core::{MutationConfig, Mutator};
 use lms_geometry::StreamRngFactory;
 use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopStructure, RamaClass, Torsions};
-use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig, MultiScorer, ScoreScratch};
+use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig, MultiScorer, ScoreScratch, VdwScore};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -116,6 +122,96 @@ fn member_iteration_is_allocation_free_after_warmup() {
         after - before,
         0,
         "evolution-kernel member-iterations allocated {} times after warm-up",
+        after - before
+    );
+}
+
+#[test]
+fn incremental_rebuild_and_cell_list_paths_are_allocation_free() {
+    // The buried 1xyz target has the densest environment in the benchmark,
+    // so its candidate set (and therefore the cell-list gathers) is the
+    // largest the sampler ever sees.  Drive the two new hot paths directly:
+    // suffix-only `rebuild_from` at every angle index, and the VDW
+    // environment term through the per-site cell-list query.
+    let target = BenchmarkLibrary::standard().target_by_name("1xyz").unwrap();
+    let builder = LoopBuilder::default();
+    let vdw = VdwScore::default();
+    let n_res = target.n_residues();
+    let mut torsions = target.native_torsions.clone();
+    let mut structure = target.build(&builder, &torsions);
+    let mut scratch = ScoreScratch::for_loop_len(n_res);
+
+    // Warm up: builds the env-candidate cache (with its cell list) and
+    // sizes the gather buffer to the candidate count.
+    target.env_candidates();
+    let pass = |structure: &mut LoopStructure,
+                torsions: &mut Torsions,
+                scratch: &mut ScoreScratch,
+                step: f64| {
+        for k in 0..torsions.n_angles() {
+            torsions.rotate_angle(k, step);
+            builder.rebuild_from(&target.frame, &target.sequence, torsions, k, structure);
+            let term = vdw.environment_term(&target, structure, scratch);
+            assert!(term.is_finite());
+        }
+    };
+    pass(&mut structure, &mut torsions, &mut scratch, 0.05);
+
+    let before = allocation_count();
+    for i in 0..8 {
+        pass(
+            &mut structure,
+            &mut torsions,
+            &mut scratch,
+            -0.05 + 0.01 * i as f64,
+        );
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "incremental rebuild / cell-list scoring allocated {} times after warm-up",
+        after - before
+    );
+    // The suffix rebuilds tracked the full rebuild exactly the whole way.
+    assert_eq!(structure, target.build(&builder, &torsions));
+}
+
+#[test]
+fn scratch_reused_across_targets_stays_allocation_free_after_rewarm() {
+    // Regression guard for the gather-buffer capacity bound: a scratch
+    // warmed up on a small-environment target and then moved to a target
+    // with many more candidates must, after ONE warm-up evaluation on the
+    // new target, go back to allocating nothing — the capacity floor is
+    // the new target's candidate count, not a stale increment.
+    let lib = BenchmarkLibrary::standard();
+    let small = lib.target_by_name("1cex").unwrap();
+    let dense = lib.target_by_name("1xyz").unwrap();
+    assert!(
+        dense.env_candidates().len() > small.env_candidates().len(),
+        "test premise: 1xyz must have the larger candidate set"
+    );
+    let builder = LoopBuilder::default();
+    let vdw = VdwScore::default();
+    let mut scratch = ScoreScratch::for_loop_len(small.n_residues());
+
+    let s_small = small.build(&builder, &small.native_torsions);
+    let s_dense = dense.build(&builder, &dense.native_torsions);
+    // Warm on the small target, then one re-warm evaluation on the dense
+    // one (may allocate: sites and gather buffer regrow).
+    vdw.environment_term(&small, &s_small, &mut scratch);
+    vdw.environment_term(&dense, &s_dense, &mut scratch);
+
+    let before = allocation_count();
+    for _ in 0..16 {
+        let term = vdw.environment_term(&dense, &s_dense, &mut scratch);
+        assert!(term.is_finite());
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "cross-target scratch reuse allocated {} times after re-warm-up",
         after - before
     );
 }

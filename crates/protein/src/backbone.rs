@@ -7,6 +7,22 @@
 //! side-chain centroid pseudo-atom per residue) with the NeRF rule, and also
 //! places the *moving* copies of the C-terminal anchor atoms that the CCD
 //! closure algorithm tries to align with their fixed targets.
+//!
+//! ## The prefix-reuse invariant
+//!
+//! NeRF is a strict left-to-right recurrence: the atoms of residue `i`
+//! depend only on torsions with flat index `≤ 2i + 1` (φᵢ places C'ᵢ and the
+//! centroid, ψᵢ places only Oᵢ and everything from residue `i + 1` onward).
+//! Consequently a structure built from one torsion vector remains *bit-exact*
+//! for every residue strictly before the residue owning the first changed
+//! flat index.  [`LoopBuilder::rebuild_from`] exploits this: it keeps the
+//! untouched prefix in the caller's buffer and re-runs the identical
+//! placement code only from the changed residue onward, which is what makes
+//! CCD's per-rotation rebuild O(suffix) instead of O(loop) without altering
+//! a single output bit.  Both `build_into` and `rebuild_from` funnel through
+//! the same [`LoopBuilder::place_residue`]/[`LoopBuilder::place_end_frame`]
+//! helpers, so the equivalence is structural, not coincidental (and is
+//! property-tested in `tests/incremental_rebuild.rs`).
 
 use crate::amino::AminoAcid;
 use crate::torsions::Torsions;
@@ -234,7 +250,6 @@ impl LoopBuilder {
             sequence.len(),
             "torsion vector and sequence must have the same number of residues"
         );
-        let g = &self.geometry;
         let residues = &mut out.residues;
         residues.clear();
 
@@ -244,38 +259,157 @@ impl LoopBuilder {
         let mut prev_psi = frame.n_anchor_psi;
 
         for (i, &aa) in sequence.iter().enumerate() {
-            // N_i: extends the previous residue's C' along its psi.
-            let n = place_atom(prev_n, prev_ca, prev_c, g.len_c_n, g.ang_ca_c_n, prev_psi);
-            // CA_i: the omega torsion (fixed trans).
-            let ca = place_atom(prev_ca, prev_c, n, g.len_n_ca, g.ang_c_n_ca, g.omega);
-            // C'_i: this residue's phi.
-            let c = place_atom(prev_c, n, ca, g.len_ca_c, g.ang_n_ca_c, torsions.phi(i));
-            // O_i: anti-periplanar to the next N, i.e. psi + 180 deg.
-            let o = place_atom(n, ca, c, g.len_c_o, g.ang_ca_c_o, torsions.psi(i) + PI);
-            // Side-chain centroid along the Cβ direction (absent for Gly).
-            let centroid = if aa.is_glycine() {
-                None
-            } else {
-                let cb_dir = place_atom(n, c, ca, 1.0, g.ang_c_ca_cb, g.dih_n_c_ca_cb) - ca;
-                Some(ca + cb_dir.normalized() * aa.centroid_distance())
-            };
-
-            residues.push(ResidueAtoms {
-                n,
-                ca,
-                c,
-                o,
-                centroid,
-            });
-
-            prev_n = n;
-            prev_ca = ca;
-            prev_c = c;
+            let r = self.place_residue(
+                prev_n,
+                prev_ca,
+                prev_c,
+                prev_psi,
+                aa,
+                torsions.phi(i),
+                torsions.psi(i),
+            );
+            residues.push(r);
+            prev_n = r.n;
+            prev_ca = r.ca;
+            prev_c = r.c;
             prev_psi = torsions.psi(i);
         }
 
-        // Moving copies of the C-anchor backbone: N from the last psi, CA
-        // from omega, C' from the (fixed) phi of the anchor residue.
+        out.end_frame = self.place_end_frame(prev_n, prev_ca, prev_c, prev_psi, frame.c_anchor_phi);
+    }
+
+    /// Rebuild only the *suffix* of a previously built structure after a
+    /// single-torsion edit: the residues strictly before the residue owning
+    /// `changed_angle` are left untouched (they are invariant under any
+    /// rotation at or after that flat index — see the module docs), and the
+    /// placement recurrence is re-run from the changed residue through the
+    /// end frame.  The result is **bit-identical** to a full
+    /// [`LoopBuilder::build_into`] of `torsions`: the suffix runs the same
+    /// helper code on the same inputs, and the prefix is the same bits it
+    /// would recompute.
+    ///
+    /// # Contract
+    /// `out` must hold a structure previously built (by `build_into` or an
+    /// earlier `rebuild_from`) from a torsion vector that agrees with
+    /// `torsions` on every flat index `< changed_angle`.  A
+    /// `changed_angle ≥ torsions.n_angles()` means nothing changed and the
+    /// call is a no-op.  This is exactly the state CCD maintains when it
+    /// sweeps torsions in ascending order and rebuilds after each accepted
+    /// rotation.
+    ///
+    /// # Panics
+    /// Panics if `torsions`, `sequence` and `out` disagree on residue count.
+    pub fn rebuild_from(
+        &self,
+        frame: &LoopFrame,
+        sequence: &[AminoAcid],
+        torsions: &Torsions,
+        changed_angle: usize,
+        out: &mut LoopStructure,
+    ) {
+        assert_eq!(
+            torsions.n_residues(),
+            sequence.len(),
+            "torsion vector and sequence must have the same number of residues"
+        );
+        assert_eq!(
+            out.n_residues(),
+            sequence.len(),
+            "rebuild_from requires a structure previously built for this loop"
+        );
+        if changed_angle >= torsions.n_angles() {
+            return;
+        }
+        let (first, _) = Torsions::describe_angle(changed_angle);
+
+        // Placement context entering residue `first`: the fixed anchor for
+        // residue 0, otherwise the (invariant) atoms of residue `first - 1`.
+        let (mut prev_n, mut prev_ca, mut prev_c, mut prev_psi) = if first == 0 {
+            (
+                frame.n_anchor.n,
+                frame.n_anchor.ca,
+                frame.n_anchor.c,
+                frame.n_anchor_psi,
+            )
+        } else {
+            let p = &out.residues[first - 1];
+            (p.n, p.ca, p.c, torsions.psi(first - 1))
+        };
+
+        #[allow(clippy::needless_range_loop)] // indexes sequence and torsions together
+        for i in first..sequence.len() {
+            let r = self.place_residue(
+                prev_n,
+                prev_ca,
+                prev_c,
+                prev_psi,
+                sequence[i],
+                torsions.phi(i),
+                torsions.psi(i),
+            );
+            out.residues[i] = r;
+            prev_n = r.n;
+            prev_ca = r.ca;
+            prev_c = r.c;
+            prev_psi = torsions.psi(i);
+        }
+
+        out.end_frame = self.place_end_frame(prev_n, prev_ca, prev_c, prev_psi, frame.c_anchor_phi);
+    }
+
+    /// Place one residue's atoms by the NeRF recurrence, given the previous
+    /// residue's backbone and ψ.  The single placement routine both
+    /// [`LoopBuilder::build_into`] and [`LoopBuilder::rebuild_from`] run, so
+    /// the two are bit-identical by construction.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // the NeRF recurrence context is 4 values + 3 angles
+    fn place_residue(
+        &self,
+        prev_n: Vec3,
+        prev_ca: Vec3,
+        prev_c: Vec3,
+        prev_psi: f64,
+        aa: AminoAcid,
+        phi: f64,
+        psi: f64,
+    ) -> ResidueAtoms {
+        let g = &self.geometry;
+        // N_i: extends the previous residue's C' along its psi.
+        let n = place_atom(prev_n, prev_ca, prev_c, g.len_c_n, g.ang_ca_c_n, prev_psi);
+        // CA_i: the omega torsion (fixed trans).
+        let ca = place_atom(prev_ca, prev_c, n, g.len_n_ca, g.ang_c_n_ca, g.omega);
+        // C'_i: this residue's phi.
+        let c = place_atom(prev_c, n, ca, g.len_ca_c, g.ang_n_ca_c, phi);
+        // O_i: anti-periplanar to the next N, i.e. psi + 180 deg.
+        let o = place_atom(n, ca, c, g.len_c_o, g.ang_ca_c_o, psi + PI);
+        // Side-chain centroid along the Cβ direction (absent for Gly).
+        let centroid = if aa.is_glycine() {
+            None
+        } else {
+            let cb_dir = place_atom(n, c, ca, 1.0, g.ang_c_ca_cb, g.dih_n_c_ca_cb) - ca;
+            Some(ca + cb_dir.normalized() * aa.centroid_distance())
+        };
+        ResidueAtoms {
+            n,
+            ca,
+            c,
+            o,
+            centroid,
+        }
+    }
+
+    /// Place the moving copies of the C-anchor backbone: N from the last
+    /// residue's ψ, Cα from ω, C' from the (fixed) φ of the anchor residue.
+    #[inline]
+    fn place_end_frame(
+        &self,
+        prev_n: Vec3,
+        prev_ca: Vec3,
+        prev_c: Vec3,
+        prev_psi: f64,
+        c_anchor_phi: f64,
+    ) -> AnchorFrame {
+        let g = &self.geometry;
         let end_n = place_atom(prev_n, prev_ca, prev_c, g.len_c_n, g.ang_ca_c_n, prev_psi);
         let end_ca = place_atom(prev_ca, prev_c, end_n, g.len_n_ca, g.ang_c_n_ca, g.omega);
         let end_c = place_atom(
@@ -284,10 +418,9 @@ impl LoopBuilder {
             end_ca,
             g.len_ca_c,
             g.ang_n_ca_c,
-            frame.c_anchor_phi,
+            c_anchor_phi,
         );
-
-        out.end_frame = AnchorFrame::new(end_n, end_ca, end_c);
+        AnchorFrame::new(end_n, end_ca, end_c)
     }
 
     /// Measure the `(φ, ψ)` torsions realised by a built structure.  Used in
@@ -566,6 +699,66 @@ mod tests {
         for i in 0..(cas.len() - 3) {
             assert!(cas[i].distance(cas[i + 3]) < 7.0);
         }
+    }
+
+    #[test]
+    fn rebuild_from_matches_full_build_at_every_angle() {
+        let builder = LoopBuilder::default();
+        let frame = test_frame();
+        let seq = test_sequence(9);
+        let t0 = alpha_torsions(9);
+        for k in 0..t0.n_angles() {
+            let mut t1 = t0.clone();
+            t1.set_angle(k, deg_to_rad(97.0) + 0.01 * k as f64);
+            // Incremental: start from the t0 structure, edit angle k.
+            let mut incremental = builder.build(&frame, &seq, &t0);
+            builder.rebuild_from(&frame, &seq, &t1, k, &mut incremental);
+            // Reference: full rebuild from scratch.
+            let full = builder.build(&frame, &seq, &t1);
+            assert_eq!(incremental, full, "suffix rebuild diverged at angle {k}");
+        }
+    }
+
+    #[test]
+    fn rebuild_from_chained_edits_stay_exact() {
+        // A CCD-like ascending sweep of single-angle edits, each applied
+        // with a suffix-only rebuild, must track the full rebuild exactly.
+        let builder = LoopBuilder::default();
+        let frame = test_frame();
+        let seq = test_sequence(7);
+        let mut t = alpha_torsions(7);
+        let mut s = builder.build(&frame, &seq, &t);
+        for sweep in 0..3 {
+            for k in 0..t.n_angles() {
+                t.rotate_angle(k, deg_to_rad(5.0 + sweep as f64 + k as f64));
+                builder.rebuild_from(&frame, &seq, &t, k, &mut s);
+                assert_eq!(s, builder.build(&frame, &seq, &t));
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_from_past_the_end_is_a_noop() {
+        let builder = LoopBuilder::default();
+        let frame = test_frame();
+        let seq = test_sequence(4);
+        let t = alpha_torsions(4);
+        let mut s = builder.build(&frame, &seq, &t);
+        let reference = s.clone();
+        builder.rebuild_from(&frame, &seq, &t, t.n_angles(), &mut s);
+        builder.rebuild_from(&frame, &seq, &t, t.n_angles() + 5, &mut s);
+        assert_eq!(s, reference);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rebuild_from_rejects_unbuilt_structure() {
+        let builder = LoopBuilder::default();
+        let frame = test_frame();
+        let seq = test_sequence(5);
+        let t = alpha_torsions(5);
+        let mut empty = LoopStructure::with_capacity(5);
+        builder.rebuild_from(&frame, &seq, &t, 0, &mut empty);
     }
 
     #[test]

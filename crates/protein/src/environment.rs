@@ -3,8 +3,11 @@
 //! The VDW soft-sphere scoring function estimates clashes both *within* the
 //! loop and *between* the loop and "the residues in the rest of the
 //! protein" (the paper's wording).  [`Environment`] holds that fixed atom
-//! set together with a uniform spatial hash grid so that clash evaluation
-//! only visits nearby atoms instead of the whole protein.
+//! set together with a uniform spatial hash grid for one-off neighbourhood
+//! queries; [`EnvCandidates`] is the per-target snapshot the scoring hot
+//! path actually consumes — flat SoA coordinate arrays plus a CSR cell
+//! list (see its docs for the layout), built once per target so
+//! per-evaluation queries touch no `HashMap` and allocate nothing.
 
 use lms_geometry::Vec3;
 use std::collections::HashMap;
@@ -96,15 +99,35 @@ pub struct Environment {
 }
 
 /// A precomputed, flat structure-of-arrays snapshot of the environment atoms
-/// that can ever interact with a loop region.
+/// that can ever interact with a loop region, plus a flat cell list over
+/// them for O(local density) per-site queries.
 ///
-/// Scoring functions walk these parallel arrays linearly instead of querying
-/// the spatial grid per loop atom per evaluation: the inner contact loop
-/// becomes branch-light, auto-vectorizable, and — because the candidate set
-/// is computed once per target — entirely allocation-free at evaluation
-/// time.  The set is a conservative superset (every atom within the caller's
-/// reach radius), so kernels that skip non-overlapping pairs produce results
-/// identical to an exact neighbour query.
+/// Scoring functions historically walked these parallel arrays linearly per
+/// loop site, which degrades toward O(total protein atoms) per evaluation on
+/// full-size environments: the candidate reach bound covers the *whole*
+/// loop, so on a real protein the candidate set is large even though each
+/// individual site only ever contacts a handful of atoms.  The cell list
+/// restores locality without giving up the flat-array, allocation-free
+/// evaluation discipline.
+///
+/// ## Cell-list layout (CSR, no hashing on the hot path)
+///
+/// Candidates are binned once — at construction, i.e. once per target — into
+/// a uniform grid of [`DEFAULT_CELL_SIZE`] cubes covering their bounding
+/// box.  The grid is stored structure-of-arrays, CSR-style:
+///
+/// * `cell_starts[c]..cell_starts[c + 1]` is the slice of `cell_atoms`
+///   holding the candidate indices that fall in flat cell `c`
+///   (x-major: `c = (cz * ny + cy) * nx + cx`);
+/// * `cell_atoms` is a permutation of `0..len()` grouped by cell via a
+///   counting sort, **ascending within each cell** so queries can restore
+///   global index order cheaply.
+///
+/// [`EnvCandidates::gather_within`] visits only the cells overlapping a
+/// query sphere's bounding box and appends their candidate indices to a
+/// caller-owned buffer — a conservative superset of the true neighbours, so
+/// kernels that apply their own distance cutoff produce results identical
+/// to the linear scan (the scoring crate property-tests this equivalence).
 #[derive(Debug, Clone, Default)]
 pub struct EnvCandidates {
     xs: Vec<f64>,
@@ -112,6 +135,19 @@ pub struct EnvCandidates {
     zs: Vec<f64>,
     radii: Vec<f64>,
     centroid: Vec<bool>,
+    /// Largest candidate soft-sphere radius (0 when empty); callers use it
+    /// to bound per-site query radii.
+    max_radius: f64,
+    /// Minimum corner of the candidate bounding box (grid origin).
+    origin: Vec3,
+    /// Grid dimensions (cells per axis).
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// CSR row offsets: `cell_starts.len() == nx * ny * nz + 1`.
+    cell_starts: Vec<u32>,
+    /// Candidate indices grouped by cell, ascending within each cell.
+    cell_atoms: Vec<u32>,
 }
 
 impl EnvCandidates {
@@ -149,6 +185,128 @@ impl EnvCandidates {
     /// pseudo-atom, `false` = backbone heavy atom).
     pub fn centroid_flags(&self) -> &[bool] {
         &self.centroid
+    }
+
+    /// Largest candidate soft-sphere radius (0 for an empty set); bounds the
+    /// query radius any contact kernel needs per site.
+    pub fn max_radius(&self) -> f64 {
+        self.max_radius
+    }
+
+    /// Bin the candidates into the CSR cell list.  Called once at
+    /// construction; O(len) via a counting sort that keeps indices
+    /// ascending within each cell.
+    fn build_cells(&mut self) {
+        let n = self.len();
+        self.max_radius = self.radii.iter().fold(0.0f64, |m, &r| m.max(r));
+        if n == 0 {
+            self.origin = Vec3::ZERO;
+            self.nx = 0;
+            self.ny = 0;
+            self.nz = 0;
+            self.cell_starts = vec![0];
+            self.cell_atoms.clear();
+            return;
+        }
+        let fold =
+            |init: f64, vs: &[f64], f: fn(f64, f64) -> f64| vs.iter().fold(init, |m, &v| f(m, v));
+        let min = Vec3::new(
+            fold(f64::INFINITY, &self.xs, f64::min),
+            fold(f64::INFINITY, &self.ys, f64::min),
+            fold(f64::INFINITY, &self.zs, f64::min),
+        );
+        let max = Vec3::new(
+            fold(f64::NEG_INFINITY, &self.xs, f64::max),
+            fold(f64::NEG_INFINITY, &self.ys, f64::max),
+            fold(f64::NEG_INFINITY, &self.zs, f64::max),
+        );
+        self.origin = min;
+        let cells_along = |lo: f64, hi: f64| ((hi - lo) / DEFAULT_CELL_SIZE).floor() as usize + 1;
+        self.nx = cells_along(min.x, max.x);
+        self.ny = cells_along(min.y, max.y);
+        self.nz = cells_along(min.z, max.z);
+
+        // Counting sort into CSR: count per cell, prefix-sum, then place the
+        // atoms in index order so each cell's slice stays ascending.
+        let n_cells = self.nx * self.ny * self.nz;
+        let mut counts = vec![0u32; n_cells + 1];
+        let flat: Vec<usize> = (0..n)
+            .map(|i| self.flat_cell_of(Vec3::new(self.xs[i], self.ys[i], self.zs[i])))
+            .collect();
+        for &c in &flat {
+            counts[c + 1] += 1;
+        }
+        for c in 0..n_cells {
+            counts[c + 1] += counts[c];
+        }
+        self.cell_starts = counts.clone();
+        self.cell_atoms = vec![0u32; n];
+        let mut cursor = counts;
+        for (i, &c) in flat.iter().enumerate() {
+            self.cell_atoms[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+    }
+
+    /// Flat cell index of a position (which must lie inside the bounding
+    /// box used to build the grid).
+    #[inline]
+    fn flat_cell_of(&self, p: Vec3) -> usize {
+        let inv = 1.0 / DEFAULT_CELL_SIZE;
+        let cx = (((p.x - self.origin.x) * inv) as usize).min(self.nx - 1);
+        let cy = (((p.y - self.origin.y) * inv) as usize).min(self.ny - 1);
+        let cz = (((p.z - self.origin.z) * inv) as usize).min(self.nz - 1);
+        (cz * self.ny + cy) * self.nx + cx
+    }
+
+    /// Append to `out` the indices of every candidate in a cell overlapping
+    /// the axis-aligned bounding box of the sphere `(p, radius)` — a
+    /// conservative superset of the candidates whose centres lie within
+    /// `radius` of `p`.  Indices are ascending within each visited cell but
+    /// not globally; callers needing a deterministic global order (e.g. for
+    /// bit-stable floating-point accumulation) sort the buffer afterwards.
+    ///
+    /// `out` is *not* cleared: steady-state callers own the buffer and
+    /// `clear()` it themselves, so the query allocates nothing once the
+    /// buffer's capacity covers the local density high-water mark
+    /// (`len()` is always a sufficient capacity).
+    pub fn gather_within(&self, p: Vec3, radius: f64, out: &mut Vec<u32>) {
+        if self.cell_atoms.is_empty() {
+            return;
+        }
+        let inv = 1.0 / DEFAULT_CELL_SIZE;
+        // Per-axis inclusive cell ranges of the bbox, intersected with the
+        // grid; an empty intersection on any axis means no candidates.
+        let axis_range = |lo: f64, n: usize, coord: f64| -> Option<(usize, usize)> {
+            let a = ((coord - radius - lo) * inv).floor() as i64;
+            let b = ((coord + radius - lo) * inv).floor() as i64;
+            let a = a.max(0);
+            let b = b.min(n as i64 - 1);
+            if a > b {
+                None
+            } else {
+                Some((a as usize, b as usize))
+            }
+        };
+        let Some((x0, x1)) = axis_range(self.origin.x, self.nx, p.x) else {
+            return;
+        };
+        let Some((y0, y1)) = axis_range(self.origin.y, self.ny, p.y) else {
+            return;
+        };
+        let Some((z0, z1)) = axis_range(self.origin.z, self.nz, p.z) else {
+            return;
+        };
+        for cz in z0..=z1 {
+            for cy in y0..=y1 {
+                let row = (cz * self.ny + cy) * self.nx;
+                let start = self.cell_starts[row + x0] as usize;
+                let end = self.cell_starts[row + x1 + 1] as usize;
+                // Cells are contiguous along x, so one slice covers the
+                // whole x-run of this (y, z) row.
+                out.extend_from_slice(&self.cell_atoms[start..end]);
+            }
+        }
     }
 }
 
@@ -213,9 +371,10 @@ impl Environment {
     }
 
     /// Collect a flat SoA candidate set of every atom whose centre lies
-    /// within `radius` of `center`.  Computed once per loop target (the
-    /// caller passes a conservative reach bound) and then scanned linearly
-    /// by the scoring kernels.
+    /// within `radius` of `center`, together with its CSR cell list.
+    /// Computed once per loop target (the caller passes a conservative reach
+    /// bound); the scoring kernels then query the cell list per site (or
+    /// scan the arrays linearly) with no per-evaluation allocation.
     pub fn candidates_within(&self, center: Vec3, radius: f64) -> EnvCandidates {
         let mut out = EnvCandidates::default();
         let r2 = radius * radius;
@@ -228,6 +387,7 @@ impl Environment {
                 out.centroid.push(a.is_centroid);
             }
         }
+        out.build_cells();
         out
     }
 
@@ -318,6 +478,96 @@ mod tests {
         let env = Environment::new(grid_of_atoms(3, 3.0));
         // Radius covering everything.
         assert_eq!(env.burial_count(Vec3::new(3.0, 3.0, 3.0), 100.0), 27);
+    }
+
+    #[test]
+    fn gather_within_is_a_superset_of_true_neighbors() {
+        let atoms = grid_of_atoms(6, 2.1);
+        let env = Environment::new(atoms);
+        let cand = env.candidates_within(Vec3::new(5.0, 5.0, 5.0), 100.0);
+        assert_eq!(cand.len(), 216);
+        let mut buf = Vec::new();
+        for &(p, r) in &[
+            (Vec3::new(5.0, 5.0, 5.0), 3.0),
+            (Vec3::new(0.0, 0.0, 0.0), 4.5),
+            (Vec3::new(10.6, 1.0, 6.0), 6.0),
+            (Vec3::new(-9.0, -9.0, -9.0), 2.0),
+            (Vec3::new(50.0, 50.0, 50.0), 3.0),
+            (Vec3::new(6.1, 6.1, 6.1), 0.25),
+        ] {
+            buf.clear();
+            cand.gather_within(p, r, &mut buf);
+            // No duplicates.
+            let mut sorted = buf.clone();
+            sorted.sort_unstable();
+            let mut dedup = sorted.clone();
+            dedup.dedup();
+            assert_eq!(sorted, dedup, "duplicate indices at {p} r={r}");
+            // Every true neighbour is gathered.
+            let r2 = r * r;
+            for i in 0..cand.len() {
+                let q = Vec3::new(cand.xs()[i], cand.ys()[i], cand.zs()[i]);
+                if q.distance_sq(p) <= r2 {
+                    assert!(
+                        buf.contains(&(i as u32)),
+                        "missed neighbour {i} at {p} r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidates_gather_nothing() {
+        let env = Environment::empty();
+        let cand = env.candidates_within(Vec3::ZERO, 50.0);
+        assert!(cand.is_empty());
+        assert_eq!(cand.max_radius(), 0.0);
+        let mut buf = Vec::new();
+        cand.gather_within(Vec3::ZERO, 10.0, &mut buf);
+        assert!(buf.is_empty());
+        // A default (never-built) candidate set behaves the same.
+        let default = EnvCandidates::default();
+        default.gather_within(Vec3::ZERO, 10.0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn single_cell_candidates_gather_everything_in_range() {
+        // All atoms inside one grid cell.
+        let atoms = vec![
+            EnvAtom::backbone(Vec3::new(0.1, 0.2, 0.3), 1.7),
+            EnvAtom::centroid(Vec3::new(0.4, 0.1, 0.2), 2.3),
+            EnvAtom::backbone(Vec3::new(0.2, 0.3, 0.1), 1.5),
+        ];
+        let env = Environment::new(atoms);
+        let cand = env.candidates_within(Vec3::ZERO, 10.0);
+        assert_eq!(cand.len(), 3);
+        assert!((cand.max_radius() - 2.3).abs() < 1e-12);
+        let mut buf = Vec::new();
+        cand.gather_within(Vec3::ZERO, 1.0, &mut buf);
+        buf.sort_unstable();
+        assert_eq!(buf, vec![0, 1, 2]);
+        // A query far away touches no cells at all.
+        buf.clear();
+        cand.gather_within(Vec3::new(100.0, 0.0, 0.0), 1.0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn cell_slices_are_ascending_within_each_cell() {
+        let atoms = grid_of_atoms(4, 3.7);
+        let env = Environment::new(atoms);
+        let cand = env.candidates_within(Vec3::new(5.0, 5.0, 5.0), 100.0);
+        let mut buf = Vec::new();
+        // Gather one tight query per atom position: each visits a handful
+        // of cells whose slices must each be ascending runs.
+        for i in 0..cand.len() {
+            buf.clear();
+            let p = Vec3::new(cand.xs()[i], cand.ys()[i], cand.zs()[i]);
+            cand.gather_within(p, 0.5, &mut buf);
+            assert!(buf.contains(&(i as u32)));
+        }
     }
 
     #[test]

@@ -30,8 +30,13 @@
 //! per-target environment-neighbour cache
 //! (`LoopTarget::env_candidates`): the fixed-environment atoms reachable
 //! from the loop region are collected once per target into a flat SoA
-//! candidate set, so per-evaluation scoring performs a branch-light linear
-//! scan instead of spatial-hash queries.
+//! candidate set with a CSR cell list over it.  Per-evaluation scoring
+//! queries only the cells within each site's contact reach — O(local
+//! density) per site instead of O(all candidates) — gathering indices into
+//! a scratch-owned buffer and sorting them back to ascending order so the
+//! accumulation is bit-identical to the exhaustive linear scan (kept as
+//! [`VdwScore::environment_term_linear`] and property-tested in
+//! `tests/cell_list_equivalence.rs`).
 //!
 //! ## Quick example
 //!

@@ -13,10 +13,18 @@
 //! * between all loop backbone atoms / centroids at residue separation ≥ 2
 //!   (intra-loop clashes), and
 //! * between every loop atom / centroid and the fixed environment atoms
-//!   within a cutoff, using the environment's spatial grid.
+//!   within a cutoff, queried through the per-target candidate cell list
+//!   ([`EnvCandidates::gather_within`]) so each site pays O(local density)
+//!   rather than O(all candidates).  Gathered indices are sorted back into
+//!   ascending order before accumulation, which restores the exhaustive
+//!   linear scan's floating-point summation order — the two paths are
+//!   bit-identical (property-tested in `tests/cell_list_equivalence.rs`;
+//!   the linear scan stays available as
+//!   [`VdwScore::environment_term_linear`]).
 
 use crate::traits::ScoringFunction;
 use crate::workspace::ScoreScratch;
+use lms_geometry::Vec3;
 use lms_protein::{EnvCandidates, LoopStructure, LoopTarget, Torsions};
 
 /// Soft-sphere radii (Å) of the backbone heavy atoms.
@@ -189,11 +197,14 @@ impl VdwScore {
         total
     }
 
-    /// Loop-to-environment clash contribution: a linear scan of the target's
-    /// precomputed SoA candidate set instead of a spatial-grid query per
-    /// site.  Candidates beyond overlap range contribute exactly 0, so the
-    /// conservative candidate superset changes nothing but speed.
-    fn against_environment(&self, s: &ScoreScratch, env: &EnvCandidates) -> f64 {
+    /// Loop-to-environment clash contribution via an exhaustive linear scan
+    /// of the target's precomputed SoA candidate set.  Candidates beyond
+    /// overlap range contribute exactly 0, so the conservative candidate
+    /// superset changes nothing but speed.  This is the *reference* path:
+    /// production scoring goes through
+    /// [`VdwScore::against_environment_cells`], which must (and does)
+    /// reproduce this sum bit for bit.
+    fn against_environment_linear(&self, s: &ScoreScratch, env: &EnvCandidates) -> f64 {
         let (ex, ey, ez) = (env.xs(), env.ys(), env.zs());
         let (er, ec) = (env.radii(), env.centroid_flags());
         let mut total = 0.0;
@@ -216,6 +227,92 @@ impl VdwScore {
         total
     }
 
+    /// Loop-to-environment clash contribution via the candidate cell list:
+    /// each site gathers only the candidates in cells overlapping its
+    /// contact reach `(rₐ + max_env_radius) · softness`, so per-site cost
+    /// tracks *local* density instead of the total candidate count.
+    ///
+    /// Two details keep this bit-identical to
+    /// [`VdwScore::against_environment_linear`]:
+    /// * the gather is a superset of every candidate with a non-zero
+    ///   penalty (any contributing pair has `d < σ ≤ reach`), and excluded
+    ///   candidates contribute exactly 0;
+    /// * gathered indices are sorted ascending before accumulation, so the
+    ///   surviving contributions are summed in the linear scan's order.
+    ///
+    /// The index buffer lives in the scratch; its capacity is raised to the
+    /// candidate count (the hard upper bound on any gather) on first use,
+    /// after which queries never allocate.
+    fn against_environment_cells(&self, s: &mut ScoreScratch, env: &EnvCandidates) -> f64 {
+        if env.is_empty() {
+            return 0.0;
+        }
+        if s.env_idx.capacity() < env.len() {
+            // `reserve` takes an *additional* count on top of the current
+            // length; clearing first makes it an absolute capacity floor,
+            // so the guarantee holds even when a scratch warmed up on a
+            // smaller target is reused on a larger one.
+            s.env_idx.clear();
+            s.env_idx.reserve(env.len());
+        }
+        let softness = self.radii.softness;
+        let max_reach = env.max_radius();
+        let mut total = 0.0;
+        for a in 0..s.site_x.len() {
+            let (xa, ya, za) = (s.site_x[a], s.site_y[a], s.site_z[a]);
+            let (ra, ca) = (s.site_r[a], s.site_centroid[a]);
+            s.env_idx.clear();
+            env.gather_within(
+                Vec3::new(xa, ya, za),
+                (ra + max_reach) * softness,
+                &mut s.env_idx,
+            );
+            s.env_idx.sort_unstable();
+            let (ex, ey, ez) = (env.xs(), env.ys(), env.zs());
+            let (er, ec) = (env.radii(), env.centroid_flags());
+            for &b in &s.env_idx {
+                let b = b as usize;
+                let dx = xa - ex[b];
+                let dy = ya - ey[b];
+                let dz = za - ez[b];
+                let d2 = dx * dx + dy * dy + dz * dz;
+                let sigma = (ra + er[b]) * softness;
+                if d2 >= sigma * sigma || sigma <= 0.0 {
+                    continue;
+                }
+                total +=
+                    self.contact_weight(ca, ec[b]) * self.overlap_penalty(d2.sqrt(), ra + er[b]);
+            }
+        }
+        total
+    }
+
+    /// The loop-to-environment term of [`VdwScore::score_target_with`] in
+    /// isolation, evaluated through the candidate cell list (the production
+    /// path).  Exposed so equivalence tests and benchmarks can compare it
+    /// against [`VdwScore::environment_term_linear`].
+    pub fn environment_term(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        self.fill_sites(target, structure, scratch);
+        self.against_environment_cells(scratch, target.env_candidates())
+    }
+
+    /// The same environment term via the exhaustive linear SoA scan — the
+    /// reference implementation the cell-list path must match bit for bit.
+    pub fn environment_term_linear(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        self.fill_sites(target, structure, scratch);
+        self.against_environment_linear(scratch, target.env_candidates())
+    }
+
     /// Score a structure in the context of a target (needed for the residue
     /// types and the environment), staging data in `scratch`.
     pub fn score_target_with(
@@ -234,7 +331,7 @@ impl VdwScore {
         );
         self.fill_sites(target, structure, scratch);
         let intra = self.intra_loop(scratch);
-        let inter = self.against_environment(scratch, target.env_candidates());
+        let inter = self.against_environment_cells(scratch, target.env_candidates());
         (intra + inter) / structure.n_residues() as f64
     }
 

@@ -42,6 +42,12 @@ pub struct ScoreScratch {
     pub(crate) atom_z: Vec<f64>,
     /// TRIPLET per-residue Ramachandran classes.
     pub(crate) classes: Vec<RamaClass>,
+    /// Candidate-index buffer the VDW environment kernel gathers cell-list
+    /// query results into (one query per site, buffer reused across all of
+    /// them).  Capacity is bounded by the target's total candidate count,
+    /// which the kernel reserves up front so steady-state queries never
+    /// allocate.
+    pub(crate) env_idx: Vec<u32>,
 }
 
 impl ScoreScratch {
@@ -64,6 +70,7 @@ impl ScoreScratch {
             atom_y: Vec::with_capacity(4 * n_residues),
             atom_z: Vec::with_capacity(4 * n_residues),
             classes: Vec::with_capacity(n_residues),
+            env_idx: Vec::new(),
         }
     }
 
@@ -79,6 +86,7 @@ impl ScoreScratch {
         self.atom_y.clear();
         self.atom_z.clear();
         self.classes.clear();
+        self.env_idx.clear();
     }
 }
 

@@ -19,6 +19,8 @@
 //! here is strictly stronger and is verified by property tests).
 
 use rayon::prelude::*;
+use rayon::ThreadPool;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How the per-conformation kernels are executed on the host.
@@ -30,6 +32,13 @@ pub enum Executor {
     Parallel {
         /// Number of worker threads (0 = rayon's default, one per core).
         threads: usize,
+        /// The explicitly-sized thread pool, built lazily on the first
+        /// launch and reused for every subsequent one (building a pool per
+        /// kernel launch was measurable overhead at sampler iteration
+        /// rates).  Shared across clones of this executor; unused (and
+        /// never built) when `threads == 0`, where rayon's global pool
+        /// serves instead.
+        pool: Arc<OnceLock<ThreadPool>>,
     },
 }
 
@@ -41,12 +50,28 @@ impl Executor {
 
     /// A parallel executor using rayon's global pool (one thread per core).
     pub fn parallel() -> Executor {
-        Executor::Parallel { threads: 0 }
+        Executor::Parallel {
+            threads: 0,
+            pool: Arc::new(OnceLock::new()),
+        }
     }
 
     /// A parallel executor with an explicit thread count.
     pub fn parallel_with_threads(threads: usize) -> Executor {
-        Executor::Parallel { threads }
+        Executor::Parallel {
+            threads,
+            pool: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The lazily-built pool of an explicitly-sized parallel executor.
+    fn sized_pool(pool: &OnceLock<ThreadPool>, threads: usize) -> &ThreadPool {
+        pool.get_or_init(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build rayon pool")
+        })
     }
 
     /// Short display name.
@@ -77,21 +102,14 @@ impl Executor {
                     f(i, item);
                 }
             }
-            Executor::Parallel { threads } => {
+            Executor::Parallel { threads, pool } => {
                 if *threads == 0 {
                     items
                         .par_iter_mut()
                         .enumerate()
                         .for_each(|(i, item)| f(i, item));
                 } else {
-                    // A scoped pool with an explicit size; building one per
-                    // call is cheap relative to kernel work and keeps the
-                    // executor value reusable across differently-sized runs.
-                    let pool = rayon::ThreadPoolBuilder::new()
-                        .num_threads(*threads)
-                        .build()
-                        .expect("failed to build rayon pool");
-                    pool.install(|| {
+                    Self::sized_pool(pool, *threads).install(|| {
                         items
                             .par_iter_mut()
                             .enumerate()
@@ -114,15 +132,12 @@ impl Executor {
         let start = Instant::now();
         let out = match self {
             Executor::Scalar => items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
-            Executor::Parallel { threads } => {
+            Executor::Parallel { threads, pool } => {
                 if *threads == 0 {
                     items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect()
                 } else {
-                    let pool = rayon::ThreadPoolBuilder::new()
-                        .num_threads(*threads)
-                        .build()
-                        .expect("failed to build rayon pool");
-                    pool.install(|| items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect())
+                    Self::sized_pool(pool, *threads)
+                        .install(|| items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect())
                 }
             }
         };
@@ -133,7 +148,7 @@ impl Executor {
     pub fn thread_count(&self) -> usize {
         match self {
             Executor::Scalar => 1,
-            Executor::Parallel { threads } => {
+            Executor::Parallel { threads, .. } => {
                 if *threads == 0 {
                     rayon::current_num_threads()
                 } else {
@@ -204,6 +219,28 @@ mod tests {
         assert!(d.as_secs() < 1);
         let (out, _) = Executor::scalar().map_indexed(&empty, |_, x| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_pool_is_lazy_built_once_and_shared_with_clones() {
+        let exec = Executor::parallel_with_threads(2);
+        let Executor::Parallel { pool, .. } = &exec else {
+            unreachable!()
+        };
+        assert!(pool.get().is_none(), "pool must not be built before use");
+        let mut items = vec![0u8; 256];
+        exec.for_each_indexed(&mut items, |_, x| *x += 1);
+        let first = pool.get().expect("first launch builds the pool") as *const ThreadPool;
+        exec.for_each_indexed(&mut items, |_, x| *x += 1);
+        let (_, _) = exec.map_indexed(&items, |_, x| *x);
+        let second = pool.get().unwrap() as *const ThreadPool;
+        assert_eq!(first, second, "subsequent launches must reuse the pool");
+        // Clones share the same lazily-built pool.
+        let clone = exec.clone();
+        let Executor::Parallel { pool: cloned, .. } = &clone else {
+            unreachable!()
+        };
+        assert_eq!(cloned.get().unwrap() as *const ThreadPool, first);
     }
 
     #[test]
