@@ -13,13 +13,13 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn base_config() -> SamplerConfig {
-    SamplerConfig {
-        population_size: 64,
-        n_complexes: 2,
-        iterations: 3,
-        seed: 21,
-        ..SamplerConfig::default()
-    }
+    SamplerConfig::builder()
+        .population_size(64)
+        .n_complexes(2)
+        .iterations(3)
+        .seed(21)
+        .build()
+        .expect("valid bench config")
 }
 
 fn bench_single_vs_multi(c: &mut Criterion) {
@@ -36,10 +36,11 @@ fn bench_single_vs_multi(c: &mut Criterion) {
         ("weighted_sum", ObjectiveMode::WeightedSum([1.0, 1.0, 1.0])),
     ];
     for (name, mode) in modes {
-        let cfg = SamplerConfig {
-            objective_mode: mode,
-            ..base_config()
-        };
+        let cfg = base_config()
+            .to_builder()
+            .objective_mode(mode)
+            .build()
+            .expect("valid bench config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_function(name, |b| {
             b.iter(|| black_box(sampler.run(&Executor::parallel()).best_rmsd()))
@@ -56,10 +57,11 @@ fn bench_complexes(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
     for &m in &[1usize, 2, 8] {
-        let cfg = SamplerConfig {
-            n_complexes: m,
-            ..base_config()
-        };
+        let cfg = base_config()
+            .to_builder()
+            .n_complexes(m)
+            .build()
+            .expect("valid bench config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter(|| black_box(sampler.run(&Executor::parallel()).non_dominated_count()))
@@ -76,14 +78,15 @@ fn bench_ccd_budget(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
     for &sweeps in &[8usize, 24, 64] {
-        let cfg = SamplerConfig {
-            ccd: CcdConfig {
-                max_sweeps: sweeps,
-                tolerance: 0.25,
-                start_index: 0,
-            },
-            ..base_config()
-        };
+        let cfg = base_config()
+            .to_builder()
+            .ccd(
+                CcdConfig::new()
+                    .with_max_sweeps(sweeps)
+                    .with_tolerance(0.25),
+            )
+            .build()
+            .expect("valid bench config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_with_input(BenchmarkId::from_parameter(sweeps), &sweeps, |b, _| {
             b.iter(|| black_box(sampler.run(&Executor::parallel()).best_rmsd()))
@@ -105,10 +108,11 @@ fn bench_annealing(c: &mut Criterion) {
         b.iter(|| black_box(adaptive.run(&Executor::parallel()).acceptance_rate))
     });
     // Effectively fixed temperature: a band so wide it never adjusts.
-    let fixed_cfg = SamplerConfig {
-        acceptance_band: (0.0, 1.0),
-        ..base_config()
-    };
+    let fixed_cfg = base_config()
+        .to_builder()
+        .acceptance_band(0.0, 1.0)
+        .build()
+        .expect("valid bench config");
     let fixed = MoscemSampler::new(target, kb, fixed_cfg);
     group.bench_function("fixed", |b| {
         b.iter(|| black_box(fixed.run(&Executor::parallel()).acceptance_rate))

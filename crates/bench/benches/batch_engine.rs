@@ -1,0 +1,204 @@
+//! Benchmark of the batch job engine's scheduler: a batch of 8 small
+//! loop-modeling jobs submitted to [`LoopModelingEngine`] at full
+//! concurrency against the same 8 jobs run back-to-back (the
+//! one-target-one-call pattern the engine replaced).
+//!
+//! Two claims are measured:
+//!
+//! * **Throughput** — on a multi-core host the batch finishes in less
+//!   wall-clock than the sequential loop, because the scheduler splits the
+//!   thread budget across jobs instead of letting each small job's
+//!   population kernel leave cores idle between launches.  On a single-core
+//!   host (`host_cores: 1` in the JSON) no parallel win is physically
+//!   possible; there the measured ratio instead bounds the scheduler's
+//!   overhead (it should be ≈ 1.0).
+//! * **Equivalence** — the batch results are bit-identical to the
+//!   sequential runs (asserted here on every measurement, property-tested
+//!   in `tests/batch_engine.rs`).
+//!
+//! Besides the criterion group, the harness writes `BENCH_batch.json` at
+//! the workspace root recording both modes for the perf trajectory.
+
+use criterion::{criterion_group, Criterion};
+use lms_bench::shared_kb;
+use lms_core::{Job, LoopModelingEngine, MoscemSampler, SamplerConfig, TrajectoryResult};
+use lms_protein::{BenchmarkLibrary, LoopTarget};
+use lms_simt::Executor;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The batch: 8 small jobs over loops of different lengths, the shape the
+/// ISSUE's acceptance criterion names.
+const BATCH_NAMES: [&str; 8] = [
+    "1ads", "5pti", "1cex", "3pte", "1akz", "1ixh", "153l", "1dim",
+];
+
+fn batch_config(seed: u64) -> SamplerConfig {
+    SamplerConfig::builder()
+        .population_size(24)
+        .n_complexes(2)
+        .iterations(4)
+        .seed(seed)
+        .build()
+        .expect("valid bench config")
+}
+
+fn batch_targets() -> Vec<LoopTarget> {
+    let library = BenchmarkLibrary::standard();
+    BATCH_NAMES
+        .iter()
+        .map(|name| library.target_by_name(name).expect("benchmark target"))
+        .collect()
+}
+
+fn batch_jobs(targets: &[LoopTarget]) -> Vec<Job> {
+    targets
+        .iter()
+        .enumerate()
+        .map(|(i, target)| {
+            Job::builder(target.clone())
+                .config(batch_config(3000 + i as u64))
+                .seed(3000 + i as u64)
+                .build()
+                .expect("valid job")
+        })
+        .collect()
+}
+
+/// Run the 8 jobs one after another through the classic per-target API.
+fn run_sequential(targets: &[LoopTarget], executor: &Executor) -> Vec<TrajectoryResult> {
+    targets
+        .iter()
+        .enumerate()
+        .map(|(i, target)| {
+            let seed = 3000 + i as u64;
+            let sampler = MoscemSampler::try_new(target.clone(), shared_kb(), batch_config(seed))
+                .expect("valid config");
+            sampler.run_with_seed(executor, seed)
+        })
+        .collect()
+}
+
+/// Run the 8 jobs as one engine batch; results come back in submission
+/// order from `join()`.
+fn run_batch(engine: &LoopModelingEngine, targets: &[LoopTarget]) -> Vec<TrajectoryResult> {
+    engine
+        .submit(batch_jobs(targets))
+        .join()
+        .into_iter()
+        .map(|r| r.outcome.expect("batch job failed"))
+        .collect()
+}
+
+fn assert_equivalent(a: &[TrajectoryResult], b: &[TrajectoryResult]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        for (cx, cy) in x.population.iter().zip(y.population.iter()) {
+            assert_eq!(cx.torsions, cy.torsions, "batch diverged from sequential");
+            assert_eq!(cx.scores, cy.scores);
+        }
+    }
+}
+
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    let targets = batch_targets();
+    let engine = LoopModelingEngine::builder(shared_kb())
+        .executor(Executor::parallel())
+        .build()
+        .expect("valid engine");
+    let mut group = c.benchmark_group("batch_engine");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("sequential_8_jobs", |b| {
+        b.iter(|| black_box(run_sequential(&targets, &Executor::parallel()).len()))
+    });
+    group.bench_function("engine_batch_8_jobs", |b| {
+        b.iter(|| black_box(run_batch(&engine, &targets).len()))
+    });
+    group.finish();
+}
+
+/// Median wall-clock of `f` over `samples` runs.
+fn median_wall<F: FnMut()>(mut f: F, samples: u32) -> Duration {
+    let mut walls: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    walls.sort();
+    walls[walls.len() / 2]
+}
+
+/// Measure both modes, verify bit-identity, and write `BENCH_batch.json`
+/// at the workspace root.
+fn write_bench_json() {
+    let targets = batch_targets();
+    let executor = Executor::parallel();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let engine = LoopModelingEngine::builder(shared_kb())
+        .executor(executor.clone())
+        .build()
+        .expect("valid engine");
+
+    // Warm everything once (knowledge base, env caches, scratch pool), and
+    // pin the equivalence claim on real results.
+    let sequential_results = run_sequential(&targets, &executor);
+    let batch_results = run_batch(&engine, &targets);
+    assert_equivalent(&sequential_results, &batch_results);
+
+    let samples = 7;
+    let sequential = median_wall(
+        || {
+            black_box(run_sequential(&targets, &executor).len());
+        },
+        samples,
+    );
+    let batch = median_wall(
+        || {
+            black_box(run_batch(&engine, &targets).len());
+        },
+        samples,
+    );
+    let speedup = sequential.as_secs_f64() / batch.as_secs_f64().max(1e-12);
+    println!(
+        "batch_engine: {} jobs, sequential {:.1} ms, batch {:.1} ms, speedup {:.3}x on {} core(s)",
+        targets.len(),
+        sequential.as_secs_f64() * 1e3,
+        batch.as_secs_f64() * 1e3,
+        speedup,
+        host_cores,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"batch_engine\",\n  \"unit\": \"ms\",\n  \
+         \"comparison\": \"8 small jobs: sequential MoscemSampler runs vs one LoopModelingEngine batch\",\n  \
+         \"jobs\": {},\n  \"population_size\": 24,\n  \"iterations\": 4,\n  \
+         \"host_cores\": {host_cores},\n  \"engine_concurrency\": {},\n  \
+         \"sequential_ms\": {:.2},\n  \"batch_ms\": {:.2},\n  \"speedup\": {speedup:.3},\n  \
+         \"bit_identical\": true,\n  \
+         \"note\": \"on a 1-core host no parallel win is possible; the ratio then bounds scheduler overhead\"\n}}\n",
+        targets.len(),
+        engine.concurrency(),
+        sequential.as_secs_f64() * 1e3,
+        batch.as_secs_f64() * 1e3,
+    );
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| format!("{d}/../.."))
+        .unwrap_or_else(|_| ".".to_string());
+    let path = format!("{root}/BENCH_batch.json");
+    std::fs::write(&path, json).expect("write BENCH_batch.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_batch_vs_sequential);
+
+fn main() {
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+    write_bench_json();
+}

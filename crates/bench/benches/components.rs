@@ -28,11 +28,7 @@ fn bench_ccd(c: &mut Criterion) {
     let target = load_target("1cex");
     let closer = CcdCloser::new(
         LoopBuilder::default(),
-        CcdConfig {
-            max_sweeps: 24,
-            tolerance: 0.25,
-            start_index: 0,
-        },
+        CcdConfig::new().with_max_sweeps(24).with_tolerance(0.25),
     );
     let mut group = c.benchmark_group("components/ccd");
     group.sample_size(20);

@@ -18,13 +18,13 @@ fn bench_population_scaling(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
 
     for &pop in &[32usize, 64, 128] {
-        let cfg = SamplerConfig {
-            population_size: pop,
-            n_complexes: (pop / 32).max(1),
-            iterations: 2,
-            seed: 11,
-            ..SamplerConfig::default()
-        };
+        let cfg = SamplerConfig::builder()
+            .population_size(pop)
+            .n_complexes((pop / 32).max(1))
+            .iterations(2)
+            .seed(11)
+            .build()
+            .expect("valid bench config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_with_input(BenchmarkId::new("scalar", pop), &pop, |b, _| {
             b.iter(|| black_box(sampler.run(&Executor::scalar()).acceptance_rate))

@@ -17,7 +17,7 @@
 //! | [`fig6_best_decoys`] | Figure 6 — best decoys for 3pte and 1xyz |
 
 use crate::{load_target, sampler_for, scaled_config, shared_kb, Scale};
-use lms_core::{MoscemSampler, SamplerConfig};
+use lms_core::MoscemSampler;
 use lms_decoys::{ensemble_stats, format_percent, format_us, section, TextTable};
 use lms_protein::{to_pdb, LoopBuilder};
 use lms_scoring::{normalize_population, ScoreVector};
@@ -79,12 +79,13 @@ pub fn fig3_population_size(scale: Scale) -> String {
         "Best RMSD max (A)",
     ]);
     for &pop in &populations {
-        let cfg = SamplerConfig {
-            population_size: pop,
-            n_complexes: (pop / 64).max(1),
-            iterations: scale.iterations(),
-            ..scaled_config(scale, 303)
-        };
+        let cfg = scaled_config(scale, 303)
+            .to_builder()
+            .population_size(pop)
+            .n_complexes((pop / 64).max(1))
+            .iterations(scale.iterations())
+            .build()
+            .expect("valid experiment config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         let results: Vec<_> = (0..trajectories)
             .map(|t| sampler.run_with_seed(&Executor::parallel(), 1000 + t as u64))
@@ -135,12 +136,13 @@ pub fn fig4_speedup_scaling(scale: Scale) -> String {
     let mut modeled_cpu_series = Vec::new();
     let mut modeled_gpu_series = Vec::new();
     for &pop in &populations {
-        let cfg = SamplerConfig {
-            population_size: pop,
-            n_complexes: (pop / 128).max(1),
-            iterations,
-            ..scaled_config(scale, 404)
-        };
+        let cfg = scaled_config(scale, 404)
+            .to_builder()
+            .population_size(pop)
+            .n_complexes((pop / 128).max(1))
+            .iterations(iterations)
+            .build()
+            .expect("valid experiment config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg.clone());
         let scalar = sampler.run(&Executor::scalar());
         let parallel = sampler.run(&Executor::parallel());
@@ -253,12 +255,13 @@ pub fn table2_kernel_profile(scale: Scale) -> String {
 pub fn table3_occupancy(scale: Scale) -> String {
     // A very small trajectory is enough: occupancy depends only on the
     // kernel register footprints and the block size.
-    let cfg = SamplerConfig {
-        population_size: 128.min(scale.population()),
-        n_complexes: 1,
-        iterations: 1,
-        ..scaled_config(Scale::Quick, 1)
-    };
+    let cfg = scaled_config(Scale::Quick, 1)
+        .to_builder()
+        .population_size(128.min(scale.population()))
+        .n_complexes(1)
+        .iterations(1)
+        .build()
+        .expect("valid experiment config");
     let sampler = MoscemSampler::new(load_target("1cex"), shared_kb(), cfg);
     let result = sampler.run(&Executor::parallel());
     let mut out = section("Table III: registers per thread and occupancy per multiprocessor");
@@ -308,12 +311,13 @@ pub fn table4_outcomes(scale: Scale) -> (Vec<TargetOutcome>, String) {
         .iter()
         .map(|spec| {
             let target = library.generate(spec);
-            let cfg = SamplerConfig {
-                population_size: scale.population().min(512),
-                n_complexes: (scale.population().min(512) / 64).max(1),
-                iterations: scale.iterations(),
-                ..scaled_config(scale, 7000 + spec.start as u64)
-            };
+            let cfg = scaled_config(scale, 7000 + spec.start as u64)
+                .to_builder()
+                .population_size(scale.population().min(512))
+                .n_complexes((scale.population().min(512) / 64).max(1))
+                .iterations(scale.iterations())
+                .build()
+                .expect("valid experiment config");
             let sampler = MoscemSampler::new(target, kb.clone(), cfg);
             let production = sampler.produce_decoys(
                 &Executor::parallel(),
@@ -379,13 +383,14 @@ pub fn table4_outcomes(scale: Scale) -> (Vec<TargetOutcome>, String) {
 pub fn fig5_front_evolution(scale: Scale) -> String {
     let iterations = scale.iterations().max(5);
     let mid = (iterations / 5).max(1);
-    let cfg = SamplerConfig {
-        population_size: scale.population(),
-        n_complexes: scale.n_complexes(),
-        iterations,
-        snapshot_iterations: vec![0, mid, iterations],
-        ..scaled_config(scale, 505)
-    };
+    let cfg = scaled_config(scale, 505)
+        .to_builder()
+        .population_size(scale.population())
+        .n_complexes(scale.n_complexes())
+        .iterations(iterations)
+        .snapshot_iterations(vec![0, mid, iterations])
+        .build()
+        .expect("valid experiment config");
     let sampler = MoscemSampler::new(load_target("5pti"), shared_kb(), cfg);
     let result = sampler.run(&Executor::parallel());
 
@@ -442,12 +447,13 @@ pub fn fig6_best_decoys(scale: Scale) -> String {
     let paper = [("3pte", 0.42), ("1xyz", 2.15)];
     for (name, paper_rmsd) in paper {
         let target = load_target(name);
-        let cfg = SamplerConfig {
-            population_size: scale.population(),
-            n_complexes: scale.n_complexes(),
-            iterations: scale.iterations(),
-            ..scaled_config(scale, 606)
-        };
+        let cfg = scaled_config(scale, 606)
+            .to_builder()
+            .population_size(scale.population())
+            .n_complexes(scale.n_complexes())
+            .iterations(scale.iterations())
+            .build()
+            .expect("valid experiment config");
         let sampler = MoscemSampler::new(target.clone(), shared_kb(), cfg);
         let production = sampler.produce_decoys(
             &Executor::parallel(),

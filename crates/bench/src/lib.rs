@@ -139,13 +139,13 @@ pub fn load_target(name: &str) -> LoopTarget {
 
 /// A sampler configuration matching the given scale for one target.
 pub fn scaled_config(scale: Scale, seed: u64) -> SamplerConfig {
-    SamplerConfig {
-        population_size: scale.population(),
-        n_complexes: scale.n_complexes(),
-        iterations: scale.iterations(),
-        seed,
-        ..SamplerConfig::default()
-    }
+    SamplerConfig::builder()
+        .population_size(scale.population())
+        .n_complexes(scale.n_complexes())
+        .iterations(scale.iterations())
+        .seed(seed)
+        .build()
+        .expect("scaled configs are always valid")
 }
 
 /// Build a sampler for a named target at the given scale.

@@ -32,7 +32,12 @@ use lms_geometry::Vec3;
 use lms_protein::{AminoAcid, LoopBuilder, LoopFrame, LoopStructure, Torsions};
 
 /// Configuration of the CCD closure run.
+///
+/// `#[non_exhaustive]`: construct via [`CcdConfig::new`] (or `default()`)
+/// and the `with_*` setters, e.g.
+/// `CcdConfig::new().with_max_sweeps(32).with_tolerance(0.2)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct CcdConfig {
     /// Maximum number of full sweeps over the torsions.
     pub max_sweeps: usize,
@@ -55,6 +60,35 @@ impl Default for CcdConfig {
             tolerance: 0.1,
             start_index: 0,
         }
+    }
+}
+
+impl CcdConfig {
+    /// The default configuration, as a starting point for the `with_*`
+    /// setters.
+    pub fn new() -> Self {
+        CcdConfig::default()
+    }
+
+    /// Set the maximum number of full sweeps over the torsions.
+    #[must_use]
+    pub fn with_max_sweeps(mut self, max_sweeps: usize) -> Self {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Set the convergence tolerance on the anchor RMS deviation (Å).
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Set the first flat torsion index eligible for adjustment.
+    #[must_use]
+    pub fn with_start_index(mut self, start_index: usize) -> Self {
+        self.start_index = start_index;
+        self
     }
 }
 

@@ -1,6 +1,12 @@
 //! Sampler configuration.
+//!
+//! [`SamplerConfig`] is `#[non_exhaustive]`: downstream code constructs or
+//! tweaks it through [`SamplerConfig::builder`] / [`SamplerConfig::to_builder`],
+//! which validate on [`SamplerConfigBuilder::build`] and leave the struct
+//! free to grow fields without breaking callers.
 
 use crate::annealing::TemperatureSchedule;
+use crate::error::ConfigError;
 use crate::mutation::MutationConfig;
 use lms_closure::CcdConfig;
 use lms_scoring::Objective;
@@ -35,7 +41,13 @@ pub enum ObjectiveMode {
 }
 
 /// Full configuration of one sampling trajectory.
+///
+/// Construct with [`SamplerConfig::builder`] (or tweak a preset via
+/// [`SamplerConfig::to_builder`]); the fields stay public for reading, but
+/// the struct is `#[non_exhaustive]` so it can grow without breaking
+/// downstream constructors.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SamplerConfig {
     /// Population size (the paper's headline configuration is 15,360).
     pub population_size: usize,
@@ -101,11 +113,10 @@ impl Default for SamplerConfig {
             temperature_adjust: 1.15,
             temperature_schedule: None,
             mutation: MutationConfig::default(),
-            ccd: CcdConfig {
-                max_sweeps: 24,
-                tolerance: 0.25,
-                start_index: 0,
-            },
+            ccd: CcdConfig::new()
+                .with_max_sweeps(24)
+                .with_tolerance(0.25)
+                .with_start_index(0),
             max_closure_deviation: 0.75,
             objective_mode: ObjectiveMode::MultiScoring,
             init_mode: InitMode::Ramachandran,
@@ -116,6 +127,19 @@ impl Default for SamplerConfig {
 }
 
 impl SamplerConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> SamplerConfigBuilder {
+        SamplerConfigBuilder {
+            cfg: SamplerConfig::default(),
+        }
+    }
+
+    /// Turn this configuration back into a builder (e.g. to tweak a preset:
+    /// `SamplerConfig::test_scale().to_builder().seed(7).build()?`).
+    pub fn to_builder(&self) -> SamplerConfigBuilder {
+        SamplerConfigBuilder { cfg: self.clone() }
+    }
+
     /// The paper's headline configuration: population 15,360 in 120
     /// complexes, 100 iterations, 128 threads per block.
     pub fn paper_scale() -> Self {
@@ -157,43 +181,195 @@ impl SamplerConfig {
             })
     }
 
-    /// Basic sanity checks; returns a human-readable error for impossible
+    /// Basic sanity checks; returns the violated invariant for impossible
     /// configurations.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.population_size == 0 {
-            return Err("population_size must be positive".into());
+            return Err(ConfigError::ZeroPopulation);
         }
         if self.n_complexes == 0 {
-            return Err("n_complexes must be positive".into());
+            return Err(ConfigError::ZeroComplexes);
         }
         if self.n_complexes > self.population_size {
-            return Err(format!(
-                "n_complexes ({}) cannot exceed population_size ({})",
-                self.n_complexes, self.population_size
-            ));
+            return Err(ConfigError::ComplexesExceedPopulation {
+                n_complexes: self.n_complexes,
+                population_size: self.population_size,
+            });
         }
         if self.threads_per_block == 0 {
-            return Err("threads_per_block must be positive".into());
+            return Err(ConfigError::ZeroThreadsPerBlock);
         }
         if self.initial_temperature <= 0.0 || self.initial_temperature.is_nan() {
-            return Err("initial_temperature must be positive".into());
+            return Err(ConfigError::NonPositiveTemperature {
+                value: self.initial_temperature,
+            });
         }
         if self.acceptance_band.0 >= self.acceptance_band.1 {
-            return Err("acceptance band must satisfy low < high".into());
+            return Err(ConfigError::InvalidAcceptanceBand {
+                low: self.acceptance_band.0,
+                high: self.acceptance_band.1,
+            });
         }
         if self.temperature_adjust <= 1.0 {
-            return Err("temperature_adjust must exceed 1".into());
+            return Err(ConfigError::TemperatureAdjustNotAboveOne {
+                factor: self.temperature_adjust,
+            });
         }
         if self.max_closure_deviation <= 0.0 || self.max_closure_deviation.is_nan() {
-            return Err("max_closure_deviation must be positive".into());
+            return Err(ConfigError::NonPositiveClosureDeviation {
+                value: self.max_closure_deviation,
+            });
         }
         if self.max_closure_deviation < self.ccd.tolerance {
-            return Err(format!(
-                "max_closure_deviation ({}) must be at least the CCD tolerance ({})",
-                self.max_closure_deviation, self.ccd.tolerance
-            ));
+            return Err(ConfigError::ClosureBelowCcdTolerance {
+                max_closure_deviation: self.max_closure_deviation,
+                ccd_tolerance: self.ccd.tolerance,
+            });
         }
         Ok(())
+    }
+}
+
+/// Builder for [`SamplerConfig`]; validates the assembled configuration on
+/// [`SamplerConfigBuilder::build`].
+#[derive(Debug, Clone)]
+#[must_use = "a config builder does nothing until .build() is called"]
+pub struct SamplerConfigBuilder {
+    cfg: SamplerConfig,
+}
+
+impl Default for SamplerConfigBuilder {
+    fn default() -> Self {
+        SamplerConfig::builder()
+    }
+}
+
+impl From<SamplerConfig> for SamplerConfigBuilder {
+    fn from(cfg: SamplerConfig) -> Self {
+        SamplerConfigBuilder { cfg }
+    }
+}
+
+impl SamplerConfigBuilder {
+    /// Population size.
+    pub fn population_size(mut self, n: usize) -> Self {
+        self.cfg.population_size = n;
+        self
+    }
+
+    /// Number of complexes the population is partitioned into.
+    pub fn n_complexes(mut self, n: usize) -> Self {
+        self.cfg.n_complexes = n;
+        self
+    }
+
+    /// Number of MCMC iterations.
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.cfg.iterations = n;
+        self
+    }
+
+    /// Threads per block for the device model.
+    pub fn threads_per_block(mut self, n: usize) -> Self {
+        self.cfg.threads_per_block = n;
+        self
+    }
+
+    /// Master random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Initial Metropolis temperature.
+    pub fn initial_temperature(mut self, t: f64) -> Self {
+        self.cfg.initial_temperature = t;
+        self
+    }
+
+    /// Lower bound for the adaptive temperature.
+    pub fn min_temperature(mut self, t: f64) -> Self {
+        self.cfg.min_temperature = t;
+        self
+    }
+
+    /// Upper bound for the adaptive temperature.
+    pub fn max_temperature(mut self, t: f64) -> Self {
+        self.cfg.max_temperature = t;
+        self
+    }
+
+    /// Acceptance-rate band `(low, high)`.
+    pub fn acceptance_band(mut self, low: f64, high: f64) -> Self {
+        self.cfg.acceptance_band = (low, high);
+        self
+    }
+
+    /// Multiplicative temperature adjustment factor (> 1).
+    pub fn temperature_adjust(mut self, factor: f64) -> Self {
+        self.cfg.temperature_adjust = factor;
+        self
+    }
+
+    /// Explicit temperature schedule overriding the adaptive default.
+    pub fn temperature_schedule(mut self, schedule: TemperatureSchedule) -> Self {
+        self.cfg.temperature_schedule = Some(schedule);
+        self
+    }
+
+    /// Remove any explicit temperature schedule, restoring the adaptive
+    /// default (needed when tweaking a preset that carries one).
+    pub fn no_temperature_schedule(mut self) -> Self {
+        self.cfg.temperature_schedule = None;
+        self
+    }
+
+    /// Mutation (reproduction) move configuration.
+    pub fn mutation(mut self, mutation: MutationConfig) -> Self {
+        self.cfg.mutation = mutation;
+        self
+    }
+
+    /// CCD loop-closure configuration.
+    pub fn ccd(mut self, ccd: CcdConfig) -> Self {
+        self.cfg.ccd = ccd;
+        self
+    }
+
+    /// Maximum loop-closure deviation (Å) admitted to the Metropolis test.
+    pub fn max_closure_deviation(mut self, deviation: f64) -> Self {
+        self.cfg.max_closure_deviation = deviation;
+        self
+    }
+
+    /// Objective handling (multi-scoring Pareto sampling vs. baselines).
+    pub fn objective_mode(mut self, mode: ObjectiveMode) -> Self {
+        self.cfg.objective_mode = mode;
+        self
+    }
+
+    /// How the initial population is drawn.
+    pub fn init_mode(mut self, mode: InitMode) -> Self {
+        self.cfg.init_mode = mode;
+        self
+    }
+
+    /// Iterations at which to record a population snapshot.
+    pub fn snapshot_iterations(mut self, iterations: Vec<usize>) -> Self {
+        self.cfg.snapshot_iterations = iterations;
+        self
+    }
+
+    /// Decoy structural-distinctness threshold in degrees.
+    pub fn distinct_threshold_deg(mut self, deg: f64) -> Self {
+        self.cfg.distinct_threshold_deg = deg;
+        self
+    }
+
+    /// Validate and return the finished configuration.
+    pub fn build(self) -> Result<SamplerConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -219,43 +395,70 @@ mod tests {
     }
 
     #[test]
-    fn invalid_configs_are_rejected() {
-        let cases = [
-            SamplerConfig {
-                population_size: 0,
-                ..Default::default()
-            },
-            SamplerConfig {
-                n_complexes: 0,
-                ..Default::default()
-            },
-            SamplerConfig {
-                n_complexes: SamplerConfig::default().population_size + 1,
-                ..Default::default()
-            },
-            SamplerConfig {
-                acceptance_band: (0.5, 0.2),
-                ..Default::default()
-            },
-            SamplerConfig {
-                temperature_adjust: 0.9,
-                ..Default::default()
-            },
-            SamplerConfig {
-                initial_temperature: 0.0,
-                ..Default::default()
-            },
-            SamplerConfig {
-                max_closure_deviation: 0.0,
-                ..Default::default()
-            },
-            SamplerConfig {
-                max_closure_deviation: 0.1,
-                ..Default::default()
-            },
+    fn builder_roundtrips_and_validates() {
+        let built = SamplerConfig::builder()
+            .population_size(64)
+            .n_complexes(4)
+            .iterations(9)
+            .seed(101)
+            .snapshot_iterations(vec![0, 9])
+            .build()
+            .unwrap();
+        assert_eq!(built.population_size, 64);
+        assert_eq!(built.n_complexes, 4);
+        assert_eq!(built.seed, 101);
+        // to_builder preserves everything it does not touch.
+        let tweaked = built.to_builder().seed(202).build().unwrap();
+        assert_eq!(tweaked.seed, 202);
+        assert_eq!(tweaked.snapshot_iterations, vec![0, 9]);
+        assert_eq!(tweaked.iterations, built.iterations);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        use crate::error::ConfigError as E;
+        let cases: Vec<(SamplerConfigBuilder, E)> = vec![
+            (
+                SamplerConfig::builder().population_size(0),
+                E::ZeroPopulation,
+            ),
+            (SamplerConfig::builder().n_complexes(0), E::ZeroComplexes),
+            (
+                SamplerConfig::builder().population_size(8).n_complexes(9),
+                E::ComplexesExceedPopulation {
+                    n_complexes: 9,
+                    population_size: 8,
+                },
+            ),
+            (
+                SamplerConfig::builder().acceptance_band(0.5, 0.2),
+                E::InvalidAcceptanceBand {
+                    low: 0.5,
+                    high: 0.2,
+                },
+            ),
+            (
+                SamplerConfig::builder().temperature_adjust(0.9),
+                E::TemperatureAdjustNotAboveOne { factor: 0.9 },
+            ),
+            (
+                SamplerConfig::builder().initial_temperature(0.0),
+                E::NonPositiveTemperature { value: 0.0 },
+            ),
+            (
+                SamplerConfig::builder().max_closure_deviation(0.0),
+                E::NonPositiveClosureDeviation { value: 0.0 },
+            ),
+            (
+                SamplerConfig::builder().max_closure_deviation(0.1),
+                E::ClosureBelowCcdTolerance {
+                    max_closure_deviation: 0.1,
+                    ccd_tolerance: 0.25,
+                },
+            ),
         ];
-        for c in cases {
-            assert!(c.validate().is_err(), "config should be rejected: {c:?}");
+        for (builder, expected) in cases {
+            assert_eq!(builder.build().unwrap_err(), expected);
         }
     }
 

@@ -1,0 +1,183 @@
+//! Typed errors for the loop-modeling workspace.
+//!
+//! Configuration problems surface as [`ConfigError`] (one variant per
+//! invariant a config can violate), and everything that can go wrong while
+//! running jobs through the engine surfaces as [`Error`].  Both implement
+//! [`std::error::Error`], so they compose with `?` and `Box<dyn Error>`
+//! in downstream applications — no stringly-typed failures and no panicking
+//! constructors on the public API.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A sampler or engine configuration violates one of its invariants.
+///
+/// Produced by [`SamplerConfig::validate`](crate::SamplerConfig::validate),
+/// the config builders' `build()` methods, and
+/// [`EngineBuilder::build`](crate::EngineBuilder::build).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `population_size` must be positive.
+    ZeroPopulation,
+    /// `n_complexes` must be positive.
+    ZeroComplexes,
+    /// The population cannot be partitioned into more complexes than it has
+    /// members.
+    ComplexesExceedPopulation {
+        /// Requested number of complexes.
+        n_complexes: usize,
+        /// Configured population size.
+        population_size: usize,
+    },
+    /// `threads_per_block` must be positive.
+    ZeroThreadsPerBlock,
+    /// `initial_temperature` must be positive and not NaN.
+    NonPositiveTemperature {
+        /// The rejected temperature.
+        value: f64,
+    },
+    /// The acceptance band must satisfy `low < high`.
+    InvalidAcceptanceBand {
+        /// Lower edge of the rejected band.
+        low: f64,
+        /// Upper edge of the rejected band.
+        high: f64,
+    },
+    /// The multiplicative temperature adjustment must exceed 1.
+    TemperatureAdjustNotAboveOne {
+        /// The rejected factor.
+        factor: f64,
+    },
+    /// `max_closure_deviation` must be positive and not NaN.
+    NonPositiveClosureDeviation {
+        /// The rejected deviation.
+        value: f64,
+    },
+    /// The loop-closure condition cannot be tighter than the CCD tolerance
+    /// (which bounds the deviation of a *converged* closure).
+    ClosureBelowCcdTolerance {
+        /// Configured maximum closure deviation (Å).
+        max_closure_deviation: f64,
+        /// Configured CCD convergence tolerance (Å).
+        ccd_tolerance: f64,
+    },
+    /// The engine must be allowed at least one concurrent job.
+    ZeroConcurrency,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPopulation => write!(f, "population_size must be positive"),
+            ConfigError::ZeroComplexes => write!(f, "n_complexes must be positive"),
+            ConfigError::ComplexesExceedPopulation {
+                n_complexes,
+                population_size,
+            } => write!(
+                f,
+                "n_complexes ({n_complexes}) cannot exceed population_size ({population_size})"
+            ),
+            ConfigError::ZeroThreadsPerBlock => write!(f, "threads_per_block must be positive"),
+            ConfigError::NonPositiveTemperature { value } => {
+                write!(f, "initial_temperature must be positive (got {value})")
+            }
+            ConfigError::InvalidAcceptanceBand { low, high } => write!(
+                f,
+                "acceptance band must satisfy low < high (got {low} >= {high})"
+            ),
+            ConfigError::TemperatureAdjustNotAboveOne { factor } => {
+                write!(f, "temperature_adjust must exceed 1 (got {factor})")
+            }
+            ConfigError::NonPositiveClosureDeviation { value } => {
+                write!(f, "max_closure_deviation must be positive (got {value})")
+            }
+            ConfigError::ClosureBelowCcdTolerance {
+                max_closure_deviation,
+                ccd_tolerance,
+            } => write!(
+                f,
+                "max_closure_deviation ({max_closure_deviation}) must be at least the CCD \
+                 tolerance ({ccd_tolerance})"
+            ),
+            ConfigError::ZeroConcurrency => {
+                write!(f, "engine concurrency must be at least 1")
+            }
+        }
+    }
+}
+
+impl StdError for ConfigError {}
+
+/// Anything that can go wrong while running a sampling job.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The job's configuration was invalid.
+    Config(ConfigError),
+    /// The job was cancelled cooperatively; the trajectory stopped at the
+    /// recorded iteration and its partial state was discarded.
+    Cancelled {
+        /// Number of MCMC iterations that had fully completed when the
+        /// cancellation was observed.
+        completed_iterations: usize,
+    },
+    /// The job's worker panicked; the batch's remaining jobs are unaffected.
+    JobPanicked {
+        /// Best-effort panic payload rendered as text.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "invalid configuration: {e}"),
+            Error::Cancelled {
+                completed_iterations,
+            } => write!(f, "job cancelled after {completed_iterations} iterations"),
+            Error::JobPanicked { detail } => write!(f, "job panicked: {detail}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_offending_values() {
+        let e = ConfigError::ComplexesExceedPopulation {
+            n_complexes: 9,
+            population_size: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let c = Error::Cancelled {
+            completed_iterations: 3,
+        };
+        assert!(c.to_string().contains('3'));
+    }
+
+    #[test]
+    fn config_errors_nest_as_error_sources() {
+        let e: Error = ConfigError::ZeroPopulation.into();
+        assert!(matches!(e, Error::Config(ConfigError::ZeroPopulation)));
+        assert!(e.source().is_some());
+    }
+}

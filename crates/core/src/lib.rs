@@ -8,30 +8,42 @@
 //!
 //! The crate provides:
 //!
+//! * [`engine`] — the batch job engine: [`LoopModelingEngine`] owns the
+//!   shared knowledge base, executor and scratch pool, and schedules many
+//!   concurrent [`Job`]s with streaming results, per-job progress and
+//!   cancellation;
 //! * [`pareto`] — Pareto dominance and the strength-based fitness of Eq. 1;
 //! * [`mutation`] — the torsion mutation (reproduction) move set;
-//! * [`sampler`] — the MOSCEM sampling trajectory (initialisation, fitness
+//! * [`sampler`] — one MOSCEM sampling trajectory (initialisation, fitness
 //!   assignment, complex partitioning, evolution with CCD closure and
 //!   three-objective scoring, Metropolis acceptance, temperature control),
 //!   with full device-model instrumentation;
 //! * [`decoyset`] — accumulation of structurally distinct non-dominated
-//!   decoys across trajectories (the paper's decoy-production protocol).
+//!   decoys across trajectories (the paper's decoy-production protocol);
+//! * [`error`] — the typed [`ConfigError`]/[`Error`] hierarchy every
+//!   fallible entry point reports through.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use lms_core::{MoscemSampler, SamplerConfig};
+//! use lms_core::{Job, LoopModelingEngine, SamplerConfig};
 //! use lms_protein::BenchmarkLibrary;
 //! use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-//! use lms_simt::Executor;
 //!
-//! let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
+//! # fn main() -> Result<(), lms_core::Error> {
 //! let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
-//! let config = SamplerConfig { population_size: 16, iterations: 2, ..SamplerConfig::test_scale() };
-//! let sampler = MoscemSampler::new(target, kb, config);
-//! let result = sampler.run(&Executor::parallel());
+//! let engine = LoopModelingEngine::builder(kb).build()?;
+//! let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
+//! let config = SamplerConfig::builder()
+//!     .population_size(16)
+//!     .iterations(2)
+//!     .build()?;
+//! let job = Job::builder(target).config(config).seed(7).build()?;
+//! let result = engine.run(job)?;
 //! assert_eq!(result.population.len(), 16);
 //! assert!(result.non_dominated_count() >= 1);
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -41,19 +53,27 @@ pub mod config;
 pub mod conformation;
 pub mod convergence;
 pub mod decoyset;
+pub mod engine;
+pub mod error;
 pub mod mutation;
 pub mod pareto;
 pub mod sampler;
 
 pub use annealing::{TemperatureController, TemperatureSchedule};
-pub use config::{InitMode, ObjectiveMode, SamplerConfig};
+pub use config::{InitMode, ObjectiveMode, SamplerConfig, SamplerConfigBuilder};
 pub use conformation::Conformation;
 pub use convergence::{autocorrelation, effective_sample_size, gelman_rubin, FrontProgress};
 pub use decoyset::{Decoy, DecoySet};
+pub use engine::{
+    BatchHandle, EngineBuilder, Job, JobBuilder, JobId, JobProgress, JobResult, JobStatus,
+    LoopModelingEngine,
+};
+pub use error::{ConfigError, Error};
 pub use mutation::{MutationConfig, MutationOutcome, Mutator};
 pub use pareto::{
     count_non_dominated, fitness_against, fitness_assignment, non_dominated_indices, strengths,
 };
 pub use sampler::{
-    ComponentTimes, DecoyProduction, IterationSnapshot, MoscemSampler, TrajectoryResult,
+    ComponentTimes, DecoyProduction, IterationSnapshot, MoscemSampler, RunControls,
+    TrajectoryResult,
 };

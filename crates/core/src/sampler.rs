@@ -21,16 +21,77 @@
 use crate::config::{InitMode, ObjectiveMode, SamplerConfig};
 use crate::conformation::Conformation;
 use crate::decoyset::DecoySet;
+use crate::error::{ConfigError, Error};
 use crate::mutation::Mutator;
 use crate::pareto::{fitness_against, non_dominated_indices};
 use lms_closure::CcdCloser;
 use lms_geometry::{random_torsion, StreamRngFactory};
 use lms_protein::{LoopBuilder, LoopStructure, LoopTarget, RamaClass, RamaLibrary, Torsions};
-use lms_scoring::{KnowledgeBase, MultiScorer, ScoreScratch, ScoreVector};
+use lms_scoring::{KnowledgeBase, MultiScorer, ScoreScratch, ScoreVector, ScratchPool};
 use lms_simt::{Executor, KernelKind, LaunchConfig, Profiler, TimingModel, TransferKind};
 use rand::Rng;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cooperative controls threaded through one trajectory run: an optional
+/// cancellation flag (checked between iterations), an optional per-iteration
+/// progress callback, and an optional [`ScratchPool`] to lease the
+/// population's scoring workspaces from (the engine passes its shared pool
+/// here so consecutive jobs reuse warm buffers).
+///
+/// `RunControls::default()` is a no-op: with no controls set,
+/// [`MoscemSampler::run_controlled`] behaves exactly like
+/// [`MoscemSampler::run_with_seed`] and cannot fail.
+#[derive(Clone, Copy, Default)]
+pub struct RunControls<'a> {
+    cancel: Option<&'a AtomicBool>,
+    progress: Option<&'a (dyn Fn(usize, usize) + Sync)>,
+    scratch_pool: Option<&'a ScratchPool>,
+}
+
+impl fmt::Debug for RunControls<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControls")
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field("progress", &self.progress.is_some())
+            .field("scratch_pool", &self.scratch_pool.is_some())
+            .finish()
+    }
+}
+
+impl<'a> RunControls<'a> {
+    /// No controls: equivalent to an unconditional run.
+    pub fn new() -> Self {
+        RunControls::default()
+    }
+
+    /// Observe `flag` between iterations; when it becomes `true` the run
+    /// stops and returns [`Error::Cancelled`].
+    #[must_use]
+    pub fn cancel_flag(mut self, flag: &'a AtomicBool) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Call `f(completed_iterations, total_iterations)` after initialisation
+    /// and after every completed iteration.
+    #[must_use]
+    pub fn progress(mut self, f: &'a (dyn Fn(usize, usize) + Sync)) -> Self {
+        self.progress = Some(f);
+        self
+    }
+
+    /// Lease the population's scoring scratches from `pool` instead of
+    /// allocating fresh ones, returning them when the run ends (including
+    /// on cancellation).
+    #[must_use]
+    pub fn scratch_pool(mut self, pool: &'a ScratchPool) -> Self {
+        self.scratch_pool = Some(pool);
+        self
+    }
+}
 
 /// Host-measured time spent in each algorithm component, summed over all
 /// population members (the quantity behind the paper's Figure 1 pie chart).
@@ -82,6 +143,7 @@ pub struct IterationSnapshot {
 
 /// The result of one sampling trajectory.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct TrajectoryResult {
     /// Final population.
     pub population: Vec<Conformation>,
@@ -146,6 +208,7 @@ impl TrajectoryResult {
 /// Outcome of the decoy-production protocol (repeated trajectories until
 /// the decoy set reaches its target size).
 #[derive(Debug)]
+#[must_use]
 pub struct DecoyProduction {
     /// The accumulated decoy set.
     pub decoys: DecoySet,
@@ -230,11 +293,11 @@ struct Member {
 }
 
 impl Member {
-    fn new(n_res: usize, max_mutations: usize) -> Member {
+    fn new(n_res: usize, max_mutations: usize, scratch: ScoreScratch) -> Member {
         Member {
             conf: Conformation::new(Torsions::zeros(n_res)),
             structure: LoopStructure::with_capacity(n_res),
-            scratch: ScoreScratch::for_loop_len(n_res),
+            scratch,
             cand: Torsions::zeros(n_res),
             mut_indices: Vec::with_capacity(max_mutations.max(1)),
             ccd_us: 0.0,
@@ -257,17 +320,32 @@ pub struct MoscemSampler {
 }
 
 impl MoscemSampler {
-    /// Create a sampler for one target over a pre-built knowledge base.
-    pub fn new(target: LoopTarget, kb: Arc<KnowledgeBase>, config: SamplerConfig) -> Self {
-        config.validate().expect("invalid sampler configuration");
-        MoscemSampler {
+    /// Create a sampler for one target over a pre-built knowledge base,
+    /// rejecting invalid configurations with a typed error.
+    pub fn try_new(
+        target: LoopTarget,
+        kb: Arc<KnowledgeBase>,
+        config: SamplerConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(MoscemSampler {
             target,
             scorer: MultiScorer::new(kb),
             mutator: Mutator::new(config.mutation.clone()),
             config,
             builder: LoopBuilder::default(),
             timing: TimingModel::default(),
-        }
+        })
+    }
+
+    /// Create a sampler for one target over a pre-built knowledge base.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid; use
+    /// [`MoscemSampler::try_new`] for a `Result`.
+    pub fn new(target: LoopTarget, kb: Arc<KnowledgeBase>, config: SamplerConfig) -> Self {
+        Self::try_new(target, kb, config).expect("invalid sampler configuration")
     }
 
     /// The sampling configuration.
@@ -294,6 +372,22 @@ impl MoscemSampler {
     /// Run one sampling trajectory with an explicit seed (used when
     /// repeating trajectories to fill a decoy set).
     pub fn run_with_seed(&self, executor: &Executor, seed: u64) -> TrajectoryResult {
+        self.run_controlled(executor, seed, &RunControls::new())
+            .expect("a run without a cancel flag cannot fail")
+    }
+
+    /// Run one sampling trajectory under cooperative [`RunControls`]:
+    /// cancellation between iterations, per-iteration progress reporting,
+    /// and scratch-pool leasing.  With empty controls this is exactly
+    /// [`MoscemSampler::run_with_seed`] — the controls never touch the
+    /// random streams, so controlled and uncontrolled runs of the same seed
+    /// are bit-identical.
+    pub fn run_controlled(
+        &self,
+        executor: &Executor,
+        seed: u64,
+        controls: &RunControls,
+    ) -> Result<TrajectoryResult, Error> {
         let cfg = &self.config;
         let n = cfg.population_size;
         let n_res = self.target.n_residues();
@@ -330,11 +424,22 @@ impl MoscemSampler {
         modeled_gpu += 0.0; // transfer time is accounted inside the profiler totals
 
         // --- Initialization kernel -----------------------------------------
+        if Self::cancelled(controls) {
+            return Err(Error::Cancelled {
+                completed_iterations: 0,
+            });
+        }
         // Warm the per-target environment-candidate cache on the host thread
         // before the population kernels fan out.
         self.target.env_candidates();
         let mut members: Vec<Member> = (0..n)
-            .map(|_| Member::new(n_res, cfg.mutation.max_mutations))
+            .map(|_| {
+                let scratch = match controls.scratch_pool {
+                    Some(pool) => pool.acquire(n_res),
+                    None => ScoreScratch::for_loop_len(n_res),
+                };
+                Member::new(n_res, cfg.mutation.max_mutations, scratch)
+            })
             .collect();
 
         let init_factory = factory.derive(0xC0);
@@ -440,9 +545,18 @@ impl MoscemSampler {
         if cfg.snapshot_iterations.contains(&0) {
             snapshots.push(self.snapshot(0, &members, temperature));
         }
+        if let Some(report) = controls.progress {
+            report(0, cfg.iterations);
+        }
 
         // --- MCMC iterations ------------------------------------------------
         for iter in 1..=cfg.iterations {
+            if Self::cancelled(controls) {
+                Self::return_scratches(&mut members, controls);
+                return Err(Error::Cancelled {
+                    completed_iterations: iter - 1,
+                });
+            }
             let other_start = Instant::now();
             // Sorting (best fitness first) and stride partition into
             // complexes, exactly as in the paper's pseudo-code; both stay on
@@ -630,6 +744,9 @@ impl MoscemSampler {
             if cfg.snapshot_iterations.contains(&iter) {
                 snapshots.push(self.snapshot(iter, &members, temperature));
             }
+            if let Some(report) = controls.progress {
+                report(iter, cfg.iterations);
+            }
         }
 
         // Include modeled transfer time in the GPU total.
@@ -640,8 +757,9 @@ impl MoscemSampler {
             .sum();
         modeled_gpu += transfer_us;
 
+        Self::return_scratches(&mut members, controls);
         let population: Vec<Conformation> = members.into_iter().map(|m| m.conf).collect();
-        TrajectoryResult {
+        Ok(TrajectoryResult {
             population,
             snapshots,
             component_times: component,
@@ -656,6 +774,21 @@ impl MoscemSampler {
             },
             profiler,
             complex_traces,
+        })
+    }
+
+    /// Whether the controls' cancel flag is raised.
+    fn cancelled(controls: &RunControls) -> bool {
+        controls
+            .cancel
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Hand every member's scoring scratch back to the controls' pool (a
+    /// no-op without one); called on every exit path of a controlled run.
+    fn return_scratches(members: &mut [Member], controls: &RunControls) {
+        if let Some(pool) = controls.scratch_pool {
+            pool.release_all(members.iter_mut().map(|m| std::mem::take(&mut m.scratch)));
         }
     }
 

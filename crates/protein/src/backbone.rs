@@ -20,9 +20,9 @@
 //! placement code only from the changed residue onward, which is what makes
 //! CCD's per-rotation rebuild O(suffix) instead of O(loop) without altering
 //! a single output bit.  Both `build_into` and `rebuild_from` funnel through
-//! the same [`LoopBuilder::place_residue`]/[`LoopBuilder::place_end_frame`]
-//! helpers, so the equivalence is structural, not coincidental (and is
-//! property-tested in `tests/incremental_rebuild.rs`).
+//! the same private `place_residue`/`place_end_frame` helpers, so the
+//! equivalence is structural, not coincidental (and is property-tested in
+//! `tests/incremental_rebuild.rs`).
 
 use crate::amino::AminoAcid;
 use crate::torsions::Torsions;

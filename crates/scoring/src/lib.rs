@@ -59,6 +59,7 @@ pub mod dist;
 pub mod library;
 pub mod multi;
 pub mod normalize;
+pub mod pool;
 pub mod traits;
 pub mod triplet;
 pub mod vdw;
@@ -71,6 +72,7 @@ pub use library::{
 };
 pub use multi::MultiScorer;
 pub use normalize::{normalize_population, ScoreRange};
+pub use pool::ScratchPool;
 pub use traits::{Objective, ScoreVector, ScoringFunction, NUM_OBJECTIVES};
 pub use triplet::TripletScore;
 pub use vdw::{ContactWeights, VdwRadii, VdwScore};

@@ -217,7 +217,11 @@ impl DistTable {
 }
 
 /// Parameters controlling knowledge-base construction.
+///
+/// `#[non_exhaustive]`: construct via [`KnowledgeBaseConfig::default`] /
+/// [`KnowledgeBaseConfig::fast`] and the `with_*` setters.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct KnowledgeBaseConfig {
     /// RNG seed for fragment sampling.
     pub seed: u64,
@@ -255,6 +259,43 @@ impl KnowledgeBaseConfig {
             dist_fragments: 80,
             ..Default::default()
         }
+    }
+
+    /// Set the RNG seed for fragment sampling.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of (φ, ψ) samples per triplet context.
+    #[must_use]
+    pub fn with_triplet_samples(mut self, samples: usize) -> Self {
+        self.triplet_samples_per_context = samples;
+        self
+    }
+
+    /// Set the number of synthetic fragments sampled for the distance
+    /// statistics.
+    #[must_use]
+    pub fn with_dist_fragments(mut self, fragments: usize) -> Self {
+        self.dist_fragments = fragments;
+        self
+    }
+
+    /// Set the length (residues) of each sampled fragment.
+    #[must_use]
+    pub fn with_dist_fragment_len(mut self, len: usize) -> Self {
+        self.dist_fragment_len = len;
+        self
+    }
+
+    /// Set the additive smoothing pseudo-count applied to every histogram
+    /// bin.
+    #[must_use]
+    pub fn with_smoothing(mut self, smoothing: f64) -> Self {
+        self.smoothing = smoothing;
+        self
     }
 }
 

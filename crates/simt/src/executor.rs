@@ -74,6 +74,27 @@ impl Executor {
         })
     }
 
+    /// An executor with this executor's thread budget divided across `ways`
+    /// concurrent consumers — the scheduling primitive behind the batch job
+    /// engine: when `ways` jobs run at once, each gets `1/ways` of the
+    /// worker threads (at least one), so the jobs together saturate the
+    /// machine instead of oversubscribing it `ways`-fold.
+    ///
+    /// Scalar stays scalar; a parallel executor's budget is its explicit
+    /// thread count, or one thread per core when unsized.  Because executor
+    /// choice never changes sampled trajectories (per-stream RNG
+    /// discipline), running a job on a split executor is bit-identical to
+    /// running it on the original.
+    pub fn split(&self, ways: usize) -> Executor {
+        match self {
+            Executor::Scalar => Executor::Scalar,
+            Executor::Parallel { .. } => {
+                let share = (self.thread_count() / ways.max(1)).max(1);
+                Executor::parallel_with_threads(share)
+            }
+        }
+    }
+
     /// Short display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -241,6 +262,25 @@ mod tests {
             unreachable!()
         };
         assert_eq!(cloned.get().unwrap() as *const ThreadPool, first);
+    }
+
+    #[test]
+    fn split_divides_the_thread_budget() {
+        // Scalar splits to scalar.
+        assert!(!Executor::scalar().split(4).is_parallel());
+        // An explicitly-sized pool divides evenly, never below one thread.
+        let exec = Executor::parallel_with_threads(8);
+        assert_eq!(exec.split(2).thread_count(), 4);
+        assert_eq!(exec.split(3).thread_count(), 2);
+        assert_eq!(exec.split(100).thread_count(), 1);
+        assert_eq!(exec.split(0).thread_count(), 8);
+        // Splitting preserves results.
+        let mut a = vec![0u64; 999];
+        let mut b = vec![0u64; 999];
+        let work = |i: usize, x: &mut u64| *x = (i as u64).wrapping_mul(31);
+        exec.for_each_indexed(&mut a, work);
+        exec.split(3).for_each_indexed(&mut b, work);
+        assert_eq!(a, b);
     }
 
     #[test]

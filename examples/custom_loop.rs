@@ -4,16 +4,10 @@
 //!
 //! Run with: `cargo run --release --example custom_loop`
 
-use lms_core::{MoscemSampler, SamplerConfig};
-use lms_protein::{
-    parse_sequence, to_pdb, BenchmarkLibrary, Environment, LoopBuilder, LoopFrame, LoopTarget,
-    Torsions,
-};
-use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-use lms_simt::Executor;
+use lms::prelude::*;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // In a real application the anchors and environment come from the host
     // protein's crystal structure; here we borrow plausible anchor geometry
     // from a benchmark target and define our own 10-residue loop sequence.
@@ -54,14 +48,13 @@ fn main() {
     );
 
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
-    let config = SamplerConfig {
-        population_size: 96,
-        n_complexes: 2,
-        iterations: 12,
-        seed: 314,
-        ..SamplerConfig::default()
-    };
-    let sampler = MoscemSampler::new(target.clone(), kb, config);
+    let config = SamplerConfig::builder()
+        .population_size(96)
+        .n_complexes(2)
+        .iterations(12)
+        .seed(314)
+        .build()?;
+    let sampler = MoscemSampler::try_new(target.clone(), kb, config)?;
     let production = sampler.produce_decoys(&Executor::parallel(), 30, 3);
 
     println!(
@@ -99,4 +92,5 @@ fn main() {
         .map(|d| target.closure_deviation(&target.build(&builder, &d.torsions)))
         .fold(0.0f64, f64::max);
     println!("worst closure deviation across decoys: {worst_closure:.2} A");
+    Ok(())
 }

@@ -5,40 +5,35 @@
 //!
 //! Run with: `cargo run --release --example decoy_clustering`
 
-use lms_core::{MoscemSampler, SamplerConfig};
-use lms_decoys::{cluster_decoys, compare_decoy_sets, ClusterMetric};
-use lms_protein::BenchmarkLibrary;
-use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-use lms_simt::Executor;
+use lms::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let target = BenchmarkLibrary::standard()
         .target_by_name("3pte")
         .expect("3pte exists");
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
     println!("target: {target}");
 
-    let config = SamplerConfig {
-        population_size: 96,
-        n_complexes: 2,
-        iterations: 10,
-        seed: 99,
-        ..SamplerConfig::default()
-    };
-    let sampler = MoscemSampler::new(target.clone(), kb, config);
+    let config = SamplerConfig::builder()
+        .population_size(96)
+        .n_complexes(2)
+        .iterations(10)
+        .seed(99)
+        .build()?;
+    let sampler = MoscemSampler::try_new(target.clone(), kb, config.clone())?;
 
     // Same seeds, different executors: identical decoys by construction.
     // Different seeds model the paper's situation (different random number
     // sequences on CPU vs GPU).
     let cpu_like = sampler.produce_decoys(&Executor::scalar(), 40, 3);
     let gpu_like = {
-        let mut cfg = sampler.config().clone();
-        cfg.seed = 1234; // a different random sequence, as on the real GPU
-        let sampler2 = MoscemSampler::new(
+        // A different random sequence, as on the real GPU.
+        let cfg = config.to_builder().seed(1234).build()?;
+        let sampler2 = MoscemSampler::try_new(
             target.clone(),
             KnowledgeBase::build(KnowledgeBaseConfig::fast()),
             cfg,
-        );
+        )?;
         sampler2.produce_decoys(&Executor::parallel(), 40, 3)
     };
 
@@ -87,4 +82,5 @@ fn main() {
         "symmetric coverage {:.0}% — the two runs explore the same regions of the loop's conformation space.",
         report.symmetric_coverage() * 100.0
     );
+    Ok(())
 }

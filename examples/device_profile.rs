@@ -1,15 +1,13 @@
-//! Device-model walkthrough: run a trajectory, then print the simulated
-//! GTX-280 kernel profile (the paper's Table II), the occupancy table
-//! (Table III) and the modeled CPU-vs-GPU speedup (Table I's metric).
+//! Device-model walkthrough: run a trajectory through the engine, then
+//! print the simulated GTX-280 kernel profile (the paper's Table II), the
+//! occupancy table (Table III) and the modeled CPU-vs-GPU speedup (Table
+//! I's metric).
 //!
 //! Run with: `cargo run --release --example device_profile`
 
-use lms_core::{MoscemSampler, SamplerConfig};
-use lms_protein::BenchmarkLibrary;
-use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-use lms_simt::{DeviceSpec, Executor, KernelKind, LaunchConfig};
+use lms::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // The device being modeled.
     let spec = DeviceSpec::gtx280();
     println!(
@@ -40,15 +38,17 @@ fn main() {
         .target_by_name("1cex")
         .expect("1cex exists");
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
-    let config = SamplerConfig {
-        population_size: 256,
-        n_complexes: 2,
-        iterations: 8,
-        seed: 5,
-        ..SamplerConfig::default()
-    };
-    let sampler = MoscemSampler::new(target, kb, config);
-    let result = sampler.run(&Executor::parallel());
+    let engine = LoopModelingEngine::builder(kb)
+        .executor(Executor::parallel())
+        .build()?;
+    let config = SamplerConfig::builder()
+        .population_size(256)
+        .n_complexes(2)
+        .iterations(8)
+        .seed(5)
+        .build()?;
+    let job = Job::builder(target).config(config).build()?;
+    let result = engine.run(job)?;
 
     println!("\nsimulated device profile (paper Table II analogue):");
     println!("{}", result.profiler.table2_report());
@@ -58,4 +58,5 @@ fn main() {
         "modeled speedup over one CPU core: {:.1}x (paper reports ~40x at population 15,360)",
         result.modeled_speedup()
     );
+    Ok(())
 }

@@ -1,22 +1,23 @@
 //! Population-size study (the workload behind the paper's Figure 3): run
 //! several independent trajectories of 1akz(181:192) at increasing
 //! population sizes and report how the number of distinct non-dominated
-//! conformations and the best-decoy RMSD respond.
+//! conformations and the best-decoy RMSD respond.  The independent
+//! trajectories at each population size are submitted to the engine as one
+//! batch, so they run concurrently.
 //!
 //! Run with: `cargo run --release --example population_scaling`
 
-use lms_core::{MoscemSampler, SamplerConfig};
-use lms_decoys::ensemble_stats;
-use lms_protein::BenchmarkLibrary;
-use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-use lms_simt::Executor;
+use lms::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let target = BenchmarkLibrary::standard()
         .target_by_name("1akz")
         .expect("1akz exists");
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
-    let trajectories = 4;
+    let engine = LoopModelingEngine::builder(kb)
+        .executor(Executor::parallel())
+        .build()?;
+    let trajectories = 4u64;
 
     println!("target: {target}");
     println!(
@@ -24,17 +25,28 @@ fn main() {
         "population", "avg distinct non-dominated", "min RMSD", "avg RMSD", "max RMSD"
     );
     for population in [32usize, 96, 256] {
-        let config = SamplerConfig {
-            population_size: population,
-            n_complexes: (population / 32).max(1),
-            iterations: 10,
-            seed: 7,
-            ..SamplerConfig::default()
-        };
-        let sampler = MoscemSampler::new(target.clone(), kb.clone(), config);
-        let results: Vec<_> = (0..trajectories)
-            .map(|t| sampler.run_with_seed(&Executor::parallel(), 100 + t))
-            .collect();
+        let config = SamplerConfig::builder()
+            .population_size(population)
+            .n_complexes((population / 32).max(1))
+            .iterations(10)
+            .seed(7)
+            .build()?;
+        // One job per independent trajectory, all in flight at once.
+        let jobs: Vec<Job> = (0..trajectories)
+            .map(|t| {
+                Job::builder(target.clone())
+                    .config(config.clone())
+                    .seed(100 + t)
+                    .label(format!("1akz/pop{population}/traj{t}"))
+                    .build()
+            })
+            .collect::<Result<_, _>>()?;
+        let results: Vec<TrajectoryResult> = engine
+            .submit(jobs)
+            .join()
+            .into_iter()
+            .map(|job| job.outcome)
+            .collect::<Result<_, _>>()?;
         let stats = ensemble_stats(&results, 30.0).expect("trajectories ran");
         println!(
             "{:<12} {:>26.1} {:>11.2}A {:>11.2}A {:>11.2}A",
@@ -47,4 +59,5 @@ fn main() {
     }
     println!("\nAs in the paper's Figure 3, larger populations sustain more structurally");
     println!("distinct non-dominated conformations and reach lower best-decoy RMSD.");
+    Ok(())
 }

@@ -1,14 +1,11 @@
-//! Quickstart: sample one benchmark loop with the multi-scoring MOSCEM
-//! sampler and print the Pareto front and the best decoy found.
+//! Quickstart: build the engine, submit one loop-modeling job, and print
+//! the Pareto front and the best decoy found.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lms_core::{MoscemSampler, SamplerConfig};
-use lms_protein::BenchmarkLibrary;
-use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-use lms_simt::Executor;
+use lms::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // 1. Pick a target from the synthetic 53-loop benchmark (the paper's
     //    1cex 40:51, a 12-residue loop).
     let library = BenchmarkLibrary::standard();
@@ -17,21 +14,24 @@ fn main() {
         .expect("1cex is in the benchmark");
     println!("Target: {target}");
 
-    // 2. Build the knowledge base behind the TRIPLET and DIST potentials.
-    //    (`fast()` keeps this example snappy; use `default()` for real runs.)
+    // 2. Build the engine over the knowledge base behind the TRIPLET and
+    //    DIST potentials.  (`fast()` keeps this example snappy; use
+    //    `default()` for real runs.)
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+    let engine = LoopModelingEngine::builder(kb)
+        .executor(Executor::parallel())
+        .build()?;
 
-    // 3. Configure a small sampling trajectory and run it on all cores.
-    let config = SamplerConfig {
-        population_size: 128,
-        n_complexes: 2,
-        iterations: 12,
-        seed: 42,
-        snapshot_iterations: vec![0, 12],
-        ..SamplerConfig::default()
-    };
-    let sampler = MoscemSampler::new(target.clone(), kb, config);
-    let result = sampler.run(&Executor::parallel());
+    // 3. Configure a small sampling trajectory and run it as one job.
+    let config = SamplerConfig::builder()
+        .population_size(128)
+        .n_complexes(2)
+        .iterations(12)
+        .seed(42)
+        .snapshot_iterations(vec![0, 12])
+        .build()?;
+    let job = Job::builder(target).config(config).build()?;
+    let result = engine.run(job)?;
 
     // 4. Report what the trajectory found.
     println!(
@@ -55,4 +55,5 @@ fn main() {
         "front grew from {} (random start) to {} conformations; best RMSD improved {:.2} -> {:.2} A",
         start.non_dominated_count, end.non_dominated_count, start.best_rmsd, end.best_rmsd
     );
+    Ok(())
 }

@@ -1,4 +1,82 @@
-//! Facade crate re-exporting the loop-modeling suite.
+//! # lms — GPU-accelerated multi-scoring protein loop structure sampling
+//!
+//! A reproduction and production-oriented extension of *"GPU-accelerated
+//! multi-scoring functions protein loop structure sampling"*: the MOSCEM
+//! multi-objective MCMC sampler over loop torsion space, scored by three
+//! backbone scoring functions (soft-sphere VDW, pairwise-distance DIST,
+//! triplet torsion TRIPLET), with CCD loop closure and a SIMT device model.
+//!
+//! ## The engine lifecycle: build → submit → stream → harvest
+//!
+//! The public API is job-oriented: a [`prelude::LoopModelingEngine`] owns
+//! everything jobs share (the knowledge base, the executor, a pool of warm
+//! scoring workspaces) and runs many loop-modeling [`prelude::Job`]s
+//! concurrently, multiplexing the thread budget across jobs and streaming
+//! [`prelude::JobResult`]s back in completion order with per-job progress
+//! and cancellation.  Because every trajectory derives all randomness from
+//! its own seed — never from scheduling — a batch is bit-identical to
+//! running its jobs sequentially.
+//!
+//! ```
+//! use lms::prelude::*;
+//!
+//! # fn main() -> Result<(), Error> {
+//! // 1. Build: one engine per process, sharing the knowledge base.
+//! let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+//! let engine = LoopModelingEngine::builder(kb)
+//!     .executor(Executor::parallel())
+//!     .build()?;
+//!
+//! // 2. Submit: one job per loop; configs are validated by the builders.
+//! let library = BenchmarkLibrary::standard();
+//! let config = SamplerConfig::builder()
+//!     .population_size(16)
+//!     .iterations(2)
+//!     .build()?;
+//! let jobs: Vec<Job> = ["1cex", "5pti"]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, name)| {
+//!         let target = library.target_by_name(name).unwrap();
+//!         Job::builder(target).config(config.clone()).seed(7 + i as u64).build()
+//!     })
+//!     .collect::<Result<_, _>>()?;
+//! let batch = engine.submit(jobs);
+//!
+//! // 3. Stream: results arrive as jobs finish; progress() and cancel()
+//! //    are available on the handle while the batch runs.
+//! for result in batch {
+//!     // 4. Harvest the trajectory (or a typed error) per job.
+//!     let trajectory = result.outcome?;
+//!     assert_eq!(trajectory.population.len(), 16);
+//!     assert!(trajectory.non_dominated_count() >= 1);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For a single trajectory, [`prelude::LoopModelingEngine::run`] executes
+//! one job inline, and the lower-level [`prelude::MoscemSampler`] remains
+//! available (a one-job batch and a direct sampler run produce bit-identical
+//! results).
+//!
+//! ## Crates
+//!
+//! The facade re-exports the whole suite; the [`prelude`] is the curated
+//! surface most applications need.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | engine, sampler, Pareto fitness, mutation moves, decoy sets |
+//! | [`scoring`] | VDW/DIST/TRIPLET scoring, knowledge base, scratch pool |
+//! | [`closure`] | CCD loop closure |
+//! | [`protein`] | backbone geometry, benchmark targets, PDB I/O |
+//! | [`geometry`] | vectors, rotations, dihedral math, streamed RNG |
+//! | [`simt`] | executors, device model, kernel profiler |
+//! | [`decoys`] | decoy clustering and ensemble statistics |
+
+#![warn(missing_docs)]
+
 pub use lms_closure as closure;
 pub use lms_core as core;
 pub use lms_decoys as decoys;
@@ -6,3 +84,28 @@ pub use lms_geometry as geometry;
 pub use lms_protein as protein;
 pub use lms_scoring as scoring;
 pub use lms_simt as simt;
+
+/// The curated import surface: everything a typical application needs to
+/// build an engine, submit jobs, and analyse results — one `use
+/// lms::prelude::*;` instead of seven crate imports.
+pub mod prelude {
+    pub use lms_closure::{CcdCloser, CcdConfig, CcdResult};
+    pub use lms_core::{
+        BatchHandle, ComponentTimes, ConfigError, Decoy, DecoyProduction, DecoySet, EngineBuilder,
+        Error, InitMode, IterationSnapshot, Job, JobBuilder, JobId, JobProgress, JobResult,
+        JobStatus, LoopModelingEngine, MoscemSampler, MutationConfig, ObjectiveMode, RunControls,
+        SamplerConfig, SamplerConfigBuilder, TemperatureSchedule, TrajectoryResult,
+    };
+    pub use lms_decoys::{
+        cluster_decoys, compare_decoy_sets, distinct_non_dominated, ensemble_stats, ClusterMetric,
+    };
+    pub use lms_protein::{
+        parse_sequence, to_pdb, BenchmarkLibrary, Environment, LoopBuilder, LoopFrame,
+        LoopStructure, LoopTarget, Torsions,
+    };
+    pub use lms_scoring::{
+        KnowledgeBase, KnowledgeBaseConfig, MultiScorer, Objective, ScoreScratch, ScoreVector,
+        ScratchPool,
+    };
+    pub use lms_simt::{DeviceSpec, Executor, KernelKind, LaunchConfig, Profiler, TimingModel};
+}

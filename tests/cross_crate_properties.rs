@@ -39,7 +39,10 @@ proptest! {
     fn ccd_never_worsens_closure_and_preserves_geometry(torsions in arb_torsions(11)) {
         let target = shared_target();
         let builder = LoopBuilder::default();
-        let closer = CcdCloser::new(builder, CcdConfig { max_sweeps: 32, tolerance: 0.2, start_index: 0 });
+        let closer = CcdCloser::new(
+            builder,
+            CcdConfig::new().with_max_sweeps(32).with_tolerance(0.2),
+        );
         let mut t = torsions.clone();
         let result = closer.close(&target.frame, &target.sequence, &mut t);
         prop_assert!(result.final_deviation <= result.initial_deviation + 1e-9);

@@ -13,13 +13,13 @@ fn kb() -> Arc<KnowledgeBase> {
 }
 
 fn config(seed: u64) -> SamplerConfig {
-    SamplerConfig {
-        population_size: 32,
-        n_complexes: 2,
-        iterations: 5,
-        seed,
-        ..SamplerConfig::default()
-    }
+    SamplerConfig::builder()
+        .population_size(32)
+        .n_complexes(2)
+        .iterations(5)
+        .seed(seed)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]

@@ -15,13 +15,13 @@ fn fast_kb() -> Arc<KnowledgeBase> {
 }
 
 fn small_config(population: usize, iterations: usize, seed: u64) -> SamplerConfig {
-    SamplerConfig {
-        population_size: population,
-        n_complexes: (population / 16).max(1),
-        iterations,
-        seed,
-        ..SamplerConfig::default()
-    }
+    SamplerConfig::builder()
+        .population_size(population)
+        .n_complexes((population / 16).max(1))
+        .iterations(iterations)
+        .seed(seed)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]
@@ -131,10 +131,11 @@ fn multi_scoring_front_is_broader_than_single_objective() {
     let single = MoscemSampler::new(
         target,
         kb,
-        SamplerConfig {
-            objective_mode: ObjectiveMode::Single(Objective::Vdw),
-            ..small_config(48, 8, 3)
-        },
+        small_config(48, 8, 3)
+            .to_builder()
+            .objective_mode(ObjectiveMode::Single(Objective::Vdw))
+            .build()
+            .expect("valid test config"),
     );
     let multi_result = multi.run(&Executor::parallel());
     let single_result = single.run(&Executor::parallel());
