@@ -33,7 +33,10 @@ fn bench_single_vs_multi(c: &mut Criterion) {
         ("multi_pareto", ObjectiveMode::MultiScoring),
         ("single_vdw", ObjectiveMode::Single(Objective::Vdw)),
         ("single_dist", ObjectiveMode::Single(Objective::Dist)),
-        ("weighted_sum", ObjectiveMode::WeightedSum([1.0, 1.0, 1.0])),
+        (
+            "weighted_sum",
+            ObjectiveMode::WeightedSum([1.0, 1.0, 1.0, 0.0]),
+        ),
     ];
     for (name, mode) in modes {
         let cfg = base_config()

@@ -19,16 +19,15 @@
 //! the workspace root recording both comparisons for the perf trajectory.
 
 use criterion::{criterion_group, Criterion};
+use lms_bench::scaled_env_target;
 use lms_closure::CcdCloser;
 use lms_geometry::{StreamRngFactory, Vec3};
 use lms_protein::{
-    AminoAcid, BenchmarkLibrary, EnvAtom, Environment, LoopBuilder, LoopFrame, LoopStructure,
-    LoopTarget, TargetSpec, Torsions, ENV_CONTACT_MARGIN,
+    AminoAcid, BenchmarkLibrary, LoopBuilder, LoopFrame, LoopStructure, LoopTarget, TargetSpec,
+    Torsions,
 };
 use lms_scoring::{ScoreScratch, VdwScore};
-use rand::Rng;
 use std::hint::black_box;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The pre-incremental CCD sweep, kept as the benchmark baseline after
@@ -132,46 +131,6 @@ fn starts(target: &LoopTarget, count: usize) -> Vec<Torsions> {
             t
         })
         .collect()
-}
-
-/// A variant of `base` whose environment is scaled `factor`× by filling the
-/// candidate reach sphere with extra atoms at constant density (clear of
-/// the native loop), emulating the rest of a full-size protein: every
-/// extra atom lands in the candidate set, but the density *local* to any
-/// loop site stays roughly that of the base shell.
-fn scaled_env_target(base: &LoopTarget, factor: usize) -> LoopTarget {
-    let mut atoms = base.environment.atoms().to_vec();
-    if factor > 1 {
-        let n_extra = atoms.len() * (factor - 1);
-        let mut rng = StreamRngFactory::new(77).stream(factor as u64, 0);
-        let center = base.frame.n_anchor.ca;
-        let reach = base.reach_radius() + ENV_CONTACT_MARGIN - 1.0;
-        let native = base.native_structure.backbone_atoms();
-        let mut placed = 0usize;
-        while placed < n_extra {
-            let v = Vec3::new(
-                rng.gen::<f64>() * 2.0 - 1.0,
-                rng.gen::<f64>() * 2.0 - 1.0,
-                rng.gen::<f64>() * 2.0 - 1.0,
-            );
-            let n = v.norm();
-            if !(1e-3..=1.0).contains(&n) {
-                continue;
-            }
-            // Uniform in the ball: direction × reach × ∛u.
-            let pos = center + (v / n) * (reach * rng.gen::<f64>().cbrt());
-            if native.iter().any(|a| a.distance(pos) < 4.0) {
-                continue;
-            }
-            atoms.push(EnvAtom::backbone(pos, 1.7));
-            placed += 1;
-        }
-    }
-    LoopTarget {
-        environment: Arc::new(Environment::new(atoms)),
-        env_cache: Default::default(),
-        ..base.clone()
-    }
 }
 
 fn bench_ccd_closure(c: &mut Criterion) {

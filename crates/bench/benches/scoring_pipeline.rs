@@ -5,12 +5,19 @@
 //! writing into reused SoA buffers with the structure rebuilt in place),
 //! across loop lengths 4, 8 and 12.
 //!
+//! A second comparison measures the cost of the fourth (solvation/burial)
+//! objective: `MultiScorer::evaluate_with` with three objectives vs four on
+//! a 10×-scaled environment (full-size-protein candidate counts).  Because
+//! the burial contact counts piggyback on the VDW environment gathers (one
+//! cell-list query per site serves both objectives), the fourth objective
+//! should cost well under 1.5× the three-objective evaluation.
+//!
 //! Besides the criterion groups, the harness writes `BENCH_scoring.json`
 //! at the workspace root with the measured ns/eval of both paths so future
 //! PRs have a recorded perf trajectory.
 
 use criterion::{criterion_group, Criterion};
-use lms_bench::shared_kb;
+use lms_bench::{scaled_env_target, shared_kb};
 use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopStructure, LoopTarget, TargetSpec, Torsions};
 use lms_scoring::{MultiScorer, ScoreScratch};
 use std::hint::black_box;
@@ -230,6 +237,41 @@ fn bench_scoring_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// Environment scale factor the 3-vs-4-objective comparison runs at
+/// (matching the cell-list bench's 10× "full-size protein" point).
+const OBJECTIVE_ENV_FACTOR: usize = 10;
+
+fn bench_objective_scaling(c: &mut Criterion) {
+    let kb = shared_kb();
+    let builder = LoopBuilder::default();
+    let base = target_of_len(12);
+    let target = scaled_env_target(&base, OBJECTIVE_ENV_FACTOR);
+    target.env_candidates();
+    let torsions = conformations(&target, 16);
+    let three = MultiScorer::new(kb.clone());
+    let four = three.clone().with_burial(true);
+
+    let mut group = c.benchmark_group("objective_scaling");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for (name, scorer) in [("three_objectives", &three), ("four_objectives", &four)] {
+        group.bench_function(format!("{name}/x{OBJECTIVE_ENV_FACTOR}"), |b| {
+            let mut structure = LoopStructure::with_capacity(12);
+            let mut scratch = ScoreScratch::for_loop_len(12);
+            let mut i = 0usize;
+            b.iter(|| {
+                let t = &torsions[i % torsions.len()];
+                i += 1;
+                target.build_into(&builder, t, &mut structure);
+                black_box(scorer.evaluate_with(&target, &structure, t, &mut scratch))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Median ns/eval of a closure over `samples` timed batches.
 fn median_ns_per_eval<F: FnMut()>(mut f: F, iters: u32, samples: u32) -> f64 {
     let mut results: Vec<f64> = (0..samples)
@@ -293,8 +335,41 @@ fn write_bench_json() {
         ));
     }
 
+    // --- 3-objective vs 4-objective shared-gather comparison ----------
+    let base = target_of_len(12);
+    let target = scaled_env_target(&base, OBJECTIVE_ENV_FACTOR);
+    target.env_candidates();
+    let torsions = conformations(&target, 16);
+    let three = MultiScorer::new(kb.clone());
+    let four = three.clone().with_burial(true);
+    let measure = |scorer: &MultiScorer| {
+        let mut structure = LoopStructure::with_capacity(12);
+        let mut scratch = ScoreScratch::for_loop_len(12);
+        let mut i = 0usize;
+        median_ns_per_eval(
+            || {
+                let t = &torsions[i % torsions.len()];
+                i += 1;
+                target.build_into(&builder, t, &mut structure);
+                black_box(scorer.evaluate_with(&target, &structure, t, &mut scratch));
+            },
+            2_000,
+            9,
+        )
+    };
+    let three_ns = measure(&three);
+    let four_ns = measure(&four);
+    let cost_ratio = four_ns / three_ns;
+    println!(
+        "objective_scaling x{OBJECTIVE_ENV_FACTOR}: three {three_ns:.0} ns/eval, \
+         four {four_ns:.0} ns/eval, cost ratio {cost_ratio:.2}x"
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"scoring_pipeline\",\n  \"unit\": \"ns/eval\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"scoring_pipeline\",\n  \"unit\": \"ns/eval\",\n  \"results\": [\n{}\n  ],\n  \
+         \"objectives\": {{\n    \"comparison\": \"MultiScorer 3 objectives vs 4 (shared-gather burial)\",\n    \
+         \"env_factor\": {OBJECTIVE_ENV_FACTOR},\n    \"three_objective_ns_per_eval\": {three_ns:.1},\n    \
+         \"four_objective_ns_per_eval\": {four_ns:.1},\n    \"cost_ratio\": {cost_ratio:.3}\n  }}\n}}\n",
         entries.join(",\n")
     );
     // The bench runs from the crate directory under cargo; walk up to the
@@ -307,7 +382,7 @@ fn write_bench_json() {
     println!("wrote {path}");
 }
 
-criterion_group!(benches, bench_scoring_pipeline);
+criterion_group!(benches, bench_scoring_pipeline, bench_objective_scaling);
 
 fn main() {
     let mut criterion = Criterion::default();

@@ -1,0 +1,123 @@
+//! CI perf-regression gate over the bench artifacts.
+//!
+//! Compares the freshly produced `BENCH_scoring.json` / `BENCH_ccd.json` /
+//! `BENCH_batch.json` against the committed `BENCH_*.baseline.json`
+//! snapshots and exits non-zero when any tracked speedup ratio regresses
+//! more than the noise tolerance (default 25%).  Only ratios are gated, so
+//! the check is robust to absolute runner speed; the batch-engine ratio is
+//! reduced to a scheduler-overhead floor on 1-core runners.
+//!
+//! ```text
+//! cargo run -p lms-bench --bin check_regression -- \
+//!     [--tolerance 0.25] [--baseline-dir DIR] [--fresh-dir DIR]
+//! ```
+
+use lms_bench::regression::{gate, Json};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    tolerance: f64,
+    baseline_dir: PathBuf,
+    fresh_dir: PathBuf,
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn parse_options() -> Result<Options, String> {
+    let root = workspace_root();
+    let mut opts = Options {
+        tolerance: 0.25,
+        baseline_dir: root.clone(),
+        fresh_dir: root,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--tolerance" => {
+                opts.tolerance = value(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+                i += 2;
+            }
+            "--baseline-dir" => {
+                opts.baseline_dir = PathBuf::from(value(i)?);
+                i += 2;
+            }
+            "--fresh-dir" => {
+                opts.fresh_dir = PathBuf::from(value(i)?);
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load(dir: &Path, name: &str) -> Result<Json, String> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_options()?;
+    let scoring_baseline = load(&opts.baseline_dir, "BENCH_scoring.baseline.json")?;
+    let ccd_baseline = load(&opts.baseline_dir, "BENCH_ccd.baseline.json")?;
+    let batch_baseline = load(&opts.baseline_dir, "BENCH_batch.baseline.json")?;
+    let scoring_fresh = load(&opts.fresh_dir, "BENCH_scoring.json")?;
+    let ccd_fresh = load(&opts.fresh_dir, "BENCH_ccd.json")?;
+    let batch_fresh = load(&opts.fresh_dir, "BENCH_batch.json")?;
+
+    let (metrics, regressions) = gate(
+        &scoring_baseline,
+        &scoring_fresh,
+        &ccd_baseline,
+        &ccd_fresh,
+        &batch_baseline,
+        &batch_fresh,
+        opts.tolerance,
+    )?;
+
+    println!(
+        "perf-regression gate: {} tracked ratios, tolerance {:.0}%",
+        metrics.len(),
+        opts.tolerance * 100.0
+    );
+    for m in &metrics {
+        let flag = if m.regressed(opts.tolerance) {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("  [{flag:>9}] {m}");
+    }
+    if regressions.is_empty() {
+        println!("gate PASSED");
+        Ok(true)
+    } else {
+        println!("gate FAILED: {} regression(s)", regressions.len());
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("check_regression error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

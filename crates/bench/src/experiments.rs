@@ -417,9 +417,9 @@ pub fn fig5_front_evolution(scale: Scale) -> String {
         rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         for (s, rmsd) in rows.iter().take(12) {
             table.add_row(vec![
-                format!("{:.2}", s.vdw),
-                format!("{:.2}", s.dist),
-                format!("{:.2}", s.triplet),
+                format!("{:.2}", s.vdw()),
+                format!("{:.2}", s.dist()),
+                format!("{:.2}", s.triplet()),
                 format!("{rmsd:.2}"),
             ]);
         }

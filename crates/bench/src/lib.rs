@@ -19,6 +19,7 @@ use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
 use std::sync::{Arc, OnceLock};
 
 pub mod experiments;
+pub mod regression;
 
 /// How far an experiment run is scaled toward the paper's operating point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +123,51 @@ impl Scale {
 pub fn shared_kb() -> Arc<KnowledgeBase> {
     static KB: OnceLock<Arc<KnowledgeBase>> = OnceLock::new();
     Arc::clone(KB.get_or_init(|| KnowledgeBase::build(KnowledgeBaseConfig::default())))
+}
+
+/// A variant of `base` whose environment is scaled `factor`× by filling the
+/// candidate reach sphere with extra atoms at constant density (clear of
+/// the native loop), emulating the rest of a full-size protein: every
+/// extra atom lands in the candidate set, but the density *local* to any
+/// loop site stays roughly that of the base shell.  Deterministic in
+/// `factor` (fixed internal seed), so every bench sees the same scaled
+/// environments.
+pub fn scaled_env_target(base: &LoopTarget, factor: usize) -> LoopTarget {
+    use lms_protein::{EnvAtom, Environment, ENV_CONTACT_MARGIN};
+    use rand::Rng;
+
+    let mut atoms = base.environment.atoms().to_vec();
+    if factor > 1 {
+        let n_extra = atoms.len() * (factor - 1);
+        let mut rng = lms_geometry::StreamRngFactory::new(77).stream(factor as u64, 0);
+        let center = base.frame.n_anchor.ca;
+        let reach = base.reach_radius() + ENV_CONTACT_MARGIN - 1.0;
+        let native = base.native_structure.backbone_atoms();
+        let mut placed = 0usize;
+        while placed < n_extra {
+            let v = lms_geometry::Vec3::new(
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+                rng.gen::<f64>() * 2.0 - 1.0,
+            );
+            let n = v.norm();
+            if !(1e-3..=1.0).contains(&n) {
+                continue;
+            }
+            // Uniform in the ball: direction × reach × ∛u.
+            let pos = center + (v / n) * (reach * rng.gen::<f64>().cbrt());
+            if native.iter().any(|a| a.distance(pos) < 4.0) {
+                continue;
+            }
+            atoms.push(EnvAtom::backbone(pos, 1.7));
+            placed += 1;
+        }
+    }
+    LoopTarget {
+        environment: Arc::new(Environment::new(atoms)),
+        env_cache: Default::default(),
+        ..base.clone()
+    }
 }
 
 /// The benchmark library shared by every experiment.

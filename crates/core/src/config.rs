@@ -9,7 +9,7 @@ use crate::annealing::TemperatureSchedule;
 use crate::error::ConfigError;
 use crate::mutation::MutationConfig;
 use lms_closure::CcdConfig;
-use lms_scoring::Objective;
+use lms_scoring::{Objective, NUM_OBJECTIVES};
 
 /// How the initial population's torsions are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,19 +25,21 @@ pub enum InitMode {
     Ramachandran,
 }
 
-/// How the sampler turns the three scoring functions into the quantity the
-/// Metropolis test acts on.
+/// How the sampler turns the enabled scoring functions into the quantity
+/// the Metropolis test acts on.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ObjectiveMode {
-    /// The paper's approach: Pareto-strength fitness over all three scoring
-    /// functions (MOSCEM).
+    /// The paper's approach: Pareto-strength fitness over all enabled
+    /// scoring functions (MOSCEM).
     MultiScoring,
     /// Global optimisation of a single scoring function — the baseline the
     /// paper argues against (Section II); used by the ablation benches.
     Single(Objective),
-    /// Global optimisation of a fixed weighted sum of the three scoring
+    /// Global optimisation of a fixed weighted sum of the scoring
     /// functions — the "single complicated scoring function" alternative.
-    WeightedSum([f64; 3]),
+    /// One weight per objective slot in canonical order; a disabled
+    /// objective's slot is always `0.0`, so its weight is inert.
+    WeightedSum([f64; NUM_OBJECTIVES]),
 }
 
 /// Full configuration of one sampling trajectory.
@@ -88,6 +90,11 @@ pub struct SamplerConfig {
     pub max_closure_deviation: f64,
     /// Objective handling (multi-scoring Pareto sampling vs. baselines).
     pub objective_mode: ObjectiveMode,
+    /// Whether the fourth (solvation/burial) objective is evaluated.  Off by
+    /// default: a disabled run is bit-identical to the three-objective
+    /// pipeline (the BURIAL slot of every score vector stays exactly `0.0`,
+    /// which cannot influence dominance, fitness or acceptance).
+    pub burial_objective: bool,
     /// How the initial population is drawn.
     pub init_mode: InitMode,
     /// Iterations at which to record a population snapshot (Figure 5 uses
@@ -119,6 +126,7 @@ impl Default for SamplerConfig {
                 .with_start_index(0),
             max_closure_deviation: 0.75,
             objective_mode: ObjectiveMode::MultiScoring,
+            burial_objective: false,
             init_mode: InitMode::Ramachandran,
             snapshot_iterations: Vec::new(),
             distinct_threshold_deg: 30.0,
@@ -165,6 +173,17 @@ impl SamplerConfig {
     /// complex may be smaller when the population does not divide evenly).
     pub fn complex_size(&self) -> usize {
         self.population_size.div_ceil(self.n_complexes.max(1))
+    }
+
+    /// Number of objectives the sampler actually evaluates under this
+    /// configuration (3 core objectives, +1 when the burial term is on).
+    /// Drives the device-model work and transfer accounting.
+    pub fn active_objectives(&self) -> usize {
+        if self.burial_objective {
+            NUM_OBJECTIVES
+        } else {
+            NUM_OBJECTIVES - 1
+        }
     }
 
     /// The effective temperature schedule: the explicit one when set,
@@ -225,6 +244,24 @@ impl SamplerConfig {
                 max_closure_deviation: self.max_closure_deviation,
                 ccd_tolerance: self.ccd.tolerance,
             });
+        }
+        if !self.burial_objective {
+            // With the burial objective off, its slot is constant 0.0 — an
+            // objective mode that optimizes only that slot would make every
+            // move's Metropolis delta zero (an unguided random walk).
+            let depends_on_burial = match self.objective_mode {
+                ObjectiveMode::Single(obj) => obj == Objective::Burial,
+                ObjectiveMode::WeightedSum(w) => {
+                    w[Objective::Burial.index()] != 0.0
+                        && w.iter()
+                            .enumerate()
+                            .all(|(i, &wi)| i == Objective::Burial.index() || wi == 0.0)
+                }
+                ObjectiveMode::MultiScoring => false,
+            };
+            if depends_on_burial {
+                return Err(ConfigError::BurialObjectiveDisabled);
+            }
         }
         Ok(())
     }
@@ -348,6 +385,14 @@ impl SamplerConfigBuilder {
         self
     }
 
+    /// Enable (or disable) the fourth, solvation/burial objective.  With it
+    /// off — the default — sampling is bit-identical to the three-objective
+    /// pipeline.
+    pub fn burial_objective(mut self, enabled: bool) -> Self {
+        self.cfg.burial_objective = enabled;
+        self
+    }
+
     /// How the initial population is drawn.
     pub fn init_mode(mut self, mode: InitMode) -> Self {
         self.cfg.init_mode = mode;
@@ -460,6 +505,51 @@ mod tests {
         for (builder, expected) in cases {
             assert_eq!(builder.build().unwrap_err(), expected);
         }
+    }
+
+    #[test]
+    fn burial_only_objective_modes_require_the_burial_objective() {
+        use crate::error::ConfigError as E;
+        use lms_scoring::Objective;
+        // Optimizing only the (disabled, constant-zero) burial slot is
+        // rejected…
+        assert_eq!(
+            SamplerConfig::builder()
+                .objective_mode(ObjectiveMode::Single(Objective::Burial))
+                .build()
+                .unwrap_err(),
+            E::BurialObjectiveDisabled
+        );
+        assert_eq!(
+            SamplerConfig::builder()
+                .objective_mode(ObjectiveMode::WeightedSum([0.0, 0.0, 0.0, 1.0]))
+                .build()
+                .unwrap_err(),
+            E::BurialObjectiveDisabled
+        );
+        // …but becomes valid once the objective is enabled, and a weighted
+        // sum with other non-zero weights never depended on it.
+        assert!(SamplerConfig::builder()
+            .objective_mode(ObjectiveMode::Single(Objective::Burial))
+            .burial_objective(true)
+            .build()
+            .is_ok());
+        assert!(SamplerConfig::builder()
+            .objective_mode(ObjectiveMode::WeightedSum([1.0, 1.0, 1.0, 1.0]))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn burial_objective_switch_roundtrips() {
+        assert!(!SamplerConfig::default().burial_objective);
+        let c = SamplerConfig::builder()
+            .burial_objective(true)
+            .build()
+            .unwrap();
+        assert!(c.burial_objective);
+        let back = c.to_builder().burial_objective(false).build().unwrap();
+        assert!(!back.burial_objective);
     }
 
     #[test]

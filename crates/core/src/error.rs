@@ -64,6 +64,11 @@ pub enum ConfigError {
     },
     /// The engine must be allowed at least one concurrent job.
     ZeroConcurrency,
+    /// The objective mode depends on the burial objective, which is
+    /// disabled: with `burial_objective` off the BURIAL slot is constant
+    /// `0.0`, so optimizing it alone would degenerate into an unguided
+    /// random walk.
+    BurialObjectiveDisabled,
 }
 
 impl fmt::Display for ConfigError {
@@ -103,6 +108,11 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroConcurrency => {
                 write!(f, "engine concurrency must be at least 1")
             }
+            ConfigError::BurialObjectiveDisabled => write!(
+                f,
+                "objective_mode depends on the BURIAL objective, but burial_objective is \
+                 false; enable it with SamplerConfig::builder().burial_objective(true)"
+            ),
         }
     }
 }

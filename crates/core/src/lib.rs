@@ -71,7 +71,8 @@ pub use engine::{
 pub use error::{ConfigError, Error};
 pub use mutation::{MutationConfig, MutationOutcome, Mutator};
 pub use pareto::{
-    count_non_dominated, fitness_against, fitness_assignment, non_dominated_indices, strengths,
+    count_non_dominated, crowding_distances, fitness_against, fitness_assignment,
+    non_dominated_indices, strengths,
 };
 pub use sampler::{
     ComponentTimes, DecoyProduction, IterationSnapshot, MoscemSampler, RunControls,

@@ -330,7 +330,7 @@ impl MoscemSampler {
         config.validate()?;
         Ok(MoscemSampler {
             target,
-            scorer: MultiScorer::new(kb),
+            scorer: MultiScorer::new(kb).with_burial(config.burial_objective),
             mutator: Mutator::new(config.mutation.clone()),
             config,
             builder: LoopBuilder::default(),
@@ -679,7 +679,7 @@ impl MoscemSampler {
                 &mut modeled_cpu,
             );
             // Fitness against the complex inside the evolution kernel.
-            let complex_work = 2.0 * cfg.complex_size() as f64 * 3.0;
+            let complex_work = 2.0 * cfg.complex_size() as f64 * cfg.active_objectives() as f64;
             self.account_simple_kernel(
                 KernelKind::FitAssgComplex,
                 launch,
@@ -702,7 +702,7 @@ impl MoscemSampler {
             let mut sums = vec![(0.0f64, 0usize); cfg.n_complexes];
             for (i, m) in members.iter().enumerate() {
                 let c = complex_of[i];
-                sums[c].0 += m.conf.scores.vdw;
+                sums[c].0 += m.conf.scores.vdw();
                 sums[c].1 += 1;
             }
             for (c, (sum, count)) in sums.into_iter().enumerate() {
@@ -712,7 +712,7 @@ impl MoscemSampler {
             // Per-iteration host/device traffic mirroring the paper's
             // Table II memcpy pattern.
             let conf_bytes = n * 2 * n_res * 4;
-            let score_bytes = n * 3 * 4;
+            let score_bytes = n * cfg.active_objectives() * 4;
             for _ in 0..5 {
                 profiler.record_transfer(spec, TransferKind::HtoD, 64);
             }
@@ -893,18 +893,12 @@ impl MoscemSampler {
                 fitness
             }
             ObjectiveMode::Single(obj) => scores.iter().map(|s| obj.value(s)).collect(),
-            ObjectiveMode::WeightedSum(w) => scores
-                .iter()
-                .map(|s| {
-                    let a = s.as_array();
-                    w[0] * a[0] + w[1] * a[1] + w[2] * a[2]
-                })
-                .collect(),
+            ObjectiveMode::WeightedSum(w) => scores.iter().map(|s| weighted_sum(&w, s)).collect(),
         };
         let host_us = start.elapsed().as_secs_f64() * 1e6;
         component.fitness_us += host_us;
 
-        let work_per_thread = 2.0 * n as f64 * 3.0;
+        let work_per_thread = 2.0 * n as f64 * self.config.active_objectives() as f64;
         let occ = launch.occupancy(&self.timing.device, KernelKind::FitAssgPopulation);
         let gpu_us =
             self.timing
@@ -993,16 +987,24 @@ impl MoscemSampler {
     }
 }
 
+/// Fixed weighted sum over all objective slots (left-to-right accumulation,
+/// so the value is deterministic across call sites).
+fn weighted_sum(w: &[f64; lms_scoring::NUM_OBJECTIVES], s: &ScoreVector) -> f64 {
+    let a = s.as_array();
+    let mut total = w[0] * a[0];
+    for i in 1..lms_scoring::NUM_OBJECTIVES {
+        total += w[i] * a[i];
+    }
+    total
+}
+
 /// Fitness of a candidate against a reference set under the configured
 /// objective handling.
 fn candidate_fitness(mode: ObjectiveMode, scores: &ScoreVector, reference: &[ScoreVector]) -> f64 {
     match mode {
         ObjectiveMode::MultiScoring => fitness_against(scores, reference),
         ObjectiveMode::Single(obj) => obj.value(scores),
-        ObjectiveMode::WeightedSum(w) => {
-            let a = scores.as_array();
-            w[0] * a[0] + w[1] * a[1] + w[2] * a[2]
-        }
+        ObjectiveMode::WeightedSum(w) => weighted_sum(&w, scores),
     }
 }
 
@@ -1214,7 +1216,7 @@ mod tests {
         );
         // The median VDW of the population improves as clashes are resolved.
         let median_vdw = |snap: &IterationSnapshot| {
-            let mut v: Vec<f64> = snap.front.iter().map(|(s, _)| s.vdw).collect();
+            let mut v: Vec<f64> = snap.front.iter().map(|(s, _)| s.vdw()).collect();
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             v[v.len() / 2]
         };

@@ -216,6 +216,53 @@ fn scratch_reused_across_targets_stays_allocation_free_after_rewarm() {
 }
 
 #[test]
+fn burial_enabled_scoring_is_allocation_free_after_warmup() {
+    // The fourth objective's shared-gather path (wider Cα queries + the
+    // per-residue count buffer) must preserve the zero-allocation invariant
+    // on the densest-environment target.
+    let target = BenchmarkLibrary::standard().target_by_name("1xyz").unwrap();
+    let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+    let scorer = MultiScorer::new(kb).with_burial(true);
+    let builder = LoopBuilder::default();
+    let n_res = target.n_residues();
+    let mut torsions = target.native_torsions.clone();
+    let mut structure = target.build(&builder, &torsions);
+    let mut scratch = ScoreScratch::for_loop_len(n_res);
+
+    target.env_candidates();
+    let pass = |structure: &mut LoopStructure,
+                torsions: &mut Torsions,
+                scratch: &mut ScoreScratch,
+                step: f64| {
+        for k in 0..torsions.n_angles() {
+            torsions.rotate_angle(k, step);
+            builder.rebuild_from(&target.frame, &target.sequence, torsions, k, structure);
+            let scores = scorer.evaluate_with(&target, structure, torsions, scratch);
+            assert!(scores.is_finite());
+            assert!(scores.burial() != 0.0, "buried target must score burial");
+        }
+    };
+    pass(&mut structure, &mut torsions, &mut scratch, 0.05);
+
+    let before = allocation_count();
+    for i in 0..8 {
+        pass(
+            &mut structure,
+            &mut torsions,
+            &mut scratch,
+            -0.05 + 0.01 * i as f64,
+        );
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "burial-enabled scoring allocated {} times after warm-up",
+        after - before
+    );
+}
+
+#[test]
 fn legacy_scoring_path_still_allocates_for_contrast() {
     // Sanity check that the counter actually observes allocations: the
     // legacy `evaluate` wrapper allocates its throwaway scratch.

@@ -270,9 +270,15 @@ impl EnvCandidates {
     /// `clear()` it themselves, so the query allocates nothing once the
     /// buffer's capacity covers the local density high-water mark
     /// (`len()` is always a sufficient capacity).
-    pub fn gather_within(&self, p: Vec3, radius: f64, out: &mut Vec<u32>) {
+    ///
+    /// Returns the number of indices appended, so a caller that shares one
+    /// gather between several consumers (e.g. the VDW environment sum and
+    /// the BURIAL contact counts) knows which slice of `out` this query
+    /// produced.
+    pub fn gather_within(&self, p: Vec3, radius: f64, out: &mut Vec<u32>) -> usize {
+        let before = out.len();
         if self.cell_atoms.is_empty() {
-            return;
+            return 0;
         }
         let inv = 1.0 / DEFAULT_CELL_SIZE;
         // Per-axis inclusive cell ranges of the bbox, intersected with the
@@ -289,13 +295,13 @@ impl EnvCandidates {
             }
         };
         let Some((x0, x1)) = axis_range(self.origin.x, self.nx, p.x) else {
-            return;
+            return 0;
         };
         let Some((y0, y1)) = axis_range(self.origin.y, self.ny, p.y) else {
-            return;
+            return 0;
         };
         let Some((z0, z1)) = axis_range(self.origin.z, self.nz, p.z) else {
-            return;
+            return 0;
         };
         for cz in z0..=z1 {
             for cy in y0..=y1 {
@@ -307,6 +313,45 @@ impl EnvCandidates {
                 out.extend_from_slice(&self.cell_atoms[start..end]);
             }
         }
+        out.len() - before
+    }
+
+    /// Count how many of the candidate `indices` have their centre within
+    /// `radius` of `p` — the exact-distance filter a contact-number consumer
+    /// applies to a (conservative) [`EnvCandidates::gather_within`] result.
+    /// Because the count is an integer, any superset of the true neighbours
+    /// yields the identical value, so a gather performed at a larger radius
+    /// for another consumer can be shared without error.
+    pub fn count_within(&self, p: Vec3, radius: f64, indices: &[u32]) -> u32 {
+        let r2 = radius * radius;
+        let mut n = 0u32;
+        for &i in indices {
+            let i = i as usize;
+            let dx = p.x - self.xs[i];
+            let dy = p.y - self.ys[i];
+            let dz = p.z - self.zs[i];
+            if dx * dx + dy * dy + dz * dz <= r2 {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Exhaustive linear-scan count of the candidates whose centre lies
+    /// within `radius` of `p` — the reference implementation any cell-list
+    /// path must match exactly.
+    pub fn count_within_linear(&self, p: Vec3, radius: f64) -> u32 {
+        let r2 = radius * radius;
+        let mut n = 0u32;
+        for i in 0..self.len() {
+            let dx = p.x - self.xs[i];
+            let dy = p.y - self.ys[i];
+            let dz = p.z - self.zs[i];
+            if dx * dx + dy * dy + dz * dz <= r2 {
+                n += 1;
+            }
+        }
+        n
     }
 }
 
@@ -567,6 +612,31 @@ mod tests {
             let p = Vec3::new(cand.xs()[i], cand.ys()[i], cand.zs()[i]);
             cand.gather_within(p, 0.5, &mut buf);
             assert!(buf.contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn count_within_matches_linear_reference() {
+        let atoms = grid_of_atoms(6, 2.1);
+        let env = Environment::new(atoms);
+        let cand = env.candidates_within(Vec3::new(5.0, 5.0, 5.0), 100.0);
+        let mut buf = Vec::new();
+        for &(p, r) in &[
+            (Vec3::new(5.0, 5.0, 5.0), 3.0),
+            (Vec3::new(0.0, 0.0, 0.0), 4.5),
+            (Vec3::new(10.6, 1.0, 6.0), 6.0),
+            (Vec3::new(50.0, 50.0, 50.0), 3.0),
+        ] {
+            buf.clear();
+            // Gather at a deliberately larger radius: the superset must not
+            // change the exact-distance count.
+            let appended = cand.gather_within(p, r + 3.0, &mut buf);
+            assert_eq!(appended, buf.len());
+            assert_eq!(
+                cand.count_within(p, r, &buf),
+                cand.count_within_linear(p, r),
+                "count mismatch at {p} r={r}"
+            );
         }
     }
 

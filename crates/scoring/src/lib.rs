@@ -1,10 +1,22 @@
 //! # lms-scoring
 //!
-//! The three backbone scoring functions of the paper — soft-sphere van der
-//! Waals (VDW), atom pair-wise distance (DIST) and triplet torsion-angle
-//! statistics (TRIPLET) — together with the synthetic knowledge base the
-//! two knowledge-based potentials are derived from, a combined
-//! [`MultiScorer`], and score-normalisation utilities.
+//! The backbone scoring functions: the paper's three objectives —
+//! soft-sphere van der Waals (VDW), atom pair-wise distance (DIST) and
+//! triplet torsion-angle statistics (TRIPLET) — plus the opt-in
+//! solvation/burial contact-number objective (BURIAL), together with the
+//! synthetic knowledge base the knowledge-based potentials are derived
+//! from, a combined [`MultiScorer`], and score-normalisation utilities.
+//!
+//! The objective set is sized by [`NUM_OBJECTIVES`] and enumerated by
+//! [`Objective`]; a [`ScoreVector`] carries one slot per objective.  With
+//! the BURIAL objective disabled (the default), its slot stays at exactly
+//! `0.0` and every kernel, comparison and normalisation reduces
+//! bit-identically to the three-objective pipeline.  Enabled (see
+//! [`MultiScorer::with_burial`]), the VDW environment pass piggybacks the
+//! per-residue contact counts on its cell-list gathers, so the fourth
+//! objective costs one extra distance filter per Cα site instead of a
+//! second environment sweep (property-tested in
+//! `tests/burial_equivalence.rs`).
 //!
 //! ## The workspace API and the allocation-free invariant
 //!
@@ -55,6 +67,7 @@
 
 #![warn(missing_docs)]
 
+pub mod burial;
 pub mod dist;
 pub mod library;
 pub mod multi;
@@ -65,10 +78,12 @@ pub mod triplet;
 pub mod vdw;
 pub mod workspace;
 
+pub use burial::{BurialScore, BURIAL_RADIUS};
 pub use dist::DistScore;
 pub use library::{
-    distance_bin, torsion_bin, BackboneAtomKind, DistTable, KnowledgeBase, KnowledgeBaseConfig,
-    SeparationClass, TripletTable, DIST_BINS, DIST_BIN_WIDTH, DIST_MAX, TRIPLET_BINS,
+    burial_bin, distance_bin, torsion_bin, BackboneAtomKind, BurialTable, DistTable, KnowledgeBase,
+    KnowledgeBaseConfig, SeparationClass, TripletTable, BURIAL_BINS, BURIAL_BIN_WIDTH, DIST_BINS,
+    DIST_BIN_WIDTH, DIST_MAX, TRIPLET_BINS,
 };
 pub use multi::MultiScorer;
 pub use normalize::{normalize_population, ScoreRange};

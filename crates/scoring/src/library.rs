@@ -120,6 +120,63 @@ pub fn distance_bin(d: f64) -> usize {
     ((d / DIST_BIN_WIDTH).floor() as usize).min(DIST_BINS - 1)
 }
 
+/// Number of contact-count bins in the burial table.
+pub const BURIAL_BINS: usize = 16;
+
+/// Width of one burial bin (environment contact counts per bin).
+pub const BURIAL_BIN_WIDTH: usize = 4;
+
+/// Map an environment contact count to its burial bin, saturating at the
+/// last bin.
+pub fn burial_bin(count: usize) -> usize {
+    (count / BURIAL_BIN_WIDTH).min(BURIAL_BINS - 1)
+}
+
+/// Solvation/burial statistical table: energy indexed by the residue type
+/// and its binned environment contact number (the count of fixed-environment
+/// atoms within the burial radius of the residue's Cα).
+///
+/// Like the TRIPLET and DIST tables, the energies are *derived* rather than
+/// shipped: a synthetic per-residue-type contact-number distribution stands
+/// in for the PDB statistics the decoy-discrimination literature histograms,
+/// with hydrophobic residue types centred on deeper burial than polar ones
+/// (Kyte–Doolittle hydropathy drives the shift).  Conformations that bury
+/// polar residues or expose hydrophobic ones therefore pay an energy
+/// penalty — the facet of loop quality the VDW/DIST/TRIPLET trio is blind
+/// to.
+#[derive(Debug, Clone)]
+pub struct BurialTable {
+    /// energies[amino_acid][count_bin] flattened.
+    energies: Vec<f64>,
+}
+
+impl BurialTable {
+    fn flat_index(aa: AminoAcid, bin: usize) -> usize {
+        aa.index() * BURIAL_BINS + bin
+    }
+
+    /// Look up the energy of a residue of type `aa` with `count` environment
+    /// atoms within the burial radius of its Cα.
+    pub fn energy(&self, aa: AminoAcid, count: usize) -> f64 {
+        self.energies[Self::flat_index(aa, burial_bin(count))]
+    }
+
+    /// Total number of table entries.
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// Whether the table is empty (never true for built tables).
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+
+    /// Size in bytes when staged on the device as f32 texels.
+    pub fn device_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f32>()
+    }
+}
+
 /// Triplet torsion-angle statistical table: energy indexed by the residue
 /// classes of the (previous, central, next) residues and by the central
 /// residue's binned (φ, ψ).
@@ -231,6 +288,9 @@ pub struct KnowledgeBaseConfig {
     pub dist_fragments: usize,
     /// Length (residues) of each sampled fragment.
     pub dist_fragment_len: usize,
+    /// Number of synthetic contact-count samples per residue type for the
+    /// burial statistics.
+    pub burial_samples_per_type: usize,
     /// Additive smoothing pseudo-count applied to every histogram bin.
     pub smoothing: f64,
 }
@@ -242,6 +302,7 @@ impl Default for KnowledgeBaseConfig {
             triplet_samples_per_context: 6000,
             dist_fragments: 600,
             dist_fragment_len: 12,
+            burial_samples_per_type: 4000,
             smoothing: 0.5,
         }
     }
@@ -257,6 +318,7 @@ impl KnowledgeBaseConfig {
         KnowledgeBaseConfig {
             triplet_samples_per_context: 2500,
             dist_fragments: 80,
+            burial_samples_per_type: 1500,
             ..Default::default()
         }
     }
@@ -290,6 +352,14 @@ impl KnowledgeBaseConfig {
         self
     }
 
+    /// Set the number of synthetic contact-count samples per residue type
+    /// for the burial statistics.
+    #[must_use]
+    pub fn with_burial_samples(mut self, samples: usize) -> Self {
+        self.burial_samples_per_type = samples;
+        self
+    }
+
     /// Set the additive smoothing pseudo-count applied to every histogram
     /// bin.
     #[must_use]
@@ -307,6 +377,8 @@ pub struct KnowledgeBase {
     pub triplet: TripletTable,
     /// The pairwise distance table.
     pub dist: DistTable,
+    /// The solvation/burial contact-number table.
+    pub burial: BurialTable,
     config: KnowledgeBaseConfig,
 }
 
@@ -317,9 +389,11 @@ impl KnowledgeBase {
         let rama = RamaLibrary::default();
         let triplet = build_triplet_table(&rama, &config);
         let dist = build_dist_table(&rama, &config);
+        let burial = build_burial_table(&config);
         Arc::new(KnowledgeBase {
             triplet,
             dist,
+            burial,
             config,
         })
     }
@@ -337,7 +411,7 @@ impl KnowledgeBase {
     /// Total bytes of pre-calculated data staged to the device (texture
     /// memory) by the GPU implementation.
     pub fn device_bytes(&self) -> usize {
-        self.triplet.device_bytes() + self.dist.device_bytes()
+        self.triplet.device_bytes() + self.dist.device_bytes() + self.burial.device_bytes()
     }
 }
 
@@ -483,6 +557,48 @@ fn build_dist_table(rama: &RamaLibrary, config: &KnowledgeBaseConfig) -> DistTab
         }
     }
     DistTable { energies }
+}
+
+/// Mean burial contact count of the most solvent-exposed residue type.
+const BURIAL_MEAN_EXPOSED: f64 = 14.0;
+
+/// Extra mean contact count the most hydrophobic (deepest-buried) residue
+/// type adds on top of [`BURIAL_MEAN_EXPOSED`].
+const BURIAL_MEAN_SPREAD: f64 = 22.0;
+
+/// Standard deviation of the synthetic contact-count distribution.
+const BURIAL_SIGMA: f64 = 8.0;
+
+/// Range of the Kyte–Doolittle hydropathy index (±4.5).
+const HYDROPATHY_HALF_RANGE: f64 = 4.5;
+
+fn build_burial_table(config: &KnowledgeBaseConfig) -> BurialTable {
+    let factory = StreamRngFactory::new(config.seed).derive(3);
+    let mut energies = vec![0.0f64; 20 * BURIAL_BINS];
+    for idx in 0..20usize {
+        let aa = AminoAcid::from_index(idx);
+        // Hydrophobic residues centre on deeper burial: map the hydropathy
+        // index from [-4.5, 4.5] to a mean contact count in
+        // [BURIAL_MEAN_EXPOSED, BURIAL_MEAN_EXPOSED + BURIAL_MEAN_SPREAD].
+        let h = (aa.hydropathy() + HYDROPATHY_HALF_RANGE) / (2.0 * HYDROPATHY_HALF_RANGE);
+        let mean = BURIAL_MEAN_EXPOSED + BURIAL_MEAN_SPREAD * h;
+        let mut rng = factory.stream(idx as u64, 0);
+        let mut counts = [config.smoothing; BURIAL_BINS];
+        for _ in 0..config.burial_samples_per_type {
+            // Approximately standard-normal noise via the Irwin–Hall sum of
+            // 12 uniforms (keeps the vendored `rand` subset sufficient).
+            let g: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+            let sample = (mean + BURIAL_SIGMA * g).round().max(0.0) as usize;
+            counts[burial_bin(sample)] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        let p_ref = 1.0 / BURIAL_BINS as f64;
+        for (bin, &c) in counts.iter().enumerate() {
+            let p = c / total;
+            energies[BurialTable::flat_index(aa, bin)] = -(p / p_ref).ln();
+        }
+    }
+    BurialTable { energies }
 }
 
 #[cfg(test)]
@@ -655,11 +771,54 @@ mod tests {
         let kb = fast_kb();
         assert_eq!(kb.triplet.len(), 27 * TRIPLET_BINS * TRIPLET_BINS);
         assert_eq!(kb.dist.len(), 16 * SeparationClass::COUNT * DIST_BINS);
+        assert_eq!(kb.burial.len(), 20 * BURIAL_BINS);
         assert!(!kb.triplet.is_empty());
         assert!(!kb.dist.is_empty());
+        assert!(!kb.burial.is_empty());
         assert_eq!(
             kb.device_bytes(),
-            (kb.triplet.len() + kb.dist.len()) * std::mem::size_of::<f32>()
+            (kb.triplet.len() + kb.dist.len() + kb.burial.len()) * std::mem::size_of::<f32>()
+        );
+    }
+
+    #[test]
+    fn burial_bins_saturate() {
+        assert_eq!(burial_bin(0), 0);
+        assert_eq!(burial_bin(BURIAL_BIN_WIDTH - 1), 0);
+        assert_eq!(burial_bin(BURIAL_BIN_WIDTH), 1);
+        assert_eq!(burial_bin(10_000), BURIAL_BINS - 1);
+    }
+
+    #[test]
+    fn burial_table_is_deterministic() {
+        let a = fast_kb();
+        let b = fast_kb();
+        for count in [0, 8, 24, 40, 64] {
+            assert_eq!(
+                a.burial.energy(AminoAcid::Ile, count),
+                b.burial.energy(AminoAcid::Ile, count)
+            );
+        }
+    }
+
+    #[test]
+    fn burial_table_separates_hydrophobic_from_polar() {
+        let kb = fast_kb();
+        // Deep burial (high contact count) is cheap for hydrophobic Ile and
+        // expensive for charged Asp; full exposure is the reverse.
+        let buried = 40;
+        let exposed = 8;
+        assert!(
+            kb.burial.energy(AminoAcid::Ile, buried) < kb.burial.energy(AminoAcid::Asp, buried),
+            "burying Ile should be cheaper than burying Asp"
+        );
+        assert!(
+            kb.burial.energy(AminoAcid::Asp, exposed) < kb.burial.energy(AminoAcid::Asp, buried),
+            "Asp should prefer exposure"
+        );
+        assert!(
+            kb.burial.energy(AminoAcid::Ile, buried) < kb.burial.energy(AminoAcid::Ile, exposed),
+            "Ile should prefer burial"
         );
     }
 }

@@ -1,5 +1,18 @@
-//! The multi-scoring evaluator: VDW + DIST + TRIPLET evaluated together.
+//! The multi-scoring evaluator: the enabled objective set evaluated
+//! together on one conformation.
+//!
+//! The three core objectives (VDW, DIST, TRIPLET) are always evaluated; the
+//! BURIAL solvation term is an opt-in fourth objective
+//! ([`MultiScorer::with_burial`]).  When it is off, the BURIAL slot of every
+//! [`ScoreVector`] stays at exactly `0.0` and the evaluation runs the
+//! identical kernels as the three-objective pipeline — bit-identical
+//! behaviour, so enabling the objective is a pure extension.  When it is on,
+//! the VDW environment pass piggybacks the per-residue contact counts on its
+//! cell-list gathers ([`VdwScore::score_target_with_burial`]), so the fourth
+//! objective costs one extra distance filter per Cα site rather than a
+//! second sweep over the environment.
 
+use crate::burial::BurialScore;
 use crate::dist::DistScore;
 use crate::library::KnowledgeBase;
 use crate::traits::{ScoreVector, ScoringFunction};
@@ -9,8 +22,8 @@ use crate::workspace::ScoreScratch;
 use lms_protein::{LoopStructure, LoopTarget, Torsions};
 use std::sync::Arc;
 
-/// Bundles the three scoring functions of the paper and evaluates them on a
-/// conformation in one call, producing a [`ScoreVector`].
+/// Bundles the scoring functions and evaluates them on a conformation in
+/// one call, producing a [`ScoreVector`].
 ///
 /// `MultiScorer` is cheap to clone (the knowledge base is shared through an
 /// `Arc`), so every worker thread of the parallel executor can own one.
@@ -19,16 +32,21 @@ pub struct MultiScorer {
     vdw: VdwScore,
     dist: DistScore,
     triplet: TripletScore,
+    burial: BurialScore,
+    burial_enabled: bool,
 }
 
 impl MultiScorer {
     /// Create the evaluator over a pre-built knowledge base, with default
-    /// VDW parameters.
+    /// VDW parameters and the burial objective disabled (the paper's
+    /// three-objective configuration).
     pub fn new(kb: Arc<KnowledgeBase>) -> Self {
         MultiScorer {
             vdw: VdwScore::default(),
             dist: DistScore::new(Arc::clone(&kb)),
-            triplet: TripletScore::new(kb),
+            triplet: TripletScore::new(Arc::clone(&kb)),
+            burial: BurialScore::new(kb),
+            burial_enabled: false,
         }
     }
 
@@ -38,7 +56,20 @@ impl MultiScorer {
         self
     }
 
-    /// Evaluate all three scoring functions on a built conformation.
+    /// Enable or disable the BURIAL objective.  Disabled (the default), the
+    /// evaluation is bit-identical to the three-objective pipeline.
+    #[must_use]
+    pub fn with_burial(mut self, enabled: bool) -> Self {
+        self.burial_enabled = enabled;
+        self
+    }
+
+    /// Whether the BURIAL objective is evaluated.
+    pub fn burial_enabled(&self) -> bool {
+        self.burial_enabled
+    }
+
+    /// Evaluate the enabled scoring functions on a built conformation.
     /// Allocating wrapper over [`MultiScorer::evaluate_with`].
     pub fn evaluate(
         &self,
@@ -50,7 +81,7 @@ impl MultiScorer {
         self.evaluate_with(target, structure, torsions, &mut scratch)
     }
 
-    /// Evaluate all three scoring functions using caller-owned scratch
+    /// Evaluate the enabled scoring functions using caller-owned scratch
     /// buffers: the zero-allocation path the sampler's evolution kernel
     /// runs once per conformation per iteration.  Returns exactly the same
     /// vector as [`MultiScorer::evaluate`].
@@ -61,19 +92,40 @@ impl MultiScorer {
         torsions: &Torsions,
         scratch: &mut ScoreScratch,
     ) -> ScoreVector {
-        ScoreVector {
-            vdw: self.vdw.score_with(target, structure, torsions, scratch),
-            dist: self.dist.score_with(target, structure, torsions, scratch),
-            triplet: self
-                .triplet
-                .score_with(target, structure, torsions, scratch),
+        if self.burial_enabled {
+            // Shared-gather path: the VDW environment pass piggybacks the
+            // burial contact counts on its per-site cell-list queries.
+            let vdw =
+                self.vdw
+                    .score_target_with_burial(target, structure, scratch, self.burial.radius());
+            let counts = std::mem::take(&mut scratch.burial_counts);
+            let burial = self.burial.score_from_counts(target, &counts);
+            scratch.burial_counts = counts;
+            ScoreVector::new(
+                vdw,
+                self.dist.score_with(target, structure, torsions, scratch),
+                self.triplet
+                    .score_with(target, structure, torsions, scratch),
+            )
+            .with_burial(burial)
+        } else {
+            ScoreVector::new(
+                self.vdw.score_with(target, structure, torsions, scratch),
+                self.dist.score_with(target, structure, torsions, scratch),
+                self.triplet
+                    .score_with(target, structure, torsions, scratch),
+            )
         }
     }
 
-    /// Access the individual scoring functions (name, evaluator closure),
+    /// Access the enabled scoring functions in canonical objective order,
     /// used by the component-timing profile of Figure 1 / Table II.
-    pub fn components(&self) -> [&dyn ScoringFunction; 3] {
-        [&self.vdw, &self.dist, &self.triplet]
+    pub fn components(&self) -> Vec<&dyn ScoringFunction> {
+        let mut c: Vec<&dyn ScoringFunction> = vec![&self.vdw, &self.dist, &self.triplet];
+        if self.burial_enabled {
+            c.push(&self.burial);
+        }
+        c
     }
 }
 
@@ -96,27 +148,58 @@ mod tests {
         let native = target.build(&builder, &target.native_torsions);
         let v = s.evaluate(&target, &native, &target.native_torsions);
         let comps = s.components();
+        assert_eq!(comps.len(), 3);
         assert_eq!(comps[0].name(), "VDW");
         assert_eq!(comps[1].name(), "DIST");
         assert_eq!(comps[2].name(), "TRIPLET");
         assert_eq!(
-            v.vdw,
+            v.vdw(),
             comps[0].score(&target, &native, &target.native_torsions)
         );
         assert_eq!(
-            v.dist,
+            v.dist(),
             comps[1].score(&target, &native, &target.native_torsions)
         );
         assert_eq!(
-            v.triplet,
+            v.triplet(),
             comps[2].score(&target, &native, &target.native_torsions)
         );
+        assert_eq!(v.burial(), 0.0, "disabled burial slot stays zero");
         assert!(v.is_finite());
     }
 
     #[test]
+    fn burial_enabled_evaluation_matches_components_and_keeps_core_scores() {
+        let s3 = scorer();
+        let s4 = s3.clone().with_burial(true);
+        assert!(s4.burial_enabled());
+        let lib = BenchmarkLibrary::standard();
+        let target = lib.target_by_name("1xyz").unwrap();
+        let builder = LoopBuilder::default();
+        let native = target.build(&builder, &target.native_torsions);
+
+        let v3 = s3.evaluate(&target, &native, &target.native_torsions);
+        let v4 = s4.evaluate(&target, &native, &target.native_torsions);
+        // The shared gather leaves the three core objectives bit-identical.
+        assert_eq!(v3.vdw().to_bits(), v4.vdw().to_bits());
+        assert_eq!(v3.dist().to_bits(), v4.dist().to_bits());
+        assert_eq!(v3.triplet().to_bits(), v4.triplet().to_bits());
+        assert_eq!(v3.burial(), 0.0);
+        assert!(v4.burial() != 0.0, "buried target has non-trivial burial");
+
+        // The fourth component agrees with the standalone scoring function.
+        let comps = s4.components();
+        assert_eq!(comps.len(), 4);
+        assert_eq!(comps[3].name(), "BURIAL");
+        assert_eq!(
+            v4.burial(),
+            comps[3].score(&target, &native, &target.native_torsions)
+        );
+    }
+
+    #[test]
     fn clone_shares_knowledge_base_and_scores_identically() {
-        let s1 = scorer();
+        let s1 = scorer().with_burial(true);
         let s2 = s1.clone();
         let lib = BenchmarkLibrary::standard();
         let target = lib.target_by_name("3pte").unwrap();

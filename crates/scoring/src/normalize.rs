@@ -9,9 +9,9 @@ use crate::traits::{Objective, ScoreVector, NUM_OBJECTIVES};
 /// Per-objective minimum and maximum over a population.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoreRange {
-    /// Per-objective minima, (VDW, DIST, TRIPLET) order.
+    /// Per-objective minima, canonical [`Objective`] order.
     pub min: [f64; NUM_OBJECTIVES],
-    /// Per-objective maxima, (VDW, DIST, TRIPLET) order.
+    /// Per-objective maxima, canonical [`Objective`] order.
     pub max: [f64; NUM_OBJECTIVES],
 }
 
@@ -50,11 +50,7 @@ impl ScoreRange {
 
     /// Width of one objective's range.
     pub fn span(&self, objective: Objective) -> f64 {
-        let i = match objective {
-            Objective::Vdw => 0,
-            Objective::Dist => 1,
-            Objective::Triplet => 2,
-        };
+        let i = objective.index();
         self.max[i] - self.min[i]
     }
 }
@@ -93,14 +89,16 @@ mod tests {
             }
         }
         // Extremes map to exactly 0 and 1.
-        assert_eq!(normed[0].vdw, 0.0);
-        assert_eq!(normed[1].vdw, 1.0);
-        assert_eq!(normed[0].dist, 0.0);
-        assert_eq!(normed[1].dist, 1.0);
-        assert_eq!(normed[0].triplet, 0.0);
-        assert_eq!(normed[1].triplet, 1.0);
+        assert_eq!(normed[0].vdw(), 0.0);
+        assert_eq!(normed[1].vdw(), 1.0);
+        assert_eq!(normed[0].dist(), 0.0);
+        assert_eq!(normed[1].dist(), 1.0);
+        assert_eq!(normed[0].triplet(), 0.0);
+        assert_eq!(normed[1].triplet(), 1.0);
+        // The burial slot is degenerate (all zero) and stays at zero.
+        assert_eq!(normed[0].burial(), 0.0);
         // Midpoint stays a midpoint.
-        assert!((normed[2].vdw - 0.5).abs() < 1e-12);
+        assert!((normed[2].vdw() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -110,9 +108,9 @@ mod tests {
             ScoreVector::new(2.0, 6.0, 3.0),
         ];
         let normed = normalize_population(&scores);
-        assert_eq!(normed[0].vdw, 0.0);
-        assert_eq!(normed[1].vdw, 0.0);
-        assert_eq!(normed[1].dist, 1.0);
+        assert_eq!(normed[0].vdw(), 0.0);
+        assert_eq!(normed[1].vdw(), 0.0);
+        assert_eq!(normed[1].dist(), 1.0);
     }
 
     #[test]
@@ -125,8 +123,9 @@ mod tests {
         assert_eq!(r.span(Objective::Vdw), 3.0);
         assert_eq!(r.span(Objective::Dist), 0.0);
         assert_eq!(r.span(Objective::Triplet), 3.0);
-        assert_eq!(r.min, [1.0, 2.0, 0.0]);
-        assert_eq!(r.max, [4.0, 2.0, 3.0]);
+        assert_eq!(r.span(Objective::Burial), 0.0);
+        assert_eq!(r.min, [1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(r.max, [4.0, 2.0, 3.0, 0.0]);
     }
 
     #[test]

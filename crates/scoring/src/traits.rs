@@ -1,11 +1,21 @@
-//! Scoring-function abstractions shared by the three objectives.
+//! Scoring-function abstractions shared by the objectives.
+//!
+//! The objective set is described by [`Objective`] and sized by
+//! [`NUM_OBJECTIVES`]; nothing downstream hardwires a component count.  A
+//! [`ScoreVector`] always carries one slot per objective in canonical
+//! order — samplers that run with the burial objective disabled simply leave
+//! its slot at exactly `0.0`, which makes every comparison (dominance,
+//! normalisation, fitness) reduce bit-identically to the three-objective
+//! behaviour: a component that is equal on both sides can neither veto nor
+//! establish dominance.
 
 use crate::workspace::ScoreScratch;
 use lms_protein::{LoopStructure, LoopTarget, Torsions};
 use std::fmt;
 
-/// Number of scoring functions (objectives) sampled simultaneously.
-pub const NUM_OBJECTIVES: usize = 3;
+/// Number of scoring functions (objectives) a [`ScoreVector`] carries, in
+/// the canonical order (VDW, DIST, TRIPLET, BURIAL).
+pub const NUM_OBJECTIVES: usize = 4;
 
 /// A backbone scoring function evaluated on a built loop conformation.
 ///
@@ -19,7 +29,8 @@ pub const NUM_OBJECTIVES: usize = 3;
 /// wrapper that allocates a throwaway scratch; both paths run the identical
 /// kernel and therefore return bit-identical values.
 pub trait ScoringFunction: Send + Sync {
-    /// Short identifier used in reports (`"VDW"`, `"DIST"`, `"TRIPLET"`).
+    /// Short identifier used in reports (`"VDW"`, `"DIST"`, `"TRIPLET"`,
+    /// `"BURIAL"`).
     fn name(&self) -> &'static str;
 
     /// Score a conformation; lower is better.  Thin allocating wrapper over
@@ -43,49 +54,77 @@ pub trait ScoringFunction: Send + Sync {
     ) -> f64;
 }
 
-/// The vector of the three objective values for one conformation, in the
-/// fixed order (VDW, DIST, TRIPLET).
+/// The vector of objective values for one conformation, one slot per
+/// [`Objective`] in the fixed (VDW, DIST, TRIPLET, BURIAL) order.
+///
+/// Three-objective pipelines leave the BURIAL slot at exactly `0.0`; all
+/// comparisons then reduce bit-identically to the three-objective ones.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ScoreVector {
-    /// Soft-sphere van der Waals clash score.
-    pub vdw: f64,
-    /// Atom pair-wise distance-based score.
-    pub dist: f64,
-    /// Triplet torsion-angle score.
-    pub triplet: f64,
+    values: [f64; NUM_OBJECTIVES],
 }
 
 impl ScoreVector {
-    /// Construct from explicit components.
+    /// Construct from the three core components, leaving the burial slot at
+    /// `0.0` (the disabled-objective convention).
     pub fn new(vdw: f64, dist: f64, triplet: f64) -> Self {
-        ScoreVector { vdw, dist, triplet }
-    }
-
-    /// The components as an array in (VDW, DIST, TRIPLET) order.
-    pub fn as_array(&self) -> [f64; NUM_OBJECTIVES] {
-        [self.vdw, self.dist, self.triplet]
-    }
-
-    /// Build from an array in (VDW, DIST, TRIPLET) order.
-    pub fn from_array(a: [f64; NUM_OBJECTIVES]) -> Self {
         ScoreVector {
-            vdw: a[0],
-            dist: a[1],
-            triplet: a[2],
+            values: [vdw, dist, triplet, 0.0],
         }
+    }
+
+    /// Replace the burial component.
+    #[must_use]
+    pub fn with_burial(mut self, burial: f64) -> Self {
+        self.values[Objective::Burial.index()] = burial;
+        self
+    }
+
+    /// Soft-sphere van der Waals clash score.
+    pub fn vdw(&self) -> f64 {
+        self.values[Objective::Vdw.index()]
+    }
+
+    /// Atom pair-wise distance-based score.
+    pub fn dist(&self) -> f64 {
+        self.values[Objective::Dist.index()]
+    }
+
+    /// Triplet torsion-angle score.
+    pub fn triplet(&self) -> f64 {
+        self.values[Objective::Triplet.index()]
+    }
+
+    /// Solvation/burial contact-number score (`0.0` when the objective is
+    /// disabled).
+    pub fn burial(&self) -> f64 {
+        self.values[Objective::Burial.index()]
+    }
+
+    /// One component by objective index (canonical order).
+    pub fn component(&self, index: usize) -> f64 {
+        self.values[index]
+    }
+
+    /// The components as an array in canonical objective order.
+    pub fn as_array(&self) -> [f64; NUM_OBJECTIVES] {
+        self.values
+    }
+
+    /// Build from an array in canonical objective order.
+    pub fn from_array(values: [f64; NUM_OBJECTIVES]) -> Self {
+        ScoreVector { values }
     }
 
     /// Pareto dominance: `self` dominates `other` iff it is no worse in
     /// every objective and strictly better in at least one (lower = better).
     pub fn dominates(&self, other: &ScoreVector) -> bool {
-        let a = self.as_array();
-        let b = other.as_array();
         let mut strictly_better = false;
         for i in 0..NUM_OBJECTIVES {
-            if a[i] > b[i] {
+            if self.values[i] > other.values[i] {
                 return false;
             }
-            if a[i] < b[i] {
+            if self.values[i] < other.values[i] {
                 strictly_better = true;
             }
         }
@@ -94,22 +133,24 @@ impl ScoreVector {
 
     /// Whether every component is finite.
     pub fn is_finite(&self) -> bool {
-        self.vdw.is_finite() && self.dist.is_finite() && self.triplet.is_finite()
+        self.values.iter().all(|v| v.is_finite())
     }
 }
 
 impl fmt::Display for ScoreVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "VDW={:.3} DIST={:.3} TRIPLET={:.3}",
-            self.vdw, self.dist, self.triplet
-        )
+        for (i, obj) in Objective::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={:.3}", obj.name(), self.values[i])?;
+        }
+        Ok(())
     }
 }
 
-/// Identifies one of the three objectives; used by the ablation benches and
-/// the single-objective baseline.
+/// Identifies one objective; used by the ablation benches, the
+/// single-objective baseline and the normalisation helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Objective {
     /// Soft-sphere van der Waals clash score.
@@ -118,20 +159,32 @@ pub enum Objective {
     Dist,
     /// Triplet torsion-angle score.
     Triplet,
+    /// Solvation/burial contact-number score.
+    Burial,
 }
 
 impl Objective {
-    /// All objectives in canonical (VDW, DIST, TRIPLET) order.
-    pub const ALL: [Objective; NUM_OBJECTIVES] =
-        [Objective::Vdw, Objective::Dist, Objective::Triplet];
+    /// All objectives in canonical (VDW, DIST, TRIPLET, BURIAL) order.
+    pub const ALL: [Objective; NUM_OBJECTIVES] = [
+        Objective::Vdw,
+        Objective::Dist,
+        Objective::Triplet,
+        Objective::Burial,
+    ];
+
+    /// Stable slot index in `[0, NUM_OBJECTIVES)` (canonical order).
+    pub fn index(&self) -> usize {
+        match self {
+            Objective::Vdw => 0,
+            Objective::Dist => 1,
+            Objective::Triplet => 2,
+            Objective::Burial => 3,
+        }
+    }
 
     /// Extract this objective's value from a score vector.
     pub fn value(&self, s: &ScoreVector) -> f64 {
-        match self {
-            Objective::Vdw => s.vdw,
-            Objective::Dist => s.dist,
-            Objective::Triplet => s.triplet,
-        }
+        s.component(self.index())
     }
 
     /// Display name matching the paper's figures.
@@ -140,6 +193,7 @@ impl Objective {
             Objective::Vdw => "VDW",
             Objective::Dist => "DIST",
             Objective::Triplet => "TRIPLET",
+            Objective::Burial => "BURIAL",
         }
     }
 }
@@ -152,7 +206,10 @@ mod tests {
     fn array_roundtrip() {
         let s = ScoreVector::new(1.0, 2.0, 3.0);
         assert_eq!(ScoreVector::from_array(s.as_array()), s);
-        assert_eq!(s.as_array(), [1.0, 2.0, 3.0]);
+        assert_eq!(s.as_array(), [1.0, 2.0, 3.0, 0.0]);
+        let b = s.with_burial(4.0);
+        assert_eq!(b.as_array(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.burial(), 4.0);
     }
 
     #[test]
@@ -174,28 +231,50 @@ mod tests {
     }
 
     #[test]
+    fn burial_component_participates_in_dominance() {
+        let a = ScoreVector::new(1.0, 1.0, 1.0).with_burial(1.0);
+        let b = ScoreVector::new(1.0, 1.0, 1.0).with_burial(2.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // A zero burial slot on both sides changes nothing: the pair reduces
+        // to the three-objective comparison.
+        let x = ScoreVector::new(1.0, 2.0, 3.0);
+        let y = ScoreVector::new(2.0, 3.0, 4.0);
+        assert!(x.dominates(&y));
+        assert!(!y.dominates(&x));
+    }
+
+    #[test]
     fn finiteness() {
         assert!(ScoreVector::new(1.0, 2.0, 3.0).is_finite());
         assert!(!ScoreVector::new(f64::NAN, 2.0, 3.0).is_finite());
         assert!(!ScoreVector::new(1.0, f64::INFINITY, 3.0).is_finite());
+        assert!(!ScoreVector::new(1.0, 2.0, 3.0)
+            .with_burial(f64::NAN)
+            .is_finite());
     }
 
     #[test]
     fn objective_accessors() {
-        let s = ScoreVector::new(1.0, 2.0, 3.0);
+        let s = ScoreVector::new(1.0, 2.0, 3.0).with_burial(4.0);
         assert_eq!(Objective::Vdw.value(&s), 1.0);
         assert_eq!(Objective::Dist.value(&s), 2.0);
         assert_eq!(Objective::Triplet.value(&s), 3.0);
+        assert_eq!(Objective::Burial.value(&s), 4.0);
         assert_eq!(Objective::ALL.len(), NUM_OBJECTIVES);
+        for (i, obj) in Objective::ALL.iter().enumerate() {
+            assert_eq!(obj.index(), i);
+        }
         assert_eq!(Objective::Vdw.name(), "VDW");
-        assert_eq!(Objective::Triplet.name(), "TRIPLET");
+        assert_eq!(Objective::Burial.name(), "BURIAL");
     }
 
     #[test]
     fn display_contains_all_components() {
-        let s = format!("{}", ScoreVector::new(1.5, 2.5, 3.5));
+        let s = format!("{}", ScoreVector::new(1.5, 2.5, 3.5).with_burial(4.5));
         assert!(s.contains("VDW=1.5"));
         assert!(s.contains("DIST=2.5"));
         assert!(s.contains("TRIPLET=3.5"));
+        assert!(s.contains("BURIAL=4.5"));
     }
 }

@@ -138,13 +138,17 @@ impl VdwScore {
         let r = &self.radii;
         scratch.clear();
         for (i, res) in structure.residues.iter().enumerate() {
-            for (p, radius) in [(res.n, r.n), (res.ca, r.ca), (res.c, r.c), (res.o, r.o)] {
+            for (k, (p, radius)) in [(res.n, r.n), (res.ca, r.ca), (res.c, r.c), (res.o, r.o)]
+                .into_iter()
+                .enumerate()
+            {
                 scratch.site_x.push(p.x);
                 scratch.site_y.push(p.y);
                 scratch.site_z.push(p.z);
                 scratch.site_r.push(radius);
                 scratch.site_res.push(i as u32);
                 scratch.site_centroid.push(false);
+                scratch.site_is_ca.push(k == 1);
             }
             if let Some(c) = res.centroid {
                 scratch.site_x.push(c.x);
@@ -153,6 +157,7 @@ impl VdwScore {
                 scratch.site_r.push(target.sequence[i].centroid_radius());
                 scratch.site_res.push(i as u32);
                 scratch.site_centroid.push(true);
+                scratch.site_is_ca.push(false);
             }
         }
     }
@@ -287,6 +292,75 @@ impl VdwScore {
         total
     }
 
+    /// The shared VDW + BURIAL environment pass: identical to
+    /// [`VdwScore::against_environment_cells`] except that Cα sites widen
+    /// their cell-list query to also cover `burial_radius` and derive the
+    /// residue's environment contact count from the *same* gathered index
+    /// list — the burial objective costs one extra distance filter, not a
+    /// second gather.
+    ///
+    /// Exactness of both consumers:
+    /// * the VDW sum is bit-identical to the plain cells pass — widening a
+    ///   query only grows the conservative superset, excluded candidates
+    ///   contribute exactly 0, and the ascending re-sort fixes the
+    ///   accumulation order;
+    /// * the burial count is an integer under an exact distance cutoff, so
+    ///   any superset gathers to the identical count.
+    fn against_environment_cells_and_burial(
+        &self,
+        s: &mut ScoreScratch,
+        env: &EnvCandidates,
+        n_residues: usize,
+        burial_radius: f64,
+    ) -> f64 {
+        s.burial_counts.clear();
+        s.burial_counts.resize(n_residues, 0);
+        if env.is_empty() {
+            return 0.0;
+        }
+        if s.env_idx.capacity() < env.len() {
+            s.env_idx.clear();
+            s.env_idx.reserve(env.len());
+        }
+        let softness = self.radii.softness;
+        let max_reach = env.max_radius();
+        let mut total = 0.0;
+        for a in 0..s.site_x.len() {
+            let (xa, ya, za) = (s.site_x[a], s.site_y[a], s.site_z[a]);
+            let (ra, ca) = (s.site_r[a], s.site_centroid[a]);
+            let is_ca = s.site_is_ca[a];
+            let vdw_reach = (ra + max_reach) * softness;
+            let query_radius = if is_ca {
+                vdw_reach.max(burial_radius)
+            } else {
+                vdw_reach
+            };
+            s.env_idx.clear();
+            env.gather_within(Vec3::new(xa, ya, za), query_radius, &mut s.env_idx);
+            s.env_idx.sort_unstable();
+            if is_ca {
+                let count = env.count_within(Vec3::new(xa, ya, za), burial_radius, &s.env_idx);
+                s.burial_counts[s.site_res[a] as usize] = count;
+            }
+            let (ex, ey, ez) = (env.xs(), env.ys(), env.zs());
+            let (er, ec) = (env.radii(), env.centroid_flags());
+            for &b in &s.env_idx {
+                let b = b as usize;
+                let dx = xa - ex[b];
+                let dy = ya - ey[b];
+                let dz = za - ez[b];
+                let d2 = dx * dx + dy * dy + dz * dz;
+                let sigma = (ra + er[b]) * softness;
+                if d2 >= sigma * sigma || sigma <= 0.0 {
+                    continue;
+                }
+                total +=
+                    self.contact_weight(ca, ec[b]) * self.overlap_penalty(d2.sqrt(), ra + er[b]);
+            }
+        }
+        total
+    }
+
     /// The loop-to-environment term of [`VdwScore::score_target_with`] in
     /// isolation, evaluated through the candidate cell list (the production
     /// path).  Exposed so equivalence tests and benchmarks can compare it
@@ -332,6 +406,38 @@ impl VdwScore {
         self.fill_sites(target, structure, scratch);
         let intra = self.intra_loop(scratch);
         let inter = self.against_environment_cells(scratch, target.env_candidates());
+        (intra + inter) / structure.n_residues() as f64
+    }
+
+    /// [`VdwScore::score_target_with`] with the environment term evaluated
+    /// through the shared VDW + BURIAL pass: on return,
+    /// `scratch.burial_counts` holds each residue's environment contact
+    /// count within `burial_radius` of its Cα, derived from the same
+    /// cell-list gathers the VDW sum consumed.  The returned VDW score is
+    /// bit-identical to [`VdwScore::score_target_with`].
+    pub fn score_target_with_burial(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+        burial_radius: f64,
+    ) -> f64 {
+        debug_assert!(
+            self.cutoff <= lms_protein::ENV_CONTACT_MARGIN
+                && burial_radius <= lms_protein::ENV_CONTACT_MARGIN,
+            "query radii (VDW {}, burial {}) exceed the environment candidate margin {}",
+            self.cutoff,
+            burial_radius,
+            lms_protein::ENV_CONTACT_MARGIN
+        );
+        self.fill_sites(target, structure, scratch);
+        let intra = self.intra_loop(scratch);
+        let inter = self.against_environment_cells_and_burial(
+            scratch,
+            target.env_candidates(),
+            structure.n_residues(),
+            burial_radius,
+        );
         (intra + inter) / structure.n_residues() as f64
     }
 
@@ -441,6 +547,35 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.is_finite());
         assert!(a >= 0.0, "soft-sphere penalties are non-negative");
+    }
+
+    #[test]
+    fn shared_burial_pass_leaves_vdw_bit_identical_and_counts_exact() {
+        let s = VdwScore::default();
+        let lib = BenchmarkLibrary::standard();
+        let builder = LoopBuilder::default();
+        for name in ["1cex", "1xyz"] {
+            let target = lib.target_by_name(name).unwrap();
+            let native = target.build(&builder, &target.native_torsions);
+            let mut scratch = ScoreScratch::new();
+            let plain = s.score_target_with(&target, &native, &mut scratch);
+            let shared = s.score_target_with_burial(
+                &target,
+                &native,
+                &mut scratch,
+                crate::burial::BURIAL_RADIUS,
+            );
+            assert_eq!(plain.to_bits(), shared.to_bits(), "{name}");
+            // The piggybacked counts equal the exhaustive linear reference.
+            let env = target.env_candidates();
+            for (i, res) in native.residues.iter().enumerate() {
+                assert_eq!(
+                    scratch.burial_counts()[i],
+                    env.count_within_linear(res.ca, crate::burial::BURIAL_RADIUS),
+                    "{name} residue {i}"
+                );
+            }
+        }
     }
 
     #[test]

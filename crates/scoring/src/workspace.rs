@@ -34,6 +34,9 @@ pub struct ScoreScratch {
     pub(crate) site_res: Vec<u32>,
     /// Whether each VDW site is a side-chain centroid pseudo-atom.
     pub(crate) site_centroid: Vec<bool>,
+    /// Whether each VDW site is its residue's Cα — the probe point the
+    /// shared environment pass computes BURIAL contact counts at.
+    pub(crate) site_is_ca: Vec<bool>,
     /// DIST backbone-atom x coordinates (4 per residue: N, Cα, C', O).
     pub(crate) atom_x: Vec<f64>,
     /// DIST backbone-atom y coordinates.
@@ -48,6 +51,10 @@ pub struct ScoreScratch {
     /// which the kernel reserves up front so steady-state queries never
     /// allocate.
     pub(crate) env_idx: Vec<u32>,
+    /// BURIAL per-residue environment contact counts.  Filled by the shared
+    /// VDW/BURIAL environment pass (one cell-list gather per site serves
+    /// both objectives) or by the standalone BURIAL kernel.
+    pub(crate) burial_counts: Vec<u32>,
 }
 
 impl ScoreScratch {
@@ -66,12 +73,20 @@ impl ScoreScratch {
             site_r: Vec::with_capacity(5 * n_residues),
             site_res: Vec::with_capacity(5 * n_residues),
             site_centroid: Vec::with_capacity(5 * n_residues),
+            site_is_ca: Vec::with_capacity(5 * n_residues),
             atom_x: Vec::with_capacity(4 * n_residues),
             atom_y: Vec::with_capacity(4 * n_residues),
             atom_z: Vec::with_capacity(4 * n_residues),
             classes: Vec::with_capacity(n_residues),
             env_idx: Vec::new(),
+            burial_counts: Vec::with_capacity(n_residues),
         }
+    }
+
+    /// The per-residue burial contact counts of the most recent evaluation
+    /// that computed them (empty until a burial-enabled kernel has run).
+    pub fn burial_counts(&self) -> &[u32] {
+        &self.burial_counts
     }
 
     /// Drop buffered contents (capacity is retained).
@@ -82,11 +97,13 @@ impl ScoreScratch {
         self.site_r.clear();
         self.site_res.clear();
         self.site_centroid.clear();
+        self.site_is_ca.clear();
         self.atom_x.clear();
         self.atom_y.clear();
         self.atom_z.clear();
         self.classes.clear();
         self.env_idx.clear();
+        self.burial_counts.clear();
     }
 }
 

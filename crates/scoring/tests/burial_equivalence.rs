@@ -1,0 +1,156 @@
+//! Property tests for the BURIAL objective and the shared VDW/BURIAL
+//! environment gather:
+//!
+//! * the shared-gather burial score (piggybacked on the VDW cell-list
+//!   queries) is **bit-identical** to both the standalone cell-list kernel
+//!   and the exhaustive linear-scan reference, on arbitrary conformations
+//!   and environment densities;
+//! * enabling the objective leaves the three core components bit-identical
+//!   to the three-objective evaluation (the wider Cα gathers only add
+//!   candidates that contribute exactly 0 to the VDW sum);
+//! * with the objective disabled, the BURIAL slot stays at exactly `0.0`.
+
+use lms_geometry::{StreamRngFactory, Vec3};
+use lms_protein::{BenchmarkLibrary, EnvAtom, Environment, LoopBuilder, LoopTarget, Torsions};
+use lms_scoring::{
+    BurialScore, KnowledgeBase, KnowledgeBaseConfig, MultiScorer, ScoreScratch, ScratchPool,
+};
+use proptest::prelude::*;
+use rand::Rng;
+use std::sync::{Arc, OnceLock};
+
+fn kb() -> Arc<KnowledgeBase> {
+    static KB: OnceLock<Arc<KnowledgeBase>> = OnceLock::new();
+    KB.get_or_init(|| KnowledgeBase::build(KnowledgeBaseConfig::fast()))
+        .clone()
+}
+
+/// A perturbed-native conformation of the target, deterministic in `seed`.
+fn perturbed(target: &LoopTarget, seed: u64, magnitude: f64) -> Torsions {
+    let mut rng = StreamRngFactory::new(seed).stream(0, 0);
+    let mut t = target.native_torsions.clone();
+    for k in 0..t.n_angles() {
+        t.rotate_angle(k, lms_geometry::random_torsion(&mut rng) * magnitude);
+    }
+    t
+}
+
+/// A variant of `base` with `extra` additional environment atoms scattered
+/// through the loop's reach sphere (denser burial shell).
+fn densified(base: &LoopTarget, extra: usize, seed: u64) -> LoopTarget {
+    let mut atoms = base.environment.atoms().to_vec();
+    let mut rng = StreamRngFactory::new(seed).stream(1, 0);
+    let center = base.frame.n_anchor.ca;
+    let reach = base.reach_radius();
+    while atoms.len() < base.environment.len() + extra {
+        let v = Vec3::new(
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+        );
+        let n = v.norm();
+        if !(1e-3..=1.0).contains(&n) {
+            continue;
+        }
+        let pos = center + (v / n) * (reach * rng.gen::<f64>().cbrt());
+        atoms.push(EnvAtom::backbone(pos, 1.7));
+    }
+    LoopTarget {
+        environment: Arc::new(Environment::new(atoms)),
+        env_cache: Default::default(),
+        ..base.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shared_gather_equals_standalone_and_linear(
+        seed in 0usize..1_000,
+        magnitude in 0.0f64..0.4,
+        target_idx in 0usize..3,
+        extra in 0usize..400,
+    ) {
+        let names = ["1cex", "1xyz", "5pti"];
+        let lib = BenchmarkLibrary::standard();
+        let base = lib.target_by_name(names[target_idx]).unwrap();
+        let target = densified(&base, extra, (seed ^ 0x9E37) as u64);
+        let builder = LoopBuilder::default();
+        let torsions = perturbed(&target, seed as u64, magnitude);
+        let structure = target.build(&builder, &torsions);
+
+        // Shared-gather path (production): burial piggybacked on the VDW
+        // environment pass inside the burial-enabled MultiScorer.
+        let scorer = MultiScorer::new(kb()).with_burial(true);
+        let mut scratch = ScoreScratch::for_loop_len(target.n_residues());
+        let v = scorer.evaluate_with(&target, &structure, &torsions, &mut scratch);
+
+        // Standalone cell-list kernel and exhaustive linear reference.
+        let burial = BurialScore::new(kb());
+        let mut scratch2 = ScoreScratch::new();
+        let standalone = burial.score_target_with(&target, &structure, &mut scratch2);
+        let linear = burial.score_target_linear(&target, &structure);
+
+        prop_assert_eq!(v.burial().to_bits(), standalone.to_bits());
+        prop_assert_eq!(v.burial().to_bits(), linear.to_bits());
+        prop_assert!(v.burial().is_finite());
+
+        // The piggybacked counts match the standalone counting kernel.
+        prop_assert_eq!(scratch.burial_counts(), scratch2.burial_counts());
+    }
+
+    #[test]
+    fn enabling_burial_leaves_core_objectives_bit_identical(
+        seed in 0usize..1_000,
+        magnitude in 0.0f64..0.4,
+        target_idx in 0usize..3,
+    ) {
+        let names = ["1cex", "1xyz", "3pte"];
+        let lib = BenchmarkLibrary::standard();
+        let target = lib.target_by_name(names[target_idx]).unwrap();
+        let builder = LoopBuilder::default();
+        let torsions = perturbed(&target, seed as u64, magnitude);
+        let structure = target.build(&builder, &torsions);
+
+        let three = MultiScorer::new(kb());
+        let four = three.clone().with_burial(true);
+        let mut s3 = ScoreScratch::new();
+        let mut s4 = ScoreScratch::new();
+        let v3 = three.evaluate_with(&target, &structure, &torsions, &mut s3);
+        let v4 = four.evaluate_with(&target, &structure, &torsions, &mut s4);
+
+        prop_assert_eq!(v3.vdw().to_bits(), v4.vdw().to_bits());
+        prop_assert_eq!(v3.dist().to_bits(), v4.dist().to_bits());
+        prop_assert_eq!(v3.triplet().to_bits(), v4.triplet().to_bits());
+        prop_assert_eq!(v3.burial(), 0.0);
+    }
+}
+
+#[test]
+fn pooled_scratch_reuse_does_not_change_burial_scores() {
+    // A scratch warmed up on one (dense) target must score another target
+    // identically to a fresh scratch — the buffers carry capacity, never
+    // state.
+    let lib = BenchmarkLibrary::standard();
+    let builder = LoopBuilder::default();
+    let scorer = MultiScorer::new(kb()).with_burial(true);
+    let pool = ScratchPool::new();
+
+    let warm_target = lib.target_by_name("1xyz").unwrap();
+    let warm = warm_target.build(&builder, &warm_target.native_torsions);
+    let mut scratch = pool.acquire(warm_target.n_residues());
+    scorer.evaluate_with(
+        &warm_target,
+        &warm,
+        &warm_target.native_torsions,
+        &mut scratch,
+    );
+
+    let target = lib.target_by_name("1cex").unwrap();
+    let native = target.build(&builder, &target.native_torsions);
+    let reused = scorer.evaluate_with(&target, &native, &target.native_torsions, &mut scratch);
+    let fresh = scorer.evaluate(&target, &native, &target.native_torsions);
+    assert_eq!(reused, fresh);
+    assert_eq!(reused.burial().to_bits(), fresh.burial().to_bits());
+}

@@ -200,9 +200,9 @@ proptest! {
         let legacy = multi.evaluate(target, &structure, &torsions);
         let mut scratch = ScoreScratch::new();
         let with_ws = multi.evaluate_with(target, &structure, &torsions, &mut scratch);
-        prop_assert_eq!(legacy.vdw.to_bits(), with_ws.vdw.to_bits());
-        prop_assert_eq!(legacy.dist.to_bits(), with_ws.dist.to_bits());
-        prop_assert_eq!(legacy.triplet.to_bits(), with_ws.triplet.to_bits());
+        prop_assert_eq!(legacy.vdw().to_bits(), with_ws.vdw().to_bits());
+        prop_assert_eq!(legacy.dist().to_bits(), with_ws.dist().to_bits());
+        prop_assert_eq!(legacy.triplet().to_bits(), with_ws.triplet().to_bits());
     }
 
     #[test]
@@ -261,9 +261,9 @@ proptest! {
             let structure = target.build(&builder, torsions);
             let reused = multi.evaluate_with(target, &structure, torsions, &mut scratch);
             let fresh = multi.evaluate(target, &structure, torsions);
-            prop_assert_eq!(reused.vdw.to_bits(), fresh.vdw.to_bits());
-            prop_assert_eq!(reused.dist.to_bits(), fresh.dist.to_bits());
-            prop_assert_eq!(reused.triplet.to_bits(), fresh.triplet.to_bits());
+            prop_assert_eq!(reused.vdw().to_bits(), fresh.vdw().to_bits());
+            prop_assert_eq!(reused.dist().to_bits(), fresh.dist().to_bits());
+            prop_assert_eq!(reused.triplet().to_bits(), fresh.triplet().to_bits());
         }
     }
 }

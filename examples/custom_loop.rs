@@ -35,7 +35,11 @@ fn main() -> Result<(), Error> {
         end_res: sequence.len(),
         sequence: sequence.clone(),
         frame,
-        environment: Arc::new(Environment::empty()),
+        // Borrow the donor's fixed surroundings too (cheap: Arc-shared), so
+        // the burial objective below has a real environment to count
+        // contacts against.  Use `Arc::new(Environment::empty())` for an
+        // isolated peptide.
+        environment: Arc::clone(&donor.environment),
         native_torsions: reference_torsions,
         native_structure: reference_structure,
         buried: false,
@@ -48,11 +52,17 @@ fn main() -> Result<(), Error> {
     );
 
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+    // `.burial_objective(true)` turns on the fourth scoring function: each
+    // residue's environment contact number scored against its residue
+    // type's knowledge-based burial reference.  The counts ride on the VDW
+    // cell-list gathers, so the extra objective is nearly free; leave it
+    // off (the default) to match the paper's three-objective setup exactly.
     let config = SamplerConfig::builder()
         .population_size(96)
         .n_complexes(2)
         .iterations(12)
         .seed(314)
+        .burial_objective(true)
         .build()?;
     let sampler = MoscemSampler::try_new(target.clone(), kb, config)?;
     let production = sampler.produce_decoys(&Executor::parallel(), 30, 3);

@@ -2,9 +2,39 @@
 //!
 //! A reproduction and production-oriented extension of *"GPU-accelerated
 //! multi-scoring functions protein loop structure sampling"*: the MOSCEM
-//! multi-objective MCMC sampler over loop torsion space, scored by three
-//! backbone scoring functions (soft-sphere VDW, pairwise-distance DIST,
-//! triplet torsion TRIPLET), with CCD loop closure and a SIMT device model.
+//! multi-objective MCMC sampler over loop torsion space, scored by the
+//! paper's three backbone scoring functions (soft-sphere VDW,
+//! pairwise-distance DIST, triplet torsion TRIPLET) plus an opt-in fourth
+//! solvation/burial objective, with CCD loop closure and a SIMT device
+//! model.
+//!
+//! ## Enabling the fourth (burial) objective
+//!
+//! The burial term scores each residue's environment contact number against
+//! its residue type's knowledge-based reference — the facet of loop quality
+//! (hydrophobic burial vs polar exposure) the clash/distance/torsion trio
+//! cannot see.  It is off by default; sampling with it off is bit-identical
+//! to the three-objective pipeline.  Turn it on per job through the config
+//! builder:
+//!
+//! ```
+//! use lms::prelude::*;
+//!
+//! # fn main() -> Result<(), ConfigError> {
+//! let config = SamplerConfig::builder()
+//!     .population_size(16)
+//!     .iterations(2)
+//!     .burial_objective(true) // fourth objective: solvation/burial
+//!     .build()?;
+//! assert_eq!(config.active_objectives(), 4);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The evaluation reuses the VDW environment cell list — one gather per
+//! site feeds both the clash sum and the burial counts — so the fourth
+//! objective costs far less than a second environment sweep (see the
+//! `scoring_pipeline` bench's 3-vs-4-objective comparison).
 //!
 //! ## The engine lifecycle: build → submit → stream → harvest
 //!
@@ -91,10 +121,11 @@ pub use lms_simt as simt;
 pub mod prelude {
     pub use lms_closure::{CcdCloser, CcdConfig, CcdResult};
     pub use lms_core::{
-        BatchHandle, ComponentTimes, ConfigError, Decoy, DecoyProduction, DecoySet, EngineBuilder,
-        Error, InitMode, IterationSnapshot, Job, JobBuilder, JobId, JobProgress, JobResult,
-        JobStatus, LoopModelingEngine, MoscemSampler, MutationConfig, ObjectiveMode, RunControls,
-        SamplerConfig, SamplerConfigBuilder, TemperatureSchedule, TrajectoryResult,
+        crowding_distances, BatchHandle, ComponentTimes, ConfigError, Decoy, DecoyProduction,
+        DecoySet, EngineBuilder, Error, InitMode, IterationSnapshot, Job, JobBuilder, JobId,
+        JobProgress, JobResult, JobStatus, LoopModelingEngine, MoscemSampler, MutationConfig,
+        ObjectiveMode, RunControls, SamplerConfig, SamplerConfigBuilder, TemperatureSchedule,
+        TrajectoryResult,
     };
     pub use lms_decoys::{
         cluster_decoys, compare_decoy_sets, distinct_non_dominated, ensemble_stats, ClusterMetric,
@@ -104,8 +135,8 @@ pub mod prelude {
         LoopStructure, LoopTarget, Torsions,
     };
     pub use lms_scoring::{
-        KnowledgeBase, KnowledgeBaseConfig, MultiScorer, Objective, ScoreScratch, ScoreVector,
-        ScratchPool,
+        BurialScore, KnowledgeBase, KnowledgeBaseConfig, MultiScorer, Objective, ScoreScratch,
+        ScoreVector, ScratchPool, NUM_OBJECTIVES,
     };
     pub use lms_simt::{DeviceSpec, Executor, KernelKind, LaunchConfig, Profiler, TimingModel};
 }

@@ -68,7 +68,7 @@ proptest! {
         let structure = target.build(&builder, &torsions);
         let scores = shared_scorer().evaluate(target, &structure, &torsions);
         prop_assert!(scores.is_finite(), "scores {scores}");
-        prop_assert!(scores.vdw >= 0.0, "soft-sphere score cannot be negative");
+        prop_assert!(scores.vdw() >= 0.0, "soft-sphere score cannot be negative");
         // Scoring is a pure function.
         let again = shared_scorer().evaluate(target, &structure, &torsions);
         prop_assert_eq!(scores, again);
