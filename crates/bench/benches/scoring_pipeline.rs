@@ -12,14 +12,29 @@
 //! cell-list query per site serves both objectives), the fourth objective
 //! should cost well under 1.5× the three-objective evaluation.
 //!
+//! A third comparison measures the shared-gather DIST bound: the fused
+//! evaluation (the VDW pass records the Cα–Cα distance table, DIST reads
+//! its bounding check from it) against the unfused composition where DIST
+//! recomputes the Cα geometry per residue pair.
+//!
+//! A fourth comparison measures the **population-batched kernel pipeline**:
+//! one full trajectory through the staged SoA-arena launches
+//! (`MoscemSampler::run_with_seed`) vs the per-member reference
+//! (`run_reference_with_seed`), reported as ns per member-iteration.  The
+//! two paths are asserted bit-identical on every measurement, so the ratio
+//! is pure execution-shape speedup.
+//!
 //! Besides the criterion groups, the harness writes `BENCH_scoring.json`
-//! at the workspace root with the measured ns/eval of both paths so future
-//! PRs have a recorded perf trajectory.
+//! at the workspace root with the measured numbers so future PRs have a
+//! recorded perf trajectory; the `pipeline` ratio is tracked by the CI
+//! perf-regression gate.
 
 use criterion::{criterion_group, Criterion};
 use lms_bench::{scaled_env_target, shared_kb};
+use lms_core::{MoscemSampler, SamplerConfig};
 use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopStructure, LoopTarget, TargetSpec, Torsions};
-use lms_scoring::{MultiScorer, ScoreScratch};
+use lms_scoring::{MultiScorer, ScoreScratch, ScoringFunction, VdwScore};
+use lms_simt::Executor;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -272,6 +287,88 @@ fn bench_objective_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The trajectory configuration of the staged-vs-per-member pipeline
+/// comparison: loop length 12 (the paper's headline targets), a small
+/// population so one measurement stays fast, enough iterations that the
+/// evolution loop dominates initialization.
+const PIPELINE_POPULATION: usize = 32;
+const PIPELINE_ITERATIONS: usize = 6;
+const PIPELINE_SEED: u64 = 2024;
+
+fn pipeline_sampler() -> MoscemSampler {
+    let cfg = SamplerConfig::builder()
+        .population_size(PIPELINE_POPULATION)
+        .n_complexes(2)
+        .iterations(PIPELINE_ITERATIONS)
+        .seed(PIPELINE_SEED)
+        .build()
+        .expect("valid pipeline bench config");
+    MoscemSampler::new(target_of_len(12), shared_kb(), cfg)
+}
+
+fn bench_population_pipeline(c: &mut Criterion) {
+    let sampler = pipeline_sampler();
+    let exec = Executor::scalar();
+    let mut group = c.benchmark_group("population_pipeline");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("per_member/len12", |b| {
+        b.iter(|| black_box(sampler.run_reference_with_seed(&exec, PIPELINE_SEED)))
+    });
+    group.bench_function("batched/len12", |b| {
+        b.iter(|| black_box(sampler.run_with_seed(&exec, PIPELINE_SEED)))
+    });
+    group.finish();
+}
+
+fn bench_shared_gather(c: &mut Criterion) {
+    let kb = shared_kb();
+    let builder = LoopBuilder::default();
+    let target = target_of_len(12);
+    let scorer = MultiScorer::new(kb.clone());
+    let vdw = VdwScore::default();
+    let torsions = conformations(&target, 16);
+    target.env_candidates();
+
+    let mut group = c.benchmark_group("shared_gather_dist");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    group.bench_function("fused/len12", |b| {
+        let mut structure = LoopStructure::with_capacity(12);
+        let mut scratch = ScoreScratch::for_loop_len(12);
+        let mut i = 0usize;
+        b.iter(|| {
+            let t = &torsions[i % torsions.len()];
+            i += 1;
+            target.build_into(&builder, t, &mut structure);
+            // The fused path: the VDW pass records the Cα table, DIST reads
+            // its bound from it.
+            black_box(scorer.evaluate_with(&target, &structure, t, &mut scratch))
+        })
+    });
+    group.bench_function("unfused/len12", |b| {
+        let mut structure = LoopStructure::with_capacity(12);
+        let mut scratch = ScoreScratch::for_loop_len(12);
+        let comps = scorer.components();
+        let mut i = 0usize;
+        b.iter(|| {
+            let t = &torsions[i % torsions.len()];
+            i += 1;
+            target.build_into(&builder, t, &mut structure);
+            // The unfused composition: each objective through its own
+            // trait kernel, DIST recomputing the Cα bound per pair.
+            let v = vdw.score_with(&target, &structure, t, &mut scratch);
+            let d = comps[1].score_with(&target, &structure, t, &mut scratch);
+            let tr = comps[2].score_with(&target, &structure, t, &mut scratch);
+            black_box((v, d, tr))
+        })
+    });
+    group.finish();
+}
+
 /// Median ns/eval of a closure over `samples` timed batches.
 fn median_ns_per_eval<F: FnMut()>(mut f: F, iters: u32, samples: u32) -> f64 {
     let mut results: Vec<f64> = (0..samples)
@@ -365,11 +462,99 @@ fn write_bench_json() {
          four {four_ns:.0} ns/eval, cost ratio {cost_ratio:.2}x"
     );
 
+    // --- shared-gather DIST bound: fused vs unfused ------------------
+    let target = target_of_len(12);
+    target.env_candidates();
+    let torsions = conformations(&target, 16);
+    let scorer = MultiScorer::new(kb.clone());
+    let vdw = VdwScore::default();
+    let fused_ns = {
+        let mut structure = LoopStructure::with_capacity(12);
+        let mut scratch = ScoreScratch::for_loop_len(12);
+        let mut i = 0usize;
+        median_ns_per_eval(
+            || {
+                let t = &torsions[i % torsions.len()];
+                i += 1;
+                target.build_into(&builder, t, &mut structure);
+                black_box(scorer.evaluate_with(&target, &structure, t, &mut scratch));
+            },
+            2_000,
+            9,
+        )
+    };
+    let unfused_ns = {
+        let mut structure = LoopStructure::with_capacity(12);
+        let mut scratch = ScoreScratch::for_loop_len(12);
+        let comps = scorer.components();
+        let mut i = 0usize;
+        median_ns_per_eval(
+            || {
+                let t = &torsions[i % torsions.len()];
+                i += 1;
+                target.build_into(&builder, t, &mut structure);
+                let v = vdw.score_with(&target, &structure, t, &mut scratch);
+                let d = comps[1].score_with(&target, &structure, t, &mut scratch);
+                let tr = comps[2].score_with(&target, &structure, t, &mut scratch);
+                black_box((v, d, tr));
+            },
+            2_000,
+            9,
+        )
+    };
+    let gather_speedup = unfused_ns / fused_ns;
+    println!(
+        "shared_gather_dist len=12: unfused {unfused_ns:.0} ns/eval, \
+         fused {fused_ns:.0} ns/eval, speedup {gather_speedup:.3}x"
+    );
+
+    // --- population-batched pipeline vs per-member reference ----------
+    let sampler = pipeline_sampler();
+    let exec = Executor::scalar();
+    // Bit-identity is asserted on every measurement run: the ratio below is
+    // pure execution-shape speedup, never an algorithm change.
+    {
+        let a = sampler.run_reference_with_seed(&exec, PIPELINE_SEED);
+        let b = sampler.run_with_seed(&exec, PIPELINE_SEED);
+        for (x, y) in a.population.iter().zip(b.population.iter()) {
+            assert_eq!(x.torsions, y.torsions, "pipeline bench lost bit-identity");
+            assert_eq!(x.scores, y.scores, "pipeline bench lost bit-identity");
+        }
+    }
+    let member_iters = (PIPELINE_POPULATION * PIPELINE_ITERATIONS) as f64;
+    let per_member_ns = median_ns_per_eval(
+        || {
+            let _ = black_box(sampler.run_reference_with_seed(&exec, PIPELINE_SEED));
+        },
+        1,
+        9,
+    ) / member_iters;
+    let batched_ns = median_ns_per_eval(
+        || {
+            let _ = black_box(sampler.run_with_seed(&exec, PIPELINE_SEED));
+        },
+        1,
+        9,
+    ) / member_iters;
+    let pipeline_speedup = per_member_ns / batched_ns;
+    println!(
+        "population_pipeline len=12 pop={PIPELINE_POPULATION} iters={PIPELINE_ITERATIONS}: \
+         per-member {per_member_ns:.0} ns/member-iter, batched {batched_ns:.0} ns/member-iter, \
+         speedup {pipeline_speedup:.3}x"
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"scoring_pipeline\",\n  \"unit\": \"ns/eval\",\n  \"results\": [\n{}\n  ],\n  \
          \"objectives\": {{\n    \"comparison\": \"MultiScorer 3 objectives vs 4 (shared-gather burial)\",\n    \
          \"env_factor\": {OBJECTIVE_ENV_FACTOR},\n    \"three_objective_ns_per_eval\": {three_ns:.1},\n    \
-         \"four_objective_ns_per_eval\": {four_ns:.1},\n    \"cost_ratio\": {cost_ratio:.3}\n  }}\n}}\n",
+         \"four_objective_ns_per_eval\": {four_ns:.1},\n    \"cost_ratio\": {cost_ratio:.3}\n  }},\n  \
+         \"shared_gather\": {{\n    \"comparison\": \"DIST Ca-Ca bound from the shared VDW gather vs recomputed\",\n    \
+         \"loop_len\": 12,\n    \"unfused_ns_per_eval\": {unfused_ns:.1},\n    \
+         \"fused_ns_per_eval\": {fused_ns:.1},\n    \"speedup\": {gather_speedup:.3}\n  }},\n  \
+         \"pipeline\": {{\n    \"comparison\": \"staged SoA-arena kernel pipeline vs per-member reference\",\n    \
+         \"loop_len\": 12,\n    \"population\": {PIPELINE_POPULATION},\n    \"iterations\": {PIPELINE_ITERATIONS},\n    \
+         \"per_member_ns_per_member_iter\": {per_member_ns:.1},\n    \
+         \"batched_ns_per_member_iter\": {batched_ns:.1},\n    \"speedup\": {pipeline_speedup:.3}\n  }}\n}}\n",
         entries.join(",\n")
     );
     // The bench runs from the crate directory under cargo; walk up to the
@@ -382,7 +567,13 @@ fn write_bench_json() {
     println!("wrote {path}");
 }
 
-criterion_group!(benches, bench_scoring_pipeline, bench_objective_scaling);
+criterion_group!(
+    benches,
+    bench_scoring_pipeline,
+    bench_objective_scaling,
+    bench_shared_gather,
+    bench_population_pipeline
+);
 
 fn main() {
     let mut criterion = Criterion::default();

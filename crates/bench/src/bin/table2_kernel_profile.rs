@@ -1,4 +1,11 @@
 //! Harness binary regenerating the paper's table2 kernel profile experiment.
+//!
+//! The rows report the staged population-batched pipeline's per-stage
+//! kernel launches (one launch per stage per iteration over the SoA member
+//! arena) with measured host time per kernel, replacing the pre-batching
+//! report that apportioned one monolithic per-member evolve pass by modeled
+//! work.
+//!
 //! Usage: `cargo run --release -p lms-bench --bin table2_kernel_profile [--scale quick|standard|paper]`
 
 fn main() {

@@ -330,6 +330,24 @@ pub fn collect_metrics(
         });
     }
 
+    // scoring_pipeline: staged batched-pipeline vs per-member-reference
+    // trajectory speedup (higher is better).  Optional in the baseline for
+    // forward compatibility; once snapshotted it cannot silently regress.
+    if let (Some(b), Some(f)) = (
+        scoring_baseline
+            .get("pipeline")
+            .and_then(|o| o.num("speedup")),
+        scoring_fresh.get("pipeline").and_then(|o| o.num("speedup")),
+    ) {
+        metrics.push(Metric {
+            name: "batched pipeline speedup".to_string(),
+            baseline: b,
+            fresh: f,
+            direction: Direction::HigherIsBetter,
+            absolute: false,
+        });
+    }
+
     // ccd_closure: incremental-rebuild speedup per loop length.
     pair_by_key(
         ccd_baseline.get("ccd").and_then(|c| c.get("results")),
@@ -468,7 +486,10 @@ mod tests {
         {"loop_len": 8, "allocating_ns_per_eval": 67724.5, "workspace_ns_per_eval": 13630.1, "speedup": 4.969}
       ],
       "objectives": {"env_factor": 10, "three_objective_ns_per_eval": 10000.0,
-                     "four_objective_ns_per_eval": 11000.0, "cost_ratio": 1.100}
+                     "four_objective_ns_per_eval": 11000.0, "cost_ratio": 1.100},
+      "pipeline": {"loop_len": 12, "population": 32, "iterations": 6,
+                   "per_member_ns_per_member_iter": 600000.0,
+                   "batched_ns_per_member_iter": 400000.0, "speedup": 1.500}
     }"#;
 
     const CCD: &str = r#"{
@@ -515,7 +536,46 @@ mod tests {
             0.25,
         )
         .unwrap();
-        // 2 scoring speedups + cost ratio + 2 ccd + 2 vdw_env + batch floor.
+        // 2 scoring speedups + cost ratio + pipeline + 2 ccd + 2 vdw_env
+        // + batch floor.
+        assert_eq!(metrics.len(), 9);
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn batched_pipeline_regression_fails_the_gate() {
+        // Losing the batching win (1.50 → 1.05, i.e. −30%) must trip the
+        // 25% gate.
+        let degraded = SCORING.replace("\"speedup\": 1.500", "\"speedup\": 1.05");
+        let (_, regressions) = gate(
+            &j(SCORING),
+            &j(&degraded),
+            &j(CCD),
+            &j(CCD),
+            &j(BATCH_1CORE),
+            &j(BATCH_1CORE),
+            0.25,
+        )
+        .unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].name.contains("pipeline"));
+        // A baseline without the pipeline section is still accepted (the
+        // metric is optional until snapshotted).
+        let legacy = SCORING.replace(
+            ",\n      \"pipeline\": {\"loop_len\": 12, \"population\": 32, \"iterations\": 6,\n                   \"per_member_ns_per_member_iter\": 600000.0,\n                   \"batched_ns_per_member_iter\": 400000.0, \"speedup\": 1.500}",
+            "",
+        );
+        assert_ne!(legacy, SCORING, "fixture surgery failed");
+        let (metrics, regressions) = gate(
+            &j(&legacy),
+            &j(SCORING),
+            &j(CCD),
+            &j(CCD),
+            &j(BATCH_1CORE),
+            &j(BATCH_1CORE),
+            0.25,
+        )
+        .unwrap();
         assert_eq!(metrics.len(), 8);
         assert!(regressions.is_empty(), "{regressions:?}");
     }

@@ -133,6 +133,11 @@ impl CcdCloser {
         &self.config
     }
 
+    /// The loop builder in use (shared with the batched closure path).
+    pub(crate) fn builder(&self) -> &LoopBuilder {
+        &self.builder
+    }
+
     /// Close the loop *in place*: `torsions` is modified so that the built
     /// structure's end frame approaches the fixed C-anchor.  Returns the
     /// closure statistics; the caller rebuilds the structure afterwards (or
@@ -242,7 +247,17 @@ impl CcdCloser {
 
 /// The closed-form optimal rotation about `axis` through `pivot` that
 /// minimises Σ |targetᵢ − R(θ)·movingᵢ|², following Canutescu & Dunbrack.
-fn optimal_rotation(moving: &[Vec3; 3], targets: &[Vec3; 3], pivot: Vec3, axis: Vec3) -> f64 {
+///
+/// `#[inline]` so the population-batched caller
+/// ([`crate::batch::optimal_rotation_batch`]) compiles into one tight loop
+/// over the gathered SoA arrays.
+#[inline]
+pub(crate) fn optimal_rotation(
+    moving: &[Vec3; 3],
+    targets: &[Vec3; 3],
+    pivot: Vec3,
+    axis: Vec3,
+) -> f64 {
     let mut a = 0.0;
     let mut b = 0.0;
     for (m, t) in moving.iter().zip(targets.iter()) {

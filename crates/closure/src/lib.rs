@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod ccd;
 
+pub use batch::{optimal_rotation_batch, CcdBatchScratch, CcdLane};
 pub use ccd::{CcdCloser, CcdConfig, CcdResult};

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod annealing;
+pub mod arena;
 pub mod config;
 pub mod conformation;
 pub mod convergence;
@@ -60,6 +61,7 @@ pub mod pareto;
 pub mod sampler;
 
 pub use annealing::{TemperatureController, TemperatureSchedule};
+pub use arena::{PopulationArena, CCD_BLOCK_WIDTH};
 pub use config::{InitMode, ObjectiveMode, SamplerConfig, SamplerConfigBuilder};
 pub use conformation::Conformation;
 pub use convergence::{autocorrelation, effective_sample_size, gelman_rubin, FrontProgress};

@@ -137,9 +137,25 @@ impl Mutator {
         out: &mut Torsions,
         indices: &mut Vec<usize>,
     ) -> usize {
-        assert_eq!(classes.len(), torsions.n_residues());
-        let n_angles = torsions.n_angles();
         out.copy_from(torsions);
+        self.mutate_in_place(out, classes, rng, indices)
+    }
+
+    /// Mutate `out` in place (it already holds the current torsions): the
+    /// population-batched pipeline copies a member's torsion lane out of the
+    /// SoA arena and mutates the copy directly, skipping the extra source
+    /// vector [`Mutator::mutate_into`] needs.  Draws exactly the same
+    /// random sequence as `mutate_into`, so the two entry points are
+    /// bit-identical.
+    pub fn mutate_in_place<R: Rng + ?Sized>(
+        &self,
+        out: &mut Torsions,
+        classes: &[RamaClass],
+        rng: &mut R,
+        indices: &mut Vec<usize>,
+    ) -> usize {
+        assert_eq!(classes.len(), out.n_residues());
+        let n_angles = out.n_angles();
         let n_mut = rng
             .gen_range(1..=self.config.max_mutations.max(1))
             .min(n_angles);

@@ -18,19 +18,23 @@
 //! analytic device/host [`TimingModel`] so the experiment harness can report
 //! the paper's modeled GPU-vs-CPU timings alongside the measured host times.
 
+use crate::arena::{MemberSlot, PopulationArena, CCD_BLOCK_WIDTH};
 use crate::config::{InitMode, ObjectiveMode, SamplerConfig};
 use crate::conformation::Conformation;
 use crate::decoyset::DecoySet;
 use crate::error::{ConfigError, Error};
 use crate::mutation::Mutator;
 use crate::pareto::{fitness_against, non_dominated_indices};
-use lms_closure::CcdCloser;
+use lms_closure::{CcdCloser, CcdLane};
 use lms_geometry::{random_torsion, StreamRngFactory};
 use lms_protein::{LoopBuilder, LoopStructure, LoopTarget, RamaClass, RamaLibrary, Torsions};
 use lms_scoring::{KnowledgeBase, MultiScorer, ScoreScratch, ScoreVector, ScratchPool};
-use lms_simt::{Executor, KernelKind, LaunchConfig, Profiler, TimingModel, TransferKind};
+use lms_simt::{
+    Executor, KernelKind, LaunchConfig, Profiler, SharedLanes, TimingModel, TransferKind,
+};
 use rand::Rng;
 use std::fmt;
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -376,13 +380,25 @@ impl MoscemSampler {
             .expect("a run without a cancel flag cannot fail")
     }
 
-    /// Run one sampling trajectory under cooperative [`RunControls`]:
-    /// cancellation between iterations, per-iteration progress reporting,
-    /// and scratch-pool leasing.  With empty controls this is exactly
-    /// [`MoscemSampler::run_with_seed`] — the controls never touch the
-    /// random streams, so controlled and uncontrolled runs of the same seed
-    /// are bit-identical.
-    pub fn run_controlled(
+    /// Run one sampling trajectory through the **per-member reference
+    /// implementation**: the evolution inner loop walks members one at a
+    /// time, each fused kernel doing mutation → CCD → scoring → Metropolis
+    /// for one conformation before moving to the next.
+    ///
+    /// The production path is the staged population-batched pipeline of
+    /// [`MoscemSampler::run_controlled`]; this reference is kept precisely
+    /// because the per-(member, iteration) RNG stream discipline makes the
+    /// two **bit-identical**, which the batched-pipeline equivalence
+    /// property tests (`tests/batched_equivalence.rs`) verify against this
+    /// implementation.
+    pub fn run_reference_with_seed(&self, executor: &Executor, seed: u64) -> TrajectoryResult {
+        self.run_reference_controlled(executor, seed, &RunControls::new())
+            .expect("a run without a cancel flag cannot fail")
+    }
+
+    /// [`MoscemSampler::run_reference_with_seed`] under cooperative
+    /// [`RunControls`].
+    fn run_reference_controlled(
         &self,
         executor: &Executor,
         seed: u64,
@@ -449,21 +465,7 @@ impl MoscemSampler {
         let ccd_start_index = cfg.ccd.start_index;
         executor.for_each_indexed(&mut members, |i, m| {
             let mut rng = init_factory.stream(i as u64, 0);
-            let sample_torsions = |torsions: &mut Torsions, rng: &mut _| match init_mode {
-                InitMode::UniformRandom => {
-                    for k in 0..torsions.n_angles() {
-                        torsions.set_angle(k, random_torsion(rng));
-                    }
-                }
-                InitMode::Ramachandran => {
-                    for (r, &class) in classes.iter().enumerate() {
-                        let (phi, psi) = rama.model(class).sample(rng);
-                        torsions.set_phi(r, phi);
-                        torsions.set_psi(r, psi);
-                    }
-                }
-            };
-            sample_torsions(&mut m.conf.torsions, &mut rng);
+            sample_initial_torsions(init_mode, &classes, &rama, &mut m.conf.torsions, &mut rng);
 
             let t_ccd = Instant::now();
             let mut ccd = closer.close_with_scratch(
@@ -482,7 +484,7 @@ impl MoscemSampler {
                 if ccd.final_deviation <= max_closure {
                     break;
                 }
-                sample_torsions(&mut m.conf.torsions, &mut rng);
+                sample_initial_torsions(init_mode, &classes, &rama, &mut m.conf.torsions, &mut rng);
                 ccd = closer.close_with_scratch(
                     &self.target.frame,
                     &self.target.sequence,
@@ -777,6 +779,802 @@ impl MoscemSampler {
         })
     }
 
+    /// Run one sampling trajectory under cooperative [`RunControls`]
+    /// through the **staged population-batched kernel pipeline**: all member
+    /// state lives in the flat SoA [`PopulationArena`] and every iteration
+    /// issues one population-wide kernel launch per stage — `mutate`
+    /// ([`KernelKind::Reproduction`]), `close` ([`KernelKind::Ccd`],
+    /// lockstep blocks with batched optimal-rotation inner products),
+    /// `rebuild` ([`KernelKind::Rebuild`], observable readback), `score`
+    /// (one launch per objective kernel), `metropolis` and `select` — via
+    /// [`Executor::launch`], exactly the paper's device execution shape.
+    ///
+    /// Because every conformation draws all randomness from its own
+    /// `(member, iteration)` stream, the staged pipeline is
+    /// **bit-identical** to the per-member reference implementation
+    /// ([`MoscemSampler::run_reference_with_seed`]); the equivalence is
+    /// property-tested across executors and objective modes in
+    /// `tests/batched_equivalence.rs`.  With empty controls this is exactly
+    /// [`MoscemSampler::run_with_seed`] — the controls never touch the
+    /// random streams.
+    ///
+    /// After the first iteration warms the arena up, a whole staged
+    /// iteration performs no heap allocation (`tests/zero_alloc.rs`).
+    pub fn run_controlled(
+        &self,
+        executor: &Executor,
+        seed: u64,
+        controls: &RunControls,
+    ) -> Result<TrajectoryResult, Error> {
+        let cfg = &self.config;
+        let n = cfg.population_size;
+        let n_res = self.target.n_residues();
+        let classes: Vec<RamaClass> = self
+            .target
+            .sequence
+            .iter()
+            .map(|aa| aa.rama_class())
+            .collect();
+        let factory = StreamRngFactory::new(seed);
+        let launch_cfg = LaunchConfig::with_block_size(n, cfg.threads_per_block);
+        let profiler = Arc::new(Profiler::new());
+        let work = WorkModel::for_target(&self.target);
+        let closer = CcdCloser::new(self.builder, cfg.ccd);
+        let spec = &self.timing.device;
+
+        let wall_start = Instant::now();
+        let mut component = ComponentTimes::default();
+        let mut modeled_gpu = 0.0f64;
+        let mut modeled_cpu = 0.0f64;
+        let mut snapshots = Vec::new();
+        let mut total_proposed = 0usize;
+        let mut total_accepted = 0usize;
+
+        // --- Stage the pre-calculated data onto the device (texture /
+        // constant memory), as the paper does at program start. ------------
+        let kb_bytes = 27 * 36 * 36 * 4 + 16 * 3 * 32 * 4;
+        for _ in 0..8 {
+            profiler.record_transfer(spec, TransferKind::HtoA, kb_bytes / 8);
+        }
+        profiler.record_transfer(spec, TransferKind::HtoA, self.target.environment.len() * 16);
+        profiler.record_transfer(spec, TransferKind::HtoA, n_res * 8);
+        profiler.record_transfer(spec, TransferKind::HtoD, n * 2 * n_res * 4);
+
+        if Self::cancelled(controls) {
+            return Err(Error::Cancelled {
+                completed_iterations: 0,
+            });
+        }
+        // Warm the per-target environment-candidate cache on the host thread
+        // before the population kernels fan out, then allocate the arena —
+        // the only allocations of the whole trajectory.
+        self.target.env_candidates();
+        let mut arena = PopulationArena::new(
+            n,
+            n_res,
+            cfg.mutation.max_mutations,
+            cfg.n_complexes,
+            controls.scratch_pool,
+        );
+        let stride = arena.stride();
+
+        // --- Initialization: staged sample/close rounds over the whole
+        // population, then the rebuild/score kernels. ----------------------
+        let init_factory = factory.derive(0xC0);
+        let rama = RamaLibrary::default();
+        let init_mode = cfg.init_mode;
+        let max_closure = cfg.max_closure_deviation;
+
+        arena.block_ccd_us.iter_mut().for_each(|t| *t = 0.0);
+        for round in 0..4usize {
+            // The loop-closure condition gates everything downstream; a
+            // member redraws (deterministically from its own stream) while
+            // CCD stalls above the bound, up to three times — the same
+            // retry discipline as the reference, expressed as masked
+            // population-wide rounds.
+            if round > 0 && arena.cand_closure_dev.iter().all(|&d| d <= max_closure) {
+                break;
+            }
+            {
+                let slots = SharedLanes::new(&mut arena.slots);
+                let rngs = SharedLanes::new(&mut arena.rngs);
+                let devs = &arena.cand_closure_dev;
+                let sample = executor.launch(KernelKind::Reproduction, n, |i| {
+                    if round > 0 && devs[i] <= max_closure {
+                        return;
+                    }
+                    // SAFETY: kernel i touches only member i's slot/stream.
+                    let slot = unsafe { slots.item_mut(i) };
+                    let rng = unsafe { rngs.item_mut(i) };
+                    if round == 0 {
+                        *rng = init_factory.stream(i as u64, 0);
+                    }
+                    sample_initial_torsions(init_mode, &classes, &rama, &mut slot.cand, rng);
+                });
+                // The reference times redraw sampling inside its CCD span;
+                // mirror that attribution.
+                if round == 0 {
+                    component.other_us += sample.host_us();
+                } else {
+                    component.ccd_us += sample.host_us();
+                }
+            }
+            self.stage_close(
+                executor,
+                &mut arena,
+                &closer,
+                if round > 0 { Some(max_closure) } else { None },
+                Some(cfg.ccd.start_index),
+                true,
+            );
+        }
+        let init_ccd_us: f64 = arena.block_ccd_us.iter().sum();
+        component.ccd_us += init_ccd_us;
+        let mean_rotations = arena.ccd_rotations.iter().sum::<f64>() / n.max(1) as f64;
+        self.record_kernel_launch(
+            KernelKind::Ccd,
+            launch_cfg,
+            n,
+            (mean_rotations + 1.0) * work.ccd_per_rotation,
+            init_ccd_us,
+            &profiler,
+            &mut modeled_gpu,
+            &mut modeled_cpu,
+        );
+        self.stage_rebuild_and_score(
+            executor,
+            &mut arena,
+            &work,
+            launch_cfg,
+            &profiler,
+            &mut component,
+            &mut modeled_gpu,
+            &mut modeled_cpu,
+        );
+        // Initialization writes the population: the closed, scored
+        // candidates become the members' current state.
+        arena.torsions.copy_from_slice(&arena.cand_torsions);
+        arena.scores.copy_from_slice(&arena.cand_scores);
+        arena.closure_dev.copy_from_slice(&arena.cand_closure_dev);
+        arena.rmsd.copy_from_slice(&arena.cand_rmsd);
+
+        // --- Initial fitness + snapshot 0 ----------------------------------
+        let mut temperature_controller = cfg.effective_temperature_schedule().controller();
+        let mut temperature = temperature_controller.temperature();
+        let mut schedule_rng = factory.derive(0xA7).stream(0, 0);
+        // `vec![v; n]` clones would drop the reserved capacity — build each
+        // trace buffer explicitly so steady-state pushes never reallocate.
+        let mut complex_traces: Vec<Vec<f64>> = (0..cfg.n_complexes)
+            .map(|_| Vec::with_capacity(cfg.iterations))
+            .collect();
+        self.stage_fitness(
+            executor,
+            &mut arena,
+            launch_cfg,
+            &profiler,
+            &mut component,
+            &mut modeled_gpu,
+            &mut modeled_cpu,
+        );
+        if cfg.snapshot_iterations.contains(&0) {
+            snapshots.push(self.snapshot_arena(0, &arena, temperature));
+        }
+        if let Some(report) = controls.progress {
+            report(0, cfg.iterations);
+        }
+
+        // --- MCMC iterations: one kernel launch per stage per iteration ---
+        let evo_factory = factory.derive(1);
+        let mode = cfg.objective_mode;
+        let m_complexes = cfg.n_complexes;
+        let complex_work = 2.0 * cfg.complex_size() as f64 * cfg.active_objectives() as f64;
+        for iter in 1..=cfg.iterations {
+            if Self::cancelled(controls) {
+                arena.release_scratches(controls.scratch_pool);
+                return Err(Error::Cancelled {
+                    completed_iterations: iter - 1,
+                });
+            }
+            let other_start = Instant::now();
+            // Sorting (best fitness first) and stride partition into
+            // complexes stay on the host, writing the arena's reusable
+            // order / CSR-partition buffers.  The unstable sort breaks
+            // fitness ties by member index, which reproduces the stable
+            // reference sort's permutation exactly.
+            {
+                let (order, fitness) = (&mut arena.order, &arena.fitness);
+                order.clear();
+                order.extend(0..n);
+                order.sort_unstable_by(|&a, &b| {
+                    fitness[a]
+                        .partial_cmp(&fitness[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+            for (pos, &idx) in arena.order.iter().enumerate() {
+                let c = pos % m_complexes;
+                arena.complex_of[idx] = c;
+                arena.complex_scores[arena.complex_offsets[c] + pos / m_complexes] =
+                    arena.scores[idx];
+            }
+            component.other_us += other_start.elapsed().as_secs_f64() * 1e6;
+
+            // Stage 1 — mutate: seed the (member, iteration) stream, load
+            // the member's torsion lane and propose a candidate.
+            {
+                let slots = SharedLanes::new(&mut arena.slots);
+                let rngs = SharedLanes::new(&mut arena.rngs);
+                let starts = SharedLanes::new(&mut arena.ccd_start);
+                let cur = &arena.torsions;
+                let mutate = executor.launch(KernelKind::Reproduction, n, |i| {
+                    // SAFETY: kernel i touches only member i's lanes.
+                    let slot = unsafe { slots.item_mut(i) };
+                    let rng = unsafe { rngs.item_mut(i) };
+                    *rng = evo_factory.stream(i as u64, iter as u64);
+                    slot.cand.copy_from_flat(&cur[i * stride..(i + 1) * stride]);
+                    let start = self.mutator.mutate_in_place(
+                        &mut slot.cand,
+                        &classes,
+                        rng,
+                        &mut slot.mut_indices,
+                    );
+                    *unsafe { starts.item_mut(i) } = start;
+                });
+                component.other_us += mutate.host_us();
+                self.record_kernel_launch(
+                    KernelKind::Reproduction,
+                    launch_cfg,
+                    n,
+                    cfg.mutation.max_mutations as f64 * 5.0,
+                    mutate.host_us(),
+                    &profiler,
+                    &mut modeled_gpu,
+                    &mut modeled_cpu,
+                );
+            }
+
+            // Stage 2 — close: lockstep CCD blocks with batched
+            // optimal-rotation inner products.
+            self.stage_close(executor, &mut arena, &closer, None, None, false);
+            let close_us: f64 = arena.block_ccd_us.iter().sum();
+            component.ccd_us += close_us;
+            let mean_rotations = arena.ccd_rotations.iter().sum::<f64>() / n.max(1) as f64;
+            self.record_kernel_launch(
+                KernelKind::Ccd,
+                launch_cfg,
+                n,
+                (mean_rotations + 1.0) * work.ccd_per_rotation,
+                close_us,
+                &profiler,
+                &mut modeled_gpu,
+                &mut modeled_cpu,
+            );
+
+            // Stages 3 + 4 — rebuild (observable readback) and the three
+            // scoring kernels, one population-wide launch each.
+            self.stage_rebuild_and_score(
+                executor,
+                &mut arena,
+                &work,
+                launch_cfg,
+                &profiler,
+                &mut component,
+                &mut modeled_gpu,
+                &mut modeled_cpu,
+            );
+
+            // Stage 5 — Metropolis against the member's complex snapshot,
+            // on the stream the mutate stage advanced.
+            {
+                let rngs = SharedLanes::new(&mut arena.rngs);
+                let accepted = SharedLanes::new(&mut arena.accepted);
+                let scores = &arena.scores;
+                let cand_scores = &arena.cand_scores;
+                let cand_dev = &arena.cand_closure_dev;
+                let complex_of = &arena.complex_of;
+                let complex_scores = &arena.complex_scores;
+                let offsets = &arena.complex_offsets;
+                let temperature_now = temperature;
+                let met = executor.launch(KernelKind::Metropolis, n, |i| {
+                    // Candidates that CCD could not bring back to the anchor
+                    // are rejected outright (an open loop scores deceptively
+                    // well by drifting off the protein).
+                    let accept = if cand_dev[i] > max_closure {
+                        false
+                    } else {
+                        let c = complex_of[i];
+                        let reference = &complex_scores[offsets[c]..offsets[c + 1]];
+                        let cand_fit = candidate_fitness(mode, &cand_scores[i], reference);
+                        let curr_fit = candidate_fitness(mode, &scores[i], reference);
+                        if cand_fit <= curr_fit {
+                            true
+                        } else {
+                            let p = ((curr_fit - cand_fit) / temperature_now).exp();
+                            // SAFETY: kernel i touches only member i's stream.
+                            unsafe { rngs.item_mut(i) }.gen::<f64>() < p
+                        }
+                    };
+                    *unsafe { accepted.item_mut(i) } = accept;
+                });
+                component.other_us += met.host_us();
+                self.record_kernel_launch(
+                    KernelKind::Metropolis,
+                    launch_cfg,
+                    n,
+                    2.0,
+                    met.host_us(),
+                    &profiler,
+                    &mut modeled_gpu,
+                    &mut modeled_cpu,
+                );
+                self.record_kernel_launch(
+                    KernelKind::FitAssgComplex,
+                    launch_cfg,
+                    n,
+                    complex_work,
+                    0.0,
+                    &profiler,
+                    &mut modeled_gpu,
+                    &mut modeled_cpu,
+                );
+            }
+
+            // Stage 6 — select: accepted candidates overwrite their
+            // members' lanes.
+            {
+                let cur = SharedLanes::new(&mut arena.torsions);
+                let scores = SharedLanes::new(&mut arena.scores);
+                let devs = SharedLanes::new(&mut arena.closure_dev);
+                let rmsds = SharedLanes::new(&mut arena.rmsd);
+                let proposed = SharedLanes::new(&mut arena.proposed_moves);
+                let accepted_moves = SharedLanes::new(&mut arena.accepted_moves);
+                let accepted = &arena.accepted;
+                let cand = &arena.cand_torsions;
+                let cand_scores = &arena.cand_scores;
+                let cand_dev = &arena.cand_closure_dev;
+                let cand_rmsd = &arena.cand_rmsd;
+                let select = executor.launch(KernelKind::Select, n, |i| {
+                    // SAFETY: kernel i touches only member i's lanes.
+                    *unsafe { proposed.item_mut(i) } += 1;
+                    if accepted[i] {
+                        unsafe { cur.lane_mut(i * stride, stride) }
+                            .copy_from_slice(&cand[i * stride..(i + 1) * stride]);
+                        *unsafe { scores.item_mut(i) } = cand_scores[i];
+                        *unsafe { devs.item_mut(i) } = cand_dev[i];
+                        *unsafe { rmsds.item_mut(i) } = cand_rmsd[i];
+                        *unsafe { accepted_moves.item_mut(i) } += 1;
+                    }
+                });
+                component.other_us += select.host_us();
+                self.record_kernel_launch(
+                    KernelKind::Select,
+                    launch_cfg,
+                    n,
+                    stride as f64,
+                    select.host_us(),
+                    &profiler,
+                    &mut modeled_gpu,
+                    &mut modeled_cpu,
+                );
+            }
+
+            // Acceptance statistics and adaptive temperature.
+            let other_start = Instant::now();
+            let accepted_now = arena.accepted.iter().filter(|&&a| a).count();
+            total_accepted += accepted_now;
+            total_proposed += n;
+            let rate = accepted_now as f64 / n as f64;
+            temperature = temperature_controller.update(rate, &mut schedule_rng);
+
+            // Per-complex mean VDW trace for convergence diagnostics.
+            for s in arena.trace_sums.iter_mut() {
+                *s = (0.0, 0);
+            }
+            for i in 0..n {
+                let c = arena.complex_of[i];
+                arena.trace_sums[c].0 += arena.scores[i].vdw();
+                arena.trace_sums[c].1 += 1;
+            }
+            for (c, &(sum, count)) in arena.trace_sums.iter().enumerate() {
+                complex_traces[c].push(if count == 0 { 0.0 } else { sum / count as f64 });
+            }
+
+            // Per-iteration host/device traffic mirroring the paper's
+            // Table II memcpy pattern.
+            let conf_bytes = n * 2 * n_res * 4;
+            let score_bytes = n * cfg.active_objectives() * 4;
+            for _ in 0..5 {
+                profiler.record_transfer(spec, TransferKind::HtoD, 64);
+            }
+            profiler.record_transfer(spec, TransferKind::DtoA, conf_bytes);
+            profiler.record_transfer(spec, TransferKind::DtoA, score_bytes);
+            for _ in 0..7 {
+                profiler.record_transfer(spec, TransferKind::DtoH, score_bytes);
+            }
+            for _ in 0..3 {
+                profiler.record_transfer(spec, TransferKind::DtoD, score_bytes);
+            }
+            component.other_us += other_start.elapsed().as_secs_f64() * 1e6;
+
+            // Population-wide fitness for the next iteration's sorting.
+            self.stage_fitness(
+                executor,
+                &mut arena,
+                launch_cfg,
+                &profiler,
+                &mut component,
+                &mut modeled_gpu,
+                &mut modeled_cpu,
+            );
+
+            if cfg.snapshot_iterations.contains(&iter) {
+                snapshots.push(self.snapshot_arena(iter, &arena, temperature));
+            }
+            if let Some(report) = controls.progress {
+                report(iter, cfg.iterations);
+            }
+        }
+
+        // Include modeled transfer time in the GPU total.
+        let transfer_us: f64 = profiler
+            .transfer_stats()
+            .values()
+            .map(|t| t.device_us)
+            .sum();
+        modeled_gpu += transfer_us;
+
+        arena.release_scratches(controls.scratch_pool);
+        Ok(TrajectoryResult {
+            population: arena.into_population(),
+            snapshots,
+            component_times: component,
+            modeled_gpu_us: modeled_gpu,
+            modeled_cpu_us: modeled_cpu,
+            host_wall: wall_start.elapsed(),
+            final_temperature: temperature,
+            acceptance_rate: if total_proposed == 0 {
+                0.0
+            } else {
+                total_accepted as f64 / total_proposed as f64
+            },
+            profiler,
+            complex_traces,
+        })
+    }
+
+    /// The staged `close` kernel: one launch over the arena's lockstep
+    /// blocks, each block closing up to [`CCD_BLOCK_WIDTH`] members together
+    /// with batched optimal-rotation inner products.
+    ///
+    /// `mask_above` restricts the launch to members whose candidate closure
+    /// deviation still exceeds the bound (the init retry rounds);
+    /// `start_override` forces one CCD start index for every lane (init)
+    /// instead of the per-member mutated index; `accumulate` adds rotations
+    /// and block times onto the arena's counters instead of overwriting
+    /// them (init rounds share one recorded kernel).
+    fn stage_close(
+        &self,
+        executor: &Executor,
+        arena: &mut PopulationArena,
+        closer: &CcdCloser,
+        mask_above: Option<f64>,
+        start_override: Option<usize>,
+        accumulate: bool,
+    ) {
+        let n = arena.n_members();
+        let n_blocks = arena.n_blocks();
+        if !accumulate {
+            arena.block_ccd_us.iter_mut().for_each(|t| *t = 0.0);
+        }
+        let slots = SharedLanes::new(&mut arena.slots);
+        let blocks = SharedLanes::new(&mut arena.ccd_blocks);
+        let block_us = SharedLanes::new(&mut arena.block_ccd_us);
+        let devs = SharedLanes::new(&mut arena.cand_closure_dev);
+        let rotations = SharedLanes::new(&mut arena.ccd_rotations);
+        let starts = &arena.ccd_start;
+        let _ = executor.launch(KernelKind::Ccd, n_blocks, |b| {
+            let t = Instant::now();
+            let lo = b * CCD_BLOCK_WIDTH;
+            let hi = (lo + CCD_BLOCK_WIDTH).min(n);
+            // SAFETY: kernel b touches only block b's scratch and the
+            // slots/lanes of members [lo, hi).
+            let scratch = unsafe { blocks.item_mut(b) };
+            let mut store: [MaybeUninit<CcdLane>; CCD_BLOCK_WIDTH] =
+                [const { MaybeUninit::uninit() }; CCD_BLOCK_WIDTH];
+            let mut ids = [0usize; CCD_BLOCK_WIDTH];
+            let mut count = 0usize;
+            // Raw indexing is the deliberate kernel idiom here: `i` is the
+            // device thread id addressing several parallel SoA buffers.
+            #[allow(clippy::needless_range_loop)]
+            for i in lo..hi {
+                if let Some(bound) = mask_above {
+                    if *unsafe { devs.item_mut(i) } <= bound {
+                        continue;
+                    }
+                }
+                let slot = unsafe { slots.item_mut(i) };
+                let MemberSlot {
+                    cand, structure, ..
+                } = slot;
+                store[count] = MaybeUninit::new(CcdLane {
+                    torsions: cand,
+                    structure,
+                    start_index: start_override.unwrap_or(starts[i]),
+                });
+                ids[count] = i;
+                count += 1;
+            }
+            // SAFETY: the first `count` entries are initialised, and
+            // `CcdLane` holds only references (no Drop obligations).
+            let lanes = unsafe {
+                std::slice::from_raw_parts_mut(store.as_mut_ptr().cast::<CcdLane>(), count)
+            };
+            closer.close_batch(&self.target.frame, &self.target.sequence, lanes, scratch);
+            for (j, &i) in ids[..count].iter().enumerate() {
+                let res = scratch.results()[j];
+                *unsafe { devs.item_mut(i) } = res.final_deviation;
+                let r = unsafe { rotations.item_mut(i) };
+                if accumulate {
+                    *r += res.rotations_applied as f64;
+                } else {
+                    *r = res.rotations_applied as f64;
+                }
+            }
+            *unsafe { block_us.item_mut(b) } += t.elapsed().as_secs_f64() * 1e6;
+        });
+    }
+
+    /// The staged `rebuild` and `score` kernels: observable readback (RMSD
+    /// to native, candidate-lane writeback) followed by one population-wide
+    /// launch per objective kernel, each recorded with its own measured
+    /// host time.  The VDW kernel stages the shared Cα table (and, with the
+    /// burial objective on, the contact counts) its successors consume from
+    /// the member's scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_rebuild_and_score(
+        &self,
+        executor: &Executor,
+        arena: &mut PopulationArena,
+        work: &WorkModel,
+        launch_cfg: LaunchConfig,
+        profiler: &Profiler,
+        component: &mut ComponentTimes,
+        modeled_gpu: &mut f64,
+        modeled_cpu: &mut f64,
+    ) {
+        let n = arena.n_members();
+        let stride = arena.stride();
+        // Rebuild: RMSD observable + candidate torsion lane readback.
+        {
+            let slots = SharedLanes::new(&mut arena.slots);
+            let rmsds = SharedLanes::new(&mut arena.cand_rmsd);
+            let cand_flat = SharedLanes::new(&mut arena.cand_torsions);
+            let times = SharedLanes::new(&mut arena.stage_us);
+            let _ = executor.launch(KernelKind::Rebuild, n, |i| {
+                let t = Instant::now();
+                // SAFETY: kernel i touches only member i's slot and lanes.
+                let slot = unsafe { slots.item_mut(i) };
+                *unsafe { rmsds.item_mut(i) } = self.target.rmsd_to_native(&slot.structure);
+                unsafe { cand_flat.lane_mut(i * stride, stride) }
+                    .copy_from_slice(slot.cand.as_slice());
+                *unsafe { times.item_mut(i) } = t.elapsed().as_secs_f64() * 1e6;
+            });
+        }
+        let rebuild_us: f64 = arena.stage_us.iter().sum();
+        component.scoring_us += rebuild_us;
+        self.record_kernel_launch(
+            KernelKind::Rebuild,
+            launch_cfg,
+            n,
+            (4 * self.target.n_residues()) as f64,
+            rebuild_us,
+            profiler,
+            modeled_gpu,
+            modeled_cpu,
+        );
+
+        // Score: one launch per objective kernel in canonical order.
+        for (kind, per_thread_work) in [
+            (KernelKind::EvalVdw, work.vdw_work),
+            (KernelKind::EvalDist, work.dist_work),
+            (KernelKind::EvalTrip, work.trip_work),
+        ] {
+            {
+                let slots = SharedLanes::new(&mut arena.slots);
+                let outs = SharedLanes::new(&mut arena.cand_scores);
+                let times = SharedLanes::new(&mut arena.stage_us);
+                let _ = executor.launch(kind, n, |i| {
+                    let t = Instant::now();
+                    // SAFETY: kernel i touches only member i's slot/lanes.
+                    let slot = unsafe { slots.item_mut(i) };
+                    let MemberSlot {
+                        structure,
+                        scratch,
+                        cand,
+                        ..
+                    } = slot;
+                    let sv = unsafe { outs.item_mut(i) };
+                    let mut a = sv.as_array();
+                    match kind {
+                        KernelKind::EvalVdw => {
+                            let (vdw, burial) =
+                                self.scorer.vdw_pass(&self.target, structure, scratch);
+                            a[0] = vdw;
+                            a[3] = burial;
+                        }
+                        KernelKind::EvalDist => {
+                            a[1] = self.scorer.dist_pass(&self.target, structure, scratch);
+                        }
+                        KernelKind::EvalTrip => {
+                            a[2] = self
+                                .scorer
+                                .triplet_pass(&self.target, structure, cand, scratch);
+                        }
+                        _ => unreachable!("score stage launches only Eval kernels"),
+                    }
+                    *sv = ScoreVector::from_array(a);
+                    *unsafe { times.item_mut(i) } = t.elapsed().as_secs_f64() * 1e6;
+                });
+            }
+            let kernel_us: f64 = arena.stage_us.iter().sum();
+            component.scoring_us += kernel_us;
+            self.record_kernel_launch(
+                kind,
+                launch_cfg,
+                n,
+                per_thread_work,
+                kernel_us,
+                profiler,
+                modeled_gpu,
+                modeled_cpu,
+            );
+        }
+    }
+
+    /// Population-wide fitness assignment (Eq. 1) over the arena's score
+    /// lanes, executed as two data-parallel passes of the
+    /// `[FitAssg] within Population` kernel writing the arena's
+    /// strength/front/fitness buffers in place.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_fitness(
+        &self,
+        executor: &Executor,
+        arena: &mut PopulationArena,
+        launch_cfg: LaunchConfig,
+        profiler: &Profiler,
+        component: &mut ComponentTimes,
+        modeled_gpu: &mut f64,
+        modeled_cpu: &mut f64,
+    ) {
+        let n = arena.n_members();
+        let start = Instant::now();
+        match self.config.objective_mode {
+            ObjectiveMode::MultiScoring => {
+                // Pass 1: strength and non-dominated flag per member.
+                {
+                    let scores = &arena.scores;
+                    let strength = SharedLanes::new(&mut arena.strength);
+                    let front = SharedLanes::new(&mut arena.front);
+                    let _ = executor.launch(KernelKind::FitAssgPopulation, n, |i| {
+                        let si = &scores[i];
+                        let dominated = scores.iter().filter(|sj| si.dominates(sj)).count();
+                        let is_nd = !scores
+                            .iter()
+                            .enumerate()
+                            .any(|(j, sj)| j != i && sj.dominates(si));
+                        // SAFETY: kernel i touches only member i's slots.
+                        *unsafe { strength.item_mut(i) } = dominated as f64 / n as f64;
+                        *unsafe { front.item_mut(i) } = is_nd;
+                    });
+                }
+                // Pass 2: Eq. 1.
+                {
+                    let scores = &arena.scores;
+                    let strength = &arena.strength;
+                    let front = &arena.front;
+                    let fitness = SharedLanes::new(&mut arena.fitness);
+                    let _ = executor.launch(KernelKind::FitAssgPopulation, n, |i| {
+                        let si = &scores[i];
+                        let value = if front[i] {
+                            strength[i]
+                        } else {
+                            1.0 + scores
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, sj)| front[*j] && sj.dominates(si))
+                                .map(|(j, _)| strength[j])
+                                .sum::<f64>()
+                        };
+                        // SAFETY: kernel i touches only member i's slot.
+                        *unsafe { fitness.item_mut(i) } = value;
+                    });
+                }
+            }
+            ObjectiveMode::Single(obj) => {
+                let scores = &arena.scores;
+                let fitness = SharedLanes::new(&mut arena.fitness);
+                let _ = executor.launch(KernelKind::FitAssgPopulation, n, |i| {
+                    *unsafe { fitness.item_mut(i) } = obj.value(&scores[i]);
+                });
+            }
+            ObjectiveMode::WeightedSum(w) => {
+                let scores = &arena.scores;
+                let fitness = SharedLanes::new(&mut arena.fitness);
+                let _ = executor.launch(KernelKind::FitAssgPopulation, n, |i| {
+                    *unsafe { fitness.item_mut(i) } = weighted_sum(&w, &scores[i]);
+                });
+            }
+        }
+        let host_us = start.elapsed().as_secs_f64() * 1e6;
+        component.fitness_us += host_us;
+        let work_per_thread = 2.0 * n as f64 * self.config.active_objectives() as f64;
+        self.record_kernel_launch(
+            KernelKind::FitAssgPopulation,
+            launch_cfg,
+            n,
+            work_per_thread,
+            host_us,
+            profiler,
+            modeled_gpu,
+            modeled_cpu,
+        );
+    }
+
+    /// Record one staged kernel launch: modeled device/CPU time from the
+    /// work model plus the measured host time, keeping the per-kernel
+    /// [`Profiler`] rows of the staged pipeline as honest as the fused
+    /// reference's.
+    #[allow(clippy::too_many_arguments)]
+    fn record_kernel_launch(
+        &self,
+        kind: KernelKind,
+        launch_cfg: LaunchConfig,
+        population: usize,
+        per_thread_work: f64,
+        host_us: f64,
+        profiler: &Profiler,
+        modeled_gpu: &mut f64,
+        modeled_cpu: &mut f64,
+    ) {
+        let occ = launch_cfg.occupancy(&self.timing.device, kind);
+        let gpu_us = self
+            .timing
+            .kernel_time_us(kind, launch_cfg, per_thread_work);
+        let cpu_us = self.timing.cpu_time_us(kind, population, per_thread_work);
+        profiler.record_kernel(
+            kind,
+            gpu_us,
+            host_us,
+            per_thread_work * population as f64,
+            occ,
+        );
+        *modeled_gpu += gpu_us;
+        *modeled_cpu += cpu_us;
+    }
+
+    /// [`MoscemSampler::snapshot`] over the arena's SoA lanes.
+    fn snapshot_arena(
+        &self,
+        iteration: usize,
+        arena: &PopulationArena,
+        temperature: f64,
+    ) -> IterationSnapshot {
+        let nd = non_dominated_indices(&arena.scores);
+        let front: Vec<(ScoreVector, f64)> = nd
+            .iter()
+            .map(|&i| (arena.scores[i], arena.rmsd[i]))
+            .collect();
+        let best_rmsd = arena.rmsd.iter().copied().fold(f64::INFINITY, f64::min);
+        IterationSnapshot {
+            iteration,
+            non_dominated_count: nd.len(),
+            front,
+            best_rmsd,
+            temperature,
+        }
+    }
+
     /// Whether the controls' cancel flag is raised.
     fn cancelled(controls: &RunControls) -> bool {
         controls
@@ -984,6 +1782,33 @@ impl MoscemSampler {
         profiler.record_kernel(kind, gpu_us, 0.0, work_per_thread * population as f64, occ);
         *modeled_gpu += gpu_us;
         *modeled_cpu += cpu_us;
+    }
+}
+
+/// Draw one member's initial torsions under the configured init mode.
+/// Shared by the per-member reference and the staged pipeline's init
+/// kernel: bit-identity between the two depends on identical draw
+/// sequences, so there is exactly one sampling implementation to drift.
+fn sample_initial_torsions<R: Rng + ?Sized>(
+    init_mode: InitMode,
+    classes: &[RamaClass],
+    rama: &RamaLibrary,
+    torsions: &mut Torsions,
+    rng: &mut R,
+) {
+    match init_mode {
+        InitMode::UniformRandom => {
+            for k in 0..torsions.n_angles() {
+                torsions.set_angle(k, random_torsion(rng));
+            }
+        }
+        InitMode::Ramachandran => {
+            for (r, &class) in classes.iter().enumerate() {
+                let (phi, psi) = rama.model(class).sample(rng);
+                torsions.set_phi(r, phi);
+                torsions.set_psi(r, psi);
+            }
+        }
     }
 }
 

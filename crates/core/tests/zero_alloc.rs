@@ -11,10 +11,11 @@
 //! neither optimization can silently regress into allocating.
 
 use lms_closure::{CcdCloser, CcdConfig};
-use lms_core::{MutationConfig, Mutator};
+use lms_core::{MoscemSampler, MutationConfig, Mutator, RunControls, SamplerConfig};
 use lms_geometry::StreamRngFactory;
 use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopStructure, RamaClass, Torsions};
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig, MultiScorer, ScoreScratch, VdwScore};
+use lms_simt::Executor;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -260,6 +261,51 @@ fn burial_enabled_scoring_is_allocation_free_after_warmup() {
         "burial-enabled scoring allocated {} times after warm-up",
         after - before
     );
+}
+
+#[test]
+fn staged_arena_pipeline_is_allocation_free_after_warmup() {
+    // The population-batched pipeline's claim is stronger than the
+    // per-member one: not just each member-iteration but the *entire staged
+    // iteration* — sort/partition, the six kernel launches over the SoA
+    // arena, acceptance statistics, traces, transfers and the fitness
+    // kernel — reuses arena buffers allocated at trajectory start.  Sample
+    // the allocation counter from the per-iteration progress callback and
+    // require exact zero growth across steady-state iterations.
+    let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
+    let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+    let iterations = 10usize;
+    let cfg = SamplerConfig::builder()
+        .population_size(12)
+        .n_complexes(2)
+        .iterations(iterations)
+        .seed(7)
+        .build()
+        .expect("valid test config");
+    let sampler = MoscemSampler::new(target, kb, cfg);
+
+    let samples: Vec<AtomicUsize> = (0..=iterations).map(|_| AtomicUsize::new(0)).collect();
+    let progress = |done: usize, _total: usize| {
+        samples[done].store(allocation_count(), Ordering::Relaxed);
+    };
+    let controls = RunControls::new().progress(&progress);
+    let result = sampler
+        .run_controlled(&Executor::scalar(), 7, &controls)
+        .expect("uncancelled run succeeds");
+    assert_eq!(result.population.len(), 12);
+
+    // Iterations 1–3 may warm buffers up (profiler rows, trace growth);
+    // every later iteration must allocate exactly nothing.
+    for iter in 4..=iterations {
+        let before = samples[iter - 1].load(Ordering::Relaxed);
+        let after = samples[iter].load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "staged iteration {iter} performed {} heap allocations",
+            after - before
+        );
+    }
 }
 
 #[test]

@@ -357,6 +357,96 @@ impl LoopBuilder {
         out.end_frame = self.place_end_frame(prev_n, prev_ca, prev_c, prev_psi, frame.c_anchor_phi);
     }
 
+    /// Rebuild only the *backbone spine* (N, Cα, C' plus the end frame) of
+    /// the suffix after a single-torsion edit, leaving every residue's O
+    /// atom and side-chain centroid **stale**.
+    ///
+    /// The NeRF recurrence consumes only the spine: O and centroid hang off
+    /// a residue's own N/Cα/C' and never feed a later placement.  A closure
+    /// sweep that only needs rotation pivots/axes (spine atoms) and the
+    /// moving end frame — exactly CCD's inner loop — can therefore skip
+    /// ~2/5 of every suffix rebuild and recover the full structure with one
+    /// [`LoopBuilder::build_into`] at the end.  The spine and end-frame
+    /// coordinates this produces are bit-identical to
+    /// [`LoopBuilder::rebuild_from`]'s (the placement calls are the same
+    /// code on the same inputs); only O/centroid are left behind.
+    ///
+    /// # Contract
+    /// As [`LoopBuilder::rebuild_from`], except that the O/centroid fields
+    /// of `out` are unspecified afterwards until a full rebuild.
+    ///
+    /// # Panics
+    /// Panics if `torsions`, `sequence` and `out` disagree on residue count.
+    pub fn rebuild_spine_from(
+        &self,
+        frame: &LoopFrame,
+        sequence: &[AminoAcid],
+        torsions: &Torsions,
+        changed_angle: usize,
+        out: &mut LoopStructure,
+    ) {
+        assert_eq!(
+            torsions.n_residues(),
+            sequence.len(),
+            "torsion vector and sequence must have the same number of residues"
+        );
+        assert_eq!(
+            out.n_residues(),
+            sequence.len(),
+            "rebuild_spine_from requires a structure previously built for this loop"
+        );
+        if changed_angle >= torsions.n_angles() {
+            return;
+        }
+        let (first, _) = Torsions::describe_angle(changed_angle);
+        let (mut prev_n, mut prev_ca, mut prev_c, mut prev_psi) = if first == 0 {
+            (
+                frame.n_anchor.n,
+                frame.n_anchor.ca,
+                frame.n_anchor.c,
+                frame.n_anchor_psi,
+            )
+        } else {
+            let p = &out.residues[first - 1];
+            (p.n, p.ca, p.c, torsions.psi(first - 1))
+        };
+
+        for i in first..sequence.len() {
+            let (n, ca, c) = self.place_spine(prev_n, prev_ca, prev_c, prev_psi, torsions.phi(i));
+            let r = &mut out.residues[i];
+            r.n = n;
+            r.ca = ca;
+            r.c = c;
+            prev_n = n;
+            prev_ca = ca;
+            prev_c = c;
+            prev_psi = torsions.psi(i);
+        }
+
+        out.end_frame = self.place_end_frame(prev_n, prev_ca, prev_c, prev_psi, frame.c_anchor_phi);
+    }
+
+    /// Place one residue's N, Cα and C' by the NeRF recurrence — the part of
+    /// [`LoopBuilder::place_residue`] that feeds the next residue.
+    #[inline]
+    fn place_spine(
+        &self,
+        prev_n: Vec3,
+        prev_ca: Vec3,
+        prev_c: Vec3,
+        prev_psi: f64,
+        phi: f64,
+    ) -> (Vec3, Vec3, Vec3) {
+        let g = &self.geometry;
+        // N_i: extends the previous residue's C' along its psi.
+        let n = place_atom(prev_n, prev_ca, prev_c, g.len_c_n, g.ang_ca_c_n, prev_psi);
+        // CA_i: the omega torsion (fixed trans).
+        let ca = place_atom(prev_ca, prev_c, n, g.len_n_ca, g.ang_c_n_ca, g.omega);
+        // C'_i: this residue's phi.
+        let c = place_atom(prev_c, n, ca, g.len_ca_c, g.ang_n_ca_c, phi);
+        (n, ca, c)
+    }
+
     /// Place one residue's atoms by the NeRF recurrence, given the previous
     /// residue's backbone and ψ.  The single placement routine both
     /// [`LoopBuilder::build_into`] and [`LoopBuilder::rebuild_from`] run, so
@@ -374,12 +464,7 @@ impl LoopBuilder {
         psi: f64,
     ) -> ResidueAtoms {
         let g = &self.geometry;
-        // N_i: extends the previous residue's C' along its psi.
-        let n = place_atom(prev_n, prev_ca, prev_c, g.len_c_n, g.ang_ca_c_n, prev_psi);
-        // CA_i: the omega torsion (fixed trans).
-        let ca = place_atom(prev_ca, prev_c, n, g.len_n_ca, g.ang_c_n_ca, g.omega);
-        // C'_i: this residue's phi.
-        let c = place_atom(prev_c, n, ca, g.len_ca_c, g.ang_n_ca_c, phi);
+        let (n, ca, c) = self.place_spine(prev_n, prev_ca, prev_c, prev_psi, phi);
         // O_i: anti-periplanar to the next N, i.e. psi + 180 deg.
         let o = place_atom(n, ca, c, g.len_c_o, g.ang_ca_c_o, psi + PI);
         // Side-chain centroid along the Cβ direction (absent for Gly).
@@ -735,6 +820,35 @@ mod tests {
                 assert_eq!(s, builder.build(&frame, &seq, &t));
             }
         }
+    }
+
+    #[test]
+    fn spine_rebuild_tracks_full_rebuild_on_spine_and_end_frame() {
+        // A CCD-like chain of single-angle edits applied with spine-only
+        // rebuilds must keep N/CA/C' and the end frame bit-identical to the
+        // full incremental rebuild; a final full build recovers O/centroid.
+        let builder = LoopBuilder::default();
+        let frame = test_frame();
+        let seq = test_sequence(8);
+        let mut t = alpha_torsions(8);
+        let mut spine = builder.build(&frame, &seq, &t);
+        let mut full = spine.clone();
+        for sweep in 0..2 {
+            for k in 0..t.n_angles() {
+                t.rotate_angle(k, deg_to_rad(4.0 + sweep as f64) * 0.5);
+                builder.rebuild_spine_from(&frame, &seq, &t, k, &mut spine);
+                builder.rebuild_from(&frame, &seq, &t, k, &mut full);
+                for (a, b) in spine.residues.iter().zip(full.residues.iter()) {
+                    assert_eq!(a.n, b.n);
+                    assert_eq!(a.ca, b.ca);
+                    assert_eq!(a.c, b.c);
+                }
+                assert_eq!(spine.end_frame, full.end_frame);
+            }
+        }
+        // One full rebuild from the final torsions restores everything.
+        builder.build_into(&frame, &seq, &t, &mut spine);
+        assert_eq!(spine, full);
     }
 
     #[test]

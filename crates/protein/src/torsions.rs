@@ -129,6 +129,23 @@ impl Torsions {
         self.values.extend_from_slice(&other.values);
     }
 
+    /// Copy a flat `(φ1, ψ1, …, φn, ψn)` lane into this vector, reusing the
+    /// existing buffer.  This is how the population-batched sampler loads a
+    /// member's torsions out of the SoA arena (and
+    /// [`Torsions::as_slice`] stores them back).
+    ///
+    /// # Panics
+    /// Panics if the lane length is odd.
+    #[inline]
+    pub fn copy_from_flat(&mut self, lane: &[f64]) {
+        assert!(
+            lane.len().is_multiple_of(2),
+            "torsion lane length must be even"
+        );
+        self.values.clear();
+        self.values.extend_from_slice(lane);
+    }
+
     /// `(φ, ψ)` of residue `i`.
     #[inline]
     pub fn pair(&self, i: usize) -> (f64, f64) {

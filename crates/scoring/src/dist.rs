@@ -31,12 +31,50 @@ impl DistScore {
         DistScore { kb }
     }
 
+    /// Score a built structure reading the Cα–Cα bounding check from the
+    /// scratch's shared `ca_d2` table (filled by the VDW intra-loop pass of
+    /// the same evaluation), instead of recomputing the Cα geometry per
+    /// residue pair.  The table holds exactly the squared distances this
+    /// kernel's own bound would compute — same coordinates, same arithmetic
+    /// — so the pair skips, and therefore the score, are bit-identical to
+    /// [`DistScore::score_structure_with`] (property-tested in
+    /// `tests/workspace_equivalence.rs`).
+    ///
+    /// This is the staged-pipeline path: [`crate::MultiScorer`] launches the
+    /// VDW kernel first, so the table is always fresh when DIST runs.
+    pub fn score_structure_with_ca_table(
+        &self,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        // The table is consume-once: staged by the VDW pass of the same
+        // evaluation, invalidated here.  A stale table (e.g. staged for a
+        // previous structure of the same loop length) would silently skip
+        // the wrong pairs, so misuse fails loudly in every build profile.
+        let n = structure.residues.len();
+        assert!(
+            scratch.ca_d2_staged && scratch.ca_d2.len() == n * n,
+            "ca_d2 table not staged for this structure; run the VDW pass first"
+        );
+        scratch.ca_d2_staged = false;
+        self.score_structure_inner(structure, scratch, true)
+    }
+
     /// Score a built structure directly, staging atom coordinates in the
     /// caller's scratch SoA buffers (no allocation after warm-up).
     pub fn score_structure_with(
         &self,
         structure: &LoopStructure,
         scratch: &mut ScoreScratch,
+    ) -> f64 {
+        self.score_structure_inner(structure, scratch, false)
+    }
+
+    fn score_structure_inner(
+        &self,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+        use_ca_table: bool,
     ) -> f64 {
         // Stage the backbone atoms as flat split-coordinate arrays: atom
         // `4*i + k` is residue i's (N, Cα, C', O)[k].
@@ -63,12 +101,21 @@ impl DistScore {
                 // MAX_ATOM_CA_OFFSET of its residue's Cα, so when the Cα–Cα
                 // distance exceeds DIST_MAX by twice that offset, all 16
                 // atom pairs are ≥ DIST_MAX and would be skipped anyway.
-                let (ca_i, ca_j) = (4 * i + 1, 4 * j + 1);
-                let dx = xs[ca_i] - xs[ca_j];
-                let dy = ys[ca_i] - ys[ca_j];
-                let dz = zs[ca_i] - zs[ca_j];
+                // The staged path reads the squared distance from the shared
+                // table the VDW pass recorded for this pair; the fallback
+                // recomputes it from the staged Cα coordinates.  The values
+                // are bit-identical, so both paths skip the same pairs.
                 let bound = DIST_MAX + 2.0 * MAX_ATOM_CA_OFFSET;
-                if dx * dx + dy * dy + dz * dz >= bound * bound {
+                let ca_gap2 = if use_ca_table {
+                    scratch.ca_d2[i * n + j]
+                } else {
+                    let (ca_i, ca_j) = (4 * i + 1, 4 * j + 1);
+                    let dx = xs[ca_i] - xs[ca_j];
+                    let dy = ys[ca_i] - ys[ca_j];
+                    let dz = zs[ca_i] - zs[ca_j];
+                    dx * dx + dy * dy + dz * dz
+                };
+                if ca_gap2 >= bound * bound {
                     continue;
                 }
                 for a in (4 * i)..(4 * i + 4) {
@@ -191,6 +238,38 @@ mod tests {
             (a - c).abs() < 1e-9,
             "same torsions, different frame: {a} vs {c}"
         );
+    }
+
+    #[test]
+    fn ca_table_path_matches_own_bound_path_bitwise() {
+        use crate::vdw::VdwScore;
+        let s = scorer();
+        let vdw = VdwScore::default();
+        let lib = BenchmarkLibrary::standard();
+        let builder = LoopBuilder::default();
+        let factory = lms_geometry::StreamRngFactory::new(23);
+        for name in ["1cex", "1xyz", "1akz"] {
+            let target = lib.target_by_name(name).unwrap();
+            let mut scratch = ScoreScratch::new();
+            for trial in 0..12u64 {
+                let mut rng = factory.stream(trial, 0);
+                let mut torsions = target.native_torsions.clone();
+                for k in 0..torsions.n_angles() {
+                    torsions.rotate_angle(k, lms_geometry::random_torsion(&mut rng) * 0.3);
+                }
+                let structure = target.build(&builder, &torsions);
+                // Stage the shared table exactly as the pipeline does: the
+                // VDW pass runs first on the same scratch.
+                vdw.score_target_with(&target, &structure, &mut scratch);
+                let table = s.score_structure_with_ca_table(&structure, &mut scratch);
+                let own = s.score_structure_with(&structure, &mut scratch);
+                assert_eq!(
+                    table.to_bits(),
+                    own.to_bits(),
+                    "{name} trial {trial}: shared-table DIST diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,13 @@ impl MultiScorer {
     /// buffers: the zero-allocation path the sampler's evolution kernel
     /// runs once per conformation per iteration.  Returns exactly the same
     /// vector as [`MultiScorer::evaluate`].
+    ///
+    /// This is the fused composition of the staged per-objective passes
+    /// ([`MultiScorer::vdw_pass`] → [`MultiScorer::dist_pass`] →
+    /// [`MultiScorer::triplet_pass`]), which the population-batched sampler
+    /// pipeline instead launches as separate population-wide kernels —
+    /// stage order and scratch state are identical either way, so the two
+    /// call patterns are bit-identical.
     pub fn evaluate_with(
         &self,
         target: &LoopTarget,
@@ -92,30 +99,68 @@ impl MultiScorer {
         torsions: &Torsions,
         scratch: &mut ScoreScratch,
     ) -> ScoreVector {
+        let (vdw, burial) = self.vdw_pass(target, structure, scratch);
+        let dist = self.dist_pass(target, structure, scratch);
+        let triplet = self.triplet_pass(target, structure, torsions, scratch);
+        let v = ScoreVector::new(vdw, dist, triplet);
         if self.burial_enabled {
-            // Shared-gather path: the VDW environment pass piggybacks the
-            // burial contact counts on its per-site cell-list queries.
+            v.with_burial(burial)
+        } else {
+            v
+        }
+    }
+
+    /// Staged VDW kernel: stages the interaction sites (recording the shared
+    /// Cα–Cα distance table the DIST pass reads its bounding check from) and
+    /// runs the intra-loop and environment clash sums.  With the burial
+    /// objective enabled, the environment pass piggybacks the per-residue
+    /// contact counts on the same cell-list gathers and the second returned
+    /// value is the BURIAL score; otherwise it is `0.0`.
+    ///
+    /// Must run before [`MultiScorer::dist_pass`] on the same scratch — this
+    /// pass owns the shared staging the later kernels consume.
+    pub fn vdw_pass(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) -> (f64, f64) {
+        if self.burial_enabled {
             let vdw =
                 self.vdw
                     .score_target_with_burial(target, structure, scratch, self.burial.radius());
             let counts = std::mem::take(&mut scratch.burial_counts);
             let burial = self.burial.score_from_counts(target, &counts);
             scratch.burial_counts = counts;
-            ScoreVector::new(
-                vdw,
-                self.dist.score_with(target, structure, torsions, scratch),
-                self.triplet
-                    .score_with(target, structure, torsions, scratch),
-            )
-            .with_burial(burial)
+            (vdw, burial)
         } else {
-            ScoreVector::new(
-                self.vdw.score_with(target, structure, torsions, scratch),
-                self.dist.score_with(target, structure, torsions, scratch),
-                self.triplet
-                    .score_with(target, structure, torsions, scratch),
-            )
+            (self.vdw.score_target_with(target, structure, scratch), 0.0)
         }
+    }
+
+    /// Staged DIST kernel: the atom pair-wise distance score with the Cα–Cα
+    /// bounding check read from the shared table recorded by
+    /// [`MultiScorer::vdw_pass`] — one Cα staging serves three objectives.
+    pub fn dist_pass(
+        &self,
+        _target: &LoopTarget,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        self.dist.score_structure_with_ca_table(structure, scratch)
+    }
+
+    /// Staged TRIPLET kernel: the torsion-triplet score (independent of the
+    /// shared staging; it reads only the torsion vector).
+    pub fn triplet_pass(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        torsions: &Torsions,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        self.triplet
+            .score_with(target, structure, torsions, scratch)
     }
 
     /// Access the enabled scoring functions in canonical objective order,

@@ -28,6 +28,18 @@ pub const NUM_OBJECTIVES: usize = 4;
 /// allocation after warm-up.  [`ScoringFunction::score`] is a convenience
 /// wrapper that allocates a throwaway scratch; both paths run the identical
 /// kernel and therefore return bit-identical values.
+///
+/// **Batch awareness.**  The scratch buffers are member-major SoA slices:
+/// the population-batched sampler pipeline leases one scratch per member
+/// from a shared pool and launches the objectives as separate
+/// population-wide kernels in canonical order, with the shared staging of
+/// one pass feeding the next (the VDW pass records the Cα–Cα distance
+/// table and the BURIAL contact counts its cell-list gathers produce; the
+/// DIST pass reads its bounding check from that table — see
+/// `MultiScorer::vdw_pass`/`dist_pass`/`triplet_pass` in this crate).
+/// Implementations must therefore treat the scratch as stage-owned state
+/// that persists between kernels of the same evaluation, never as private
+/// storage that may be reset wholesale mid-evaluation.
 pub trait ScoringFunction: Send + Sync {
     /// Short identifier used in reports (`"VDW"`, `"DIST"`, `"TRIPLET"`,
     /// `"BURIAL"`).

@@ -172,12 +172,24 @@ impl VdwScore {
     }
 
     /// Intra-loop clash contribution over the staged SoA sites.
-    fn intra_loop(&self, s: &ScoreScratch) -> f64 {
+    ///
+    /// While walking the site pairs this pass also records every Cα–Cα
+    /// squared distance it computes (residue separation ≥ 2 — exactly the
+    /// pairs the DIST kernel scores) into the scratch's shared `ca_d2`
+    /// table, so the DIST Cα–Cα bounding check becomes a table read instead
+    /// of a recomputation: one staging of the Cα coordinates serves VDW,
+    /// BURIAL and DIST.  The stores happen before the overlap early-out and
+    /// never change the clash sum.
+    fn intra_loop(&self, s: &mut ScoreScratch, n_residues: usize) -> f64 {
+        s.ca_d2.clear();
+        s.ca_d2.resize(n_residues * n_residues, f64::INFINITY);
+        s.ca_d2_staged = true;
         let n = s.site_x.len();
         let mut total = 0.0;
         for a in 0..n {
             let (xa, ya, za) = (s.site_x[a], s.site_y[a], s.site_z[a]);
             let (ra, ia, ca) = (s.site_r[a], s.site_res[a], s.site_centroid[a]);
+            let a_is_ca = s.site_is_ca[a];
             for b in (a + 1)..n {
                 // Residues closer than 2 apart in sequence are covalently
                 // coupled; their short contacts are not clashes.
@@ -188,6 +200,12 @@ impl VdwScore {
                 let dy = ya - s.site_y[b];
                 let dz = za - s.site_z[b];
                 let d2 = dx * dx + dy * dy + dz * dz;
+                if a_is_ca && s.site_is_ca[b] {
+                    // Sites are staged in residue order, so `a` is the
+                    // earlier residue: the stored value is bit-identical to
+                    // what DIST's own Cα bound computation would produce.
+                    s.ca_d2[ia as usize * n_residues + s.site_res[b] as usize] = d2;
+                }
                 let sigma = (ra + s.site_r[b]) * self.radii.softness;
                 // Squared-distance early-out: pairs at or beyond the softened
                 // radius sum contribute exactly 0, so skipping them before
@@ -404,7 +422,7 @@ impl VdwScore {
             lms_protein::ENV_CONTACT_MARGIN
         );
         self.fill_sites(target, structure, scratch);
-        let intra = self.intra_loop(scratch);
+        let intra = self.intra_loop(scratch, structure.n_residues());
         let inter = self.against_environment_cells(scratch, target.env_candidates());
         (intra + inter) / structure.n_residues() as f64
     }
@@ -431,7 +449,7 @@ impl VdwScore {
             lms_protein::ENV_CONTACT_MARGIN
         );
         self.fill_sites(target, structure, scratch);
-        let intra = self.intra_loop(scratch);
+        let intra = self.intra_loop(scratch, structure.n_residues());
         let inter = self.against_environment_cells_and_burial(
             scratch,
             target.env_candidates(),

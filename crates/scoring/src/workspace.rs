@@ -55,6 +55,19 @@ pub struct ScoreScratch {
     /// VDW/BURIAL environment pass (one cell-list gather per site serves
     /// both objectives) or by the standalone BURIAL kernel.
     pub(crate) burial_counts: Vec<u32>,
+    /// Shared Cα–Cα squared-distance table (`n_residues × n_residues`,
+    /// row-major, only `i < j` at separation ≥ 2 filled).  The VDW
+    /// intra-loop pass records the squared distances it computes anyway for
+    /// its Cα–Cα site pairs; the DIST kernel then reads its pair bounding
+    /// check from the table instead of recomputing the Cα geometry — one
+    /// staging of the Cα coordinates serves VDW, BURIAL and DIST.
+    pub(crate) ca_d2: Vec<f64>,
+    /// Whether `ca_d2` holds a freshly staged table for the structure under
+    /// evaluation.  Set by the VDW intra-loop pass, *consumed* (reset) by
+    /// the table-reading DIST kernel, so stage-order misuse — reading a
+    /// table staged for a different structure — fails loudly instead of
+    /// silently mis-skipping pairs.
+    pub(crate) ca_d2_staged: bool,
 }
 
 impl ScoreScratch {
@@ -80,6 +93,8 @@ impl ScoreScratch {
             classes: Vec::with_capacity(n_residues),
             env_idx: Vec::new(),
             burial_counts: Vec::with_capacity(n_residues),
+            ca_d2: Vec::with_capacity(n_residues * n_residues),
+            ca_d2_staged: false,
         }
     }
 
@@ -104,6 +119,8 @@ impl ScoreScratch {
         self.classes.clear();
         self.env_idx.clear();
         self.burial_counts.clear();
+        self.ca_d2.clear();
+        self.ca_d2_staged = false;
     }
 }
 

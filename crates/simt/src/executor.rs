@@ -18,10 +18,35 @@
 //! that its CPU and GPU versions are "functionally equivalent"; determinism
 //! here is strictly stronger and is verified by property tests).
 
+use crate::kernel::KernelKind;
 use rayon::prelude::*;
 use rayon::ThreadPool;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The record of one staged population-kernel launch through
+/// [`Executor::launch`]: which kernel ran, over how many device threads
+/// (population members), and the measured host wall-clock time of the
+/// launch.  The sampler feeds these into the [`crate::Profiler`] /
+/// [`crate::TimingModel`] accounting so the staged pipeline's per-kernel
+/// rows stay honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub struct KernelLaunch {
+    /// The kernel that was launched.
+    pub kind: KernelKind,
+    /// Number of logical device threads (one per population member).
+    pub threads: usize,
+    /// Measured host wall-clock duration of the launch.
+    pub host: Duration,
+}
+
+impl KernelLaunch {
+    /// Measured host time in microseconds.
+    pub fn host_us(&self) -> f64 {
+        self.host.as_secs_f64() * 1e6
+    }
+}
 
 /// How the per-conformation kernels are executed on the host.
 #[derive(Debug, Clone)]
@@ -163,6 +188,37 @@ impl Executor {
             }
         };
         (out, start.elapsed())
+    }
+
+    /// Launch one population-wide kernel: apply `kernel` to every logical
+    /// thread index in `0..threads`, exactly once each, under this
+    /// executor's execution strategy.  This is the staged-pipeline entry
+    /// point: the evolution loop issues one `launch` per stage per
+    /// iteration (`mutate`, `close`, `rebuild`, `score`, `metropolis`,
+    /// `select`), with all member state living in population-wide SoA
+    /// buffers (see [`crate::SharedLanes`]) rather than per-member structs.
+    ///
+    /// The kernel body receives only the thread index — the SIMT contract —
+    /// so all randomness must come from counter-derived streams and all
+    /// member state from disjoint lanes, which is what makes scalar and
+    /// parallel launches bit-identical.
+    ///
+    /// Returns the [`KernelLaunch`] record with the measured host wall time.
+    pub fn launch<F>(&self, kind: KernelKind, threads: usize, kernel: F) -> KernelLaunch
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        // One zero-sized lane per logical thread drives the existing
+        // data-parallel dispatch without ever touching the heap (a `Vec` of
+        // a ZST never allocates), so both entry points share one
+        // scalar/parallel/sized-pool implementation.
+        let mut lanes = vec![(); threads];
+        let host = self.for_each_indexed(&mut lanes, |i, _| kernel(i));
+        KernelLaunch {
+            kind,
+            threads,
+            host,
+        }
     }
 
     /// Number of worker threads this executor will use.

@@ -30,12 +30,19 @@ pub enum KernelKind {
     Reproduction,
     /// Metropolis acceptance test.
     Metropolis,
+    /// Candidate-structure finalisation after closure: closure-deviation
+    /// readback and the RMSD-to-native observable (a staged-pipeline kernel
+    /// the paper folds into its evaluation tasks).
+    Rebuild,
+    /// Population selection: accepted candidates overwrite their members'
+    /// conformation lanes in the SoA arena.
+    Select,
 }
 
 impl KernelKind {
-    /// All kernels in the order the paper's Table II lists them (the two
+    /// All kernels in the order the paper's Table II lists them (the
     /// kernels the paper does not list separately come last).
-    pub const ALL: [KernelKind; 8] = [
+    pub const ALL: [KernelKind; 10] = [
         KernelKind::Ccd,
         KernelKind::EvalDist,
         KernelKind::EvalVdw,
@@ -44,6 +51,8 @@ impl KernelKind {
         KernelKind::FitAssgComplex,
         KernelKind::Reproduction,
         KernelKind::Metropolis,
+        KernelKind::Rebuild,
+        KernelKind::Select,
     ];
 
     /// Display name matching the paper's bracketed task labels.
@@ -57,6 +66,8 @@ impl KernelKind {
             KernelKind::FitAssgComplex => "[FitAssg] within Complex",
             KernelKind::Reproduction => "[Reproduction]",
             KernelKind::Metropolis => "[Metropolis]",
+            KernelKind::Rebuild => "[Rebuild]",
+            KernelKind::Select => "[Select]",
         }
     }
 
@@ -72,6 +83,8 @@ impl KernelKind {
             KernelKind::FitAssgComplex => 5,
             KernelKind::Reproduction => 16,
             KernelKind::Metropolis => 10,
+            KernelKind::Rebuild => 24,
+            KernelKind::Select => 8,
         }
     }
 
@@ -94,12 +107,23 @@ impl KernelKind {
             KernelKind::FitAssgComplex => 3.0,
             KernelKind::Reproduction => 40.0,
             KernelKind::Metropolis => 12.0,
+            // A Rebuild work unit is one superimposed atom of the RMSD
+            // observable (Kabsch accumulation); a Select work unit is one
+            // copied torsion lane element.
+            KernelKind::Rebuild => 30.0,
+            KernelKind::Select => 4.0,
         }
     }
 
     /// Whether the paper's Table II lists this kernel as its own row.
     pub fn in_paper_table(&self) -> bool {
-        !matches!(self, KernelKind::Reproduction | KernelKind::Metropolis)
+        !matches!(
+            self,
+            KernelKind::Reproduction
+                | KernelKind::Metropolis
+                | KernelKind::Rebuild
+                | KernelKind::Select
+        )
     }
 }
 

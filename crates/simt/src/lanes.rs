@@ -1,0 +1,159 @@
+//! Population-wide SoA lane buffers: the staged pipeline's "device global
+//! memory".
+//!
+//! The paper keeps the whole population's conformations in flat
+//! structure-of-arrays device buffers, and every kernel thread indexes into
+//! them with its own thread id.  [`SharedLanes`] reproduces that access
+//! pattern on the host: it wraps one exclusive borrow of a flat buffer and
+//! hands out per-lane mutable views to the kernel bodies running under
+//! [`Executor::launch`](crate::Executor::launch), which guarantees that
+//! every logical thread index is visited by exactly one invocation.
+//!
+//! The per-lane accessors are `unsafe` because the wrapper cannot itself
+//! prove disjointness — the launch contract does.  Every call site states
+//! the discipline: *a kernel invocation for thread `i` may only touch lane
+//! `i` (or, for block-level kernels, the lanes of block `i`)*.
+
+use std::marker::PhantomData;
+
+/// A `Sync` view over a flat member-major SoA buffer that allows concurrent
+/// disjoint per-lane mutation from a population-kernel launch.
+///
+/// Constructed from an exclusive borrow, so for the wrapper's lifetime no
+/// other access to the buffer exists; the launch discipline (one kernel
+/// invocation per thread index, each touching only its own lane) makes the
+/// concurrent interior mutation sound.
+#[derive(Debug)]
+pub struct SharedLanes<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is partitioned by lane under the launch contract; `T: Send`
+// makes handing a lane to another worker thread sound.
+unsafe impl<T: Send> Sync for SharedLanes<'_, T> {}
+unsafe impl<T: Send> Send for SharedLanes<'_, T> {}
+
+impl<'a, T> SharedLanes<'a, T> {
+    /// Wrap an exclusively borrowed flat buffer.
+    pub fn new(buffer: &'a mut [T]) -> Self {
+        SharedLanes {
+            ptr: buffer.as_mut_ptr(),
+            len: buffer.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Total element count of the underlying buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable view of one element.
+    ///
+    /// # Safety
+    ///
+    /// For the duration of the returned borrow no other lane view of index
+    /// `i` may exist.  Under [`Executor::launch`](crate::Executor::launch)
+    /// this holds when each kernel invocation only accesses elements of its
+    /// own thread index.  `i` must be in bounds.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn item_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "lane index {i} out of bounds ({})", self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+
+    /// Mutable view of the contiguous lane `[offset, offset + len)`.
+    ///
+    /// # Safety
+    ///
+    /// Lanes handed out concurrently must be disjoint, which under
+    /// [`Executor::launch`](crate::Executor::launch) holds when each kernel
+    /// invocation only accesses its own member's lane (member-major layout:
+    /// `offset = member * stride`, `len = stride`).  The range must be in
+    /// bounds.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn lane_mut(&self, offset: usize, len: usize) -> &mut [T] {
+        debug_assert!(
+            offset + len <= self.len,
+            "lane [{offset}, {}) out of bounds ({})",
+            offset + len,
+            self.len
+        );
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(offset), len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::kernel::KernelKind;
+
+    #[test]
+    fn disjoint_lane_writes_cover_the_buffer() {
+        let stride = 4;
+        let members = 64;
+        let mut flat = vec![0.0f64; members * stride];
+        let lanes = SharedLanes::new(&mut flat);
+        let launch = Executor::parallel().launch(KernelKind::Select, members, |i| {
+            // SAFETY: thread i touches only lane i.
+            let lane = unsafe { lanes.lane_mut(i * stride, stride) };
+            for (k, v) in lane.iter_mut().enumerate() {
+                *v = (i * stride + k) as f64;
+            }
+        });
+        assert_eq!(launch.threads, members);
+        for (k, v) in flat.iter().enumerate() {
+            assert_eq!(*v, k as f64);
+        }
+    }
+
+    #[test]
+    fn item_mut_addresses_single_elements() {
+        let mut flat = vec![0u64; 128];
+        let lanes = SharedLanes::new(&mut flat);
+        assert_eq!(lanes.len(), 128);
+        assert!(!lanes.is_empty());
+        let _ = Executor::scalar().launch(KernelKind::Metropolis, 128, |i| {
+            // SAFETY: thread i touches only element i.
+            *unsafe { lanes.item_mut(i) } = i as u64 * 3;
+        });
+        for (i, v) in flat.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn scalar_and_parallel_launches_agree() {
+        let mut a = vec![0u32; 1000];
+        let mut b = vec![0u32; 1000];
+        for (exec, buf) in [
+            (Executor::scalar(), &mut a),
+            (Executor::parallel_with_threads(3), &mut b),
+        ] {
+            let lanes = SharedLanes::new(buf);
+            let _ = exec.launch(KernelKind::Reproduction, 1000, |i| {
+                *unsafe { lanes.item_mut(i) } = (i as u32).wrapping_mul(2654435761);
+            });
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_launch_is_a_noop() {
+        let mut flat: Vec<u8> = Vec::new();
+        let lanes = SharedLanes::new(&mut flat);
+        assert!(lanes.is_empty());
+        let launch = Executor::parallel().launch(KernelKind::Select, 0, |_| {
+            panic!("kernel must not run for an empty population")
+        });
+        assert_eq!(launch.threads, 0);
+    }
+}

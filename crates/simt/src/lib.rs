@@ -39,14 +39,16 @@
 pub mod device;
 pub mod executor;
 pub mod kernel;
+pub mod lanes;
 pub mod memory;
 pub mod occupancy;
 pub mod profiler;
 pub mod timing;
 
 pub use device::{DeviceSpec, HostSpec};
-pub use executor::Executor;
+pub use executor::{Executor, KernelLaunch};
 pub use kernel::{KernelKind, LaunchConfig};
+pub use lanes::SharedLanes;
 pub use memory::{transfer_time_us, DataPlacement, MemorySpace, TransferKind};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use profiler::{KernelStats, Profiler, TransferStats};

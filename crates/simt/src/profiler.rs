@@ -105,7 +105,10 @@ impl Profiler {
     }
 
     /// Render the paper's Table II: per-kernel and per-memcpy device time
-    /// and percentage of total device time.
+    /// and percentage of total device time, plus the measured host time of
+    /// each staged launch (the pipeline issues one population-wide launch
+    /// per stage, so every kernel row carries its own measured host column
+    /// instead of a share of one monolithic evolve pass).
     pub fn table2_report(&self) -> String {
         let kernels = self.kernel_stats();
         let transfers = self.transfer_stats();
@@ -114,8 +117,8 @@ impl Profiler {
         let mut out = String::new();
         writeln!(
             out,
-            "{:<10} {:<30} {:>8} {:>16} {:>8}",
-            "Category", "Method", "#calls", "GPU (usec)", "% GPU"
+            "{:<10} {:<30} {:>8} {:>16} {:>8} {:>16}",
+            "Category", "Method", "#calls", "GPU (usec)", "% GPU", "Host (usec)"
         )
         .unwrap();
         let mut rows: Vec<(KernelKind, KernelStats)> = kernels.into_iter().collect();
@@ -123,12 +126,13 @@ impl Profiler {
         for (kind, s) in rows {
             writeln!(
                 out,
-                "{:<10} {:<30} {:>8} {:>16.0} {:>7.2}%",
+                "{:<10} {:<30} {:>8} {:>16.0} {:>7.2}% {:>16.0}",
                 "Kernel",
                 kind.name(),
                 s.calls,
                 s.device_us,
-                100.0 * s.device_us / total
+                100.0 * s.device_us / total,
+                s.host_us
             )
             .unwrap();
         }

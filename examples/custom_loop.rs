@@ -65,6 +65,11 @@ fn main() -> Result<(), Error> {
         .burial_objective(true)
         .build()?;
     let sampler = MoscemSampler::try_new(target.clone(), kb, config)?;
+    // Under the hood every trajectory runs the staged population-batched
+    // kernel pipeline (flat SoA member arena, one kernel launch per stage
+    // per iteration).  That is purely an internal layout/execution change:
+    // the API and the sampled trajectories are identical to the per-member
+    // implementation — same seed, same decoys, bit for bit.
     let production = sampler.produce_decoys(&Executor::parallel(), 30, 3);
 
     println!(

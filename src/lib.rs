@@ -90,6 +90,21 @@
 //! available (a one-job batch and a direct sampler run produce bit-identical
 //! results).
 //!
+//! ## The population-batched kernel pipeline (internal layout)
+//!
+//! Since PR 5 every trajectory executes as a **staged kernel pipeline over
+//! a population-wide SoA member arena** — one population-wide launch per
+//! stage (`mutate`, `close`, `rebuild`, `score`, `metropolis`, `select`)
+//! per iteration, mirroring the paper's device execution, with lockstep
+//! CCD blocks batching the optimal-rotation inner products across members.
+//! This is an *internal* layout and execution-shape change with an
+//! **unchanged public API**: per-(member, iteration) RNG stream discipline
+//! keeps the batched pipeline bit-identical to the per-member reference
+//! implementation (which remains available as
+//! [`prelude::MoscemSampler::run_reference_with_seed`] and anchors the
+//! equivalence property tests), while running measurably faster per
+//! member-iteration — a ratio the CI perf gate tracks.
+//!
 //! ## Crates
 //!
 //! The facade re-exports the whole suite; the [`prelude`] is the curated
@@ -138,5 +153,7 @@ pub mod prelude {
         BurialScore, KnowledgeBase, KnowledgeBaseConfig, MultiScorer, Objective, ScoreScratch,
         ScoreVector, ScratchPool, NUM_OBJECTIVES,
     };
-    pub use lms_simt::{DeviceSpec, Executor, KernelKind, LaunchConfig, Profiler, TimingModel};
+    pub use lms_simt::{
+        DeviceSpec, Executor, KernelKind, KernelLaunch, LaunchConfig, Profiler, TimingModel,
+    };
 }
