@@ -24,14 +24,20 @@
 //! two paths are asserted bit-identical on every measurement, so the ratio
 //! is pure execution-shape speedup.
 //!
+//! A fifth comparison measures the **numerical health sweep** — the
+//! post-score finite-classification pass the fault-tolerant runtime runs
+//! once per staged iteration — against the cost of one batched
+//! member-iteration.  The guard is supposed to be noise (< 3% of a
+//! member-iteration); the CI gate enforces that bound absolutely.
+//!
 //! Besides the criterion groups, the harness writes `BENCH_scoring.json`
 //! at the workspace root with the measured numbers so future PRs have a
-//! recorded perf trajectory; the `pipeline` ratio is tracked by the CI
-//! perf-regression gate.
+//! recorded perf trajectory; the `pipeline` and `health_sweep` ratios are
+//! tracked by the CI perf-regression gate.
 
 use criterion::{criterion_group, Criterion};
 use lms_bench::{scaled_env_target, shared_kb};
-use lms_core::{MoscemSampler, SamplerConfig};
+use lms_core::{member_is_finite, MoscemSampler, SamplerConfig};
 use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopStructure, LoopTarget, TargetSpec, Torsions};
 use lms_scoring::{MultiScorer, ScoreScratch, ScoringFunction, VdwScore};
 use lms_simt::Executor;
@@ -543,6 +549,43 @@ fn write_bench_json() {
          speedup {pipeline_speedup:.3}x"
     );
 
+    // --- numerical health sweep vs one batched member-iteration -------
+    // The sweep body exactly as `stage_health` runs it: one
+    // finite-classification of every member's candidate lanes, on real
+    // trajectory data (final population of the run measured above).
+    let trajectory = sampler.run_with_seed(&exec, PIPELINE_SEED);
+    let population = trajectory.population.len();
+    let stride = trajectory.population[0].torsions.as_slice().len();
+    let sweep_scores: Vec<_> = trajectory.population.iter().map(|c| c.scores).collect();
+    let sweep_torsions: Vec<f64> = trajectory
+        .population
+        .iter()
+        .flat_map(|c| c.torsions.as_slice().iter().copied())
+        .collect();
+    let sweep_devs = vec![0.12f64; population];
+    let sweep_rmsds = vec![1.5f64; population];
+    let mut healthy = vec![true; population];
+    let sweep_ns = median_ns_per_eval(
+        || {
+            for i in 0..population {
+                healthy[i] = member_is_finite(
+                    &sweep_scores[i],
+                    &sweep_torsions[i * stride..(i + 1) * stride],
+                    sweep_devs[i],
+                    sweep_rmsds[i],
+                );
+            }
+            black_box(&healthy);
+        },
+        10_000,
+        9,
+    ) / population as f64;
+    let health_overhead = sweep_ns / batched_ns;
+    println!(
+        "health_sweep pop={population}: {sweep_ns:.1} ns/member vs batched \
+         {batched_ns:.0} ns/member-iter, overhead ratio {health_overhead:.5}"
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"scoring_pipeline\",\n  \"unit\": \"ns/eval\",\n  \"results\": [\n{}\n  ],\n  \
          \"objectives\": {{\n    \"comparison\": \"MultiScorer 3 objectives vs 4 (shared-gather burial)\",\n    \
@@ -554,7 +597,10 @@ fn write_bench_json() {
          \"pipeline\": {{\n    \"comparison\": \"staged SoA-arena kernel pipeline vs per-member reference\",\n    \
          \"loop_len\": 12,\n    \"population\": {PIPELINE_POPULATION},\n    \"iterations\": {PIPELINE_ITERATIONS},\n    \
          \"per_member_ns_per_member_iter\": {per_member_ns:.1},\n    \
-         \"batched_ns_per_member_iter\": {batched_ns:.1},\n    \"speedup\": {pipeline_speedup:.3}\n  }}\n}}\n",
+         \"batched_ns_per_member_iter\": {batched_ns:.1},\n    \"speedup\": {pipeline_speedup:.3}\n  }},\n  \
+         \"health_sweep\": {{\n    \"comparison\": \"post-score finite-classification sweep vs one batched member-iteration\",\n    \
+         \"population\": {population},\n    \"sweep_ns_per_member\": {sweep_ns:.2},\n    \
+         \"batched_ns_per_member_iter\": {batched_ns:.1},\n    \"overhead_ratio\": {health_overhead:.5}\n  }}\n}}\n",
         entries.join(",\n")
     );
     // The bench runs from the crate directory under cargo; walk up to the

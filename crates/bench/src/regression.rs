@@ -282,6 +282,11 @@ impl fmt::Display for Metric {
 /// physically possible).
 pub const BATCH_OVERHEAD_FLOOR: f64 = 0.70;
 
+/// Absolute ceiling on the numerical-health sweep's cost relative to one
+/// batched member-iteration: the guard runs every staged iteration, so it
+/// must stay noise (< 3%) regardless of runner speed.
+pub const HEALTH_SWEEP_OVERHEAD_BOUND: f64 = 0.03;
+
 /// Extract the tracked metrics from the three artifact pairs.  Each
 /// argument is the parsed JSON of the corresponding file.
 pub fn collect_metrics(
@@ -345,6 +350,23 @@ pub fn collect_metrics(
             fresh: f,
             direction: Direction::HigherIsBetter,
             absolute: false,
+        });
+    }
+
+    // scoring_pipeline: numerical-health-sweep overhead per batched
+    // member-iteration.  Gated against the absolute 3% bound (the ratio
+    // is measured in-process, so no baseline is needed); optional until
+    // the artifacts carry the section.
+    if let Some(f) = scoring_fresh
+        .get("health_sweep")
+        .and_then(|o| o.num("overhead_ratio"))
+    {
+        metrics.push(Metric {
+            name: format!("health sweep overhead (bound {HEALTH_SWEEP_OVERHEAD_BOUND})"),
+            baseline: HEALTH_SWEEP_OVERHEAD_BOUND,
+            fresh: f,
+            direction: Direction::LowerIsBetter,
+            absolute: true,
         });
     }
 
@@ -636,6 +658,46 @@ mod tests {
         .unwrap();
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].name.contains("cost ratio"));
+    }
+
+    #[test]
+    fn health_sweep_overhead_is_gated_against_the_absolute_bound() {
+        // A fresh artifact carrying the health_sweep section adds one
+        // metric; within the 3% bound it passes…
+        let with_sweep = SCORING.replace(
+            "\"pipeline\": {",
+            "\"health_sweep\": {\"population\": 32, \"sweep_ns_per_member\": 120.0,
+                   \"batched_ns_per_member_iter\": 400000.0, \"overhead_ratio\": 0.0003},
+      \"pipeline\": {",
+        );
+        assert_ne!(with_sweep, SCORING, "fixture surgery failed");
+        let (metrics, regressions) = gate(
+            &j(SCORING),
+            &j(&with_sweep),
+            &j(CCD),
+            &j(CCD),
+            &j(BATCH_1CORE),
+            &j(BATCH_1CORE),
+            0.25,
+        )
+        .unwrap();
+        assert_eq!(metrics.len(), 10);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        // …and past the bound it fails, no matter the tolerance: the
+        // bound is absolute, so even a huge tolerance cannot excuse it.
+        let blown = with_sweep.replace("\"overhead_ratio\": 0.0003", "\"overhead_ratio\": 0.05");
+        let (_, regressions) = gate(
+            &j(SCORING),
+            &j(&blown),
+            &j(CCD),
+            &j(CCD),
+            &j(BATCH_1CORE),
+            &j(BATCH_1CORE),
+            5.0,
+        )
+        .unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].name.contains("health sweep"));
     }
 
     #[test]

@@ -71,6 +71,18 @@ impl CcdBatchScratch {
         &self.results
     }
 
+    /// How many of the first `lanes` results of the most recent batch
+    /// failed to converge (final deviation above the CCD tolerance).  The
+    /// sampler's stall guard aggregates this per iteration: a long streak
+    /// of all-lanes non-convergence is what `Error::Stalled` reports.
+    pub fn non_converged(&self, lanes: usize) -> usize {
+        self.results
+            .iter()
+            .take(lanes)
+            .filter(|r| !r.converged)
+            .count()
+    }
+
     fn reset(&mut self, lanes: usize) {
         self.deviation.clear();
         self.deviation.resize(lanes, 0.0);
@@ -426,6 +438,7 @@ mod tests {
         assert!(scratch.results()[0].converged);
         assert_eq!(scratch.results()[0].sweeps, 0);
         assert_eq!(scratch.results()[0].rotations_applied, 0);
+        assert_eq!(scratch.non_converged(1), 0);
         assert_eq!(t, target.native_torsions);
     }
 }

@@ -74,6 +74,11 @@ pub struct PopulationArena {
     pub(crate) rmsd: Vec<f64>,
     pub(crate) cand_rmsd: Vec<f64>,
     pub(crate) accepted: Vec<bool>,
+    /// Per-member convergence flag of the most recent close stage (the
+    /// CCD non-convergence readback behind the stall guard).
+    pub(crate) cand_converged: Vec<bool>,
+    /// Per-member verdict of the most recent numerical health sweep.
+    pub(crate) healthy: Vec<bool>,
     pub(crate) proposed_moves: Vec<usize>,
     pub(crate) accepted_moves: Vec<usize>,
     pub(crate) ccd_start: Vec<usize>,
@@ -148,6 +153,8 @@ impl PopulationArena {
             rmsd: vec![f64::INFINITY; n_members],
             cand_rmsd: vec![f64::INFINITY; n_members],
             accepted: vec![false; n_members],
+            cand_converged: vec![false; n_members],
+            healthy: vec![true; n_members],
             proposed_moves: vec![0; n_members],
             accepted_moves: vec![0; n_members],
             ccd_start: vec![0; n_members],

@@ -10,6 +10,82 @@ use crate::error::ConfigError;
 use crate::mutation::MutationConfig;
 use lms_closure::CcdConfig;
 use lms_scoring::{Objective, NUM_OBJECTIVES};
+use std::time::Duration;
+
+/// Per-job execution budgets, enforced at iteration boundaries (the same
+/// checkpoints as cooperative cancellation through
+/// [`RunControls`](crate::RunControls)).
+///
+/// All limits default to `None` (unlimited), so existing configurations
+/// are unchanged.  Violations surface as typed errors:
+/// [`Error::DeadlineExceeded`](crate::Error) for the wall-clock deadline,
+/// [`Error::Stalled`](crate::Error) for the closure-stall streak, and
+/// [`ConfigError::IterationBudgetExceeded`](crate::ConfigError) at
+/// validation time for the iteration budget (trajectory length is fixed up
+/// front, so an over-budget config is a config error, not a runtime one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct JobLimits {
+    /// Wall-clock budget for the whole run (initialisation included);
+    /// checked at iteration boundaries, so one iteration may overshoot it.
+    pub deadline: Option<Duration>,
+    /// Upper bound on `iterations`, enforced by
+    /// [`SamplerConfig::validate`].
+    pub max_iterations: Option<usize>,
+    /// Maximum tolerated streak of consecutive iterations in which *no*
+    /// member's CCD closure converged (the sampler is burning its budget
+    /// without producing candidate loops).
+    pub max_closure_stall: Option<usize>,
+}
+
+impl JobLimits {
+    /// No limits — the default.
+    pub fn none() -> JobLimits {
+        JobLimits::default()
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> JobLimits {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the iteration budget.
+    pub fn with_max_iterations(mut self, budget: usize) -> JobLimits {
+        self.max_iterations = Some(budget);
+        self
+    }
+
+    /// Set the closure-stall streak limit.
+    pub fn with_max_closure_stall(mut self, streak: usize) -> JobLimits {
+        self.max_closure_stall = Some(streak);
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.max_iterations.is_some() || self.max_closure_stall.is_some()
+    }
+}
+
+/// What the numerical health sweep does when it finds a non-finite value
+/// in a member's candidate lanes (scores, torsions, closure deviation or
+/// observables) after the scoring stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumericGuard {
+    /// Fail the job with [`Error::NumericalFault`](crate::Error) naming
+    /// the member and objective — the default: poison never propagates
+    /// silently, and the supervisor may retry the job.
+    #[default]
+    Fail,
+    /// Quarantine the poisoned member and keep sampling: during the run
+    /// the candidate is force-rejected (the member re-seeds from its own
+    /// archived conformation — its slot in the Pareto-ranked population),
+    /// and a poisoned *initial* member is re-seeded from the first healthy
+    /// member of the initial front.  A fully-poisoned population still
+    /// fails the job.
+    Quarantine,
+}
 
 /// How the initial population's torsions are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +179,12 @@ pub struct SamplerConfig {
     /// Decoy structural-distinctness threshold in degrees (the paper uses
     /// a maximum torsion deviation of at least 30°).
     pub distinct_threshold_deg: f64,
+    /// Per-job execution budgets (deadline, iteration budget, closure
+    /// stall streak); unlimited by default.
+    pub limits: JobLimits,
+    /// Policy of the post-score numerical health sweep; fail-fast by
+    /// default.
+    pub numeric_guard: NumericGuard,
 }
 
 impl Default for SamplerConfig {
@@ -130,6 +212,8 @@ impl Default for SamplerConfig {
             init_mode: InitMode::Ramachandran,
             snapshot_iterations: Vec::new(),
             distinct_threshold_deg: 30.0,
+            limits: JobLimits::none(),
+            numeric_guard: NumericGuard::Fail,
         }
     }
 }
@@ -262,6 +346,22 @@ impl SamplerConfig {
             if depends_on_burial {
                 return Err(ConfigError::BurialObjectiveDisabled);
             }
+        }
+        if let Some(deadline) = self.limits.deadline {
+            if deadline.is_zero() {
+                return Err(ConfigError::ZeroDeadline);
+            }
+        }
+        if let Some(budget) = self.limits.max_iterations {
+            if self.iterations > budget {
+                return Err(ConfigError::IterationBudgetExceeded {
+                    iterations: self.iterations,
+                    budget,
+                });
+            }
+        }
+        if self.limits.max_closure_stall == Some(0) {
+            return Err(ConfigError::ZeroStallLimit);
         }
         Ok(())
     }
@@ -411,6 +511,19 @@ impl SamplerConfigBuilder {
         self
     }
 
+    /// Per-job execution budgets (deadline / iteration budget / closure
+    /// stall streak).
+    pub fn limits(mut self, limits: JobLimits) -> Self {
+        self.cfg.limits = limits;
+        self
+    }
+
+    /// Policy of the post-score numerical health sweep.
+    pub fn numeric_guard(mut self, guard: NumericGuard) -> Self {
+        self.cfg.numeric_guard = guard;
+        self
+    }
+
     /// Validate and return the finished configuration.
     pub fn build(self) -> Result<SamplerConfig, ConfigError> {
         self.cfg.validate()?;
@@ -550,6 +663,51 @@ mod tests {
         assert!(c.burial_objective);
         let back = c.to_builder().burial_objective(false).build().unwrap();
         assert!(!back.burial_objective);
+    }
+
+    #[test]
+    fn job_limits_validate_and_roundtrip() {
+        use crate::error::ConfigError as E;
+        assert!(!JobLimits::none().is_limited());
+        let limits = JobLimits::none()
+            .with_deadline(Duration::from_secs(5))
+            .with_max_iterations(100)
+            .with_max_closure_stall(8);
+        assert!(limits.is_limited());
+        let cfg = SamplerConfig::builder()
+            .iterations(50)
+            .limits(limits)
+            .numeric_guard(NumericGuard::Quarantine)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.limits, limits);
+        assert_eq!(cfg.numeric_guard, NumericGuard::Quarantine);
+
+        assert_eq!(
+            SamplerConfig::builder()
+                .limits(JobLimits::none().with_deadline(Duration::ZERO))
+                .build()
+                .unwrap_err(),
+            E::ZeroDeadline
+        );
+        assert_eq!(
+            SamplerConfig::builder()
+                .iterations(10)
+                .limits(JobLimits::none().with_max_iterations(5))
+                .build()
+                .unwrap_err(),
+            E::IterationBudgetExceeded {
+                iterations: 10,
+                budget: 5,
+            }
+        );
+        assert_eq!(
+            SamplerConfig::builder()
+                .limits(JobLimits::none().with_max_closure_stall(0))
+                .build()
+                .unwrap_err(),
+            E::ZeroStallLimit
+        );
     }
 
     #[test]

@@ -38,6 +38,85 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// The supervisor's bounded-retry policy for failures the
+/// [failure taxonomy](Error) classifies as retryable (panics, stalls,
+/// numerical faults).  Because every trajectory derives all randomness from
+/// its seed, a retry re-runs the job with the **same seed**: a transient
+/// fault (an injected one, a scheduling hiccup) yields a result
+/// bit-identical to an unfaulted run, while a deterministic fault fails the
+/// same way until the attempt budget is spent.
+///
+/// The default policy performs no retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (minimum 1).
+    pub max_attempts: usize,
+    /// Backoff slept before the first retry; doubled per further retry.
+    pub base_backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::no_retries()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure is final (the default).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Retry retryable failures up to `max_attempts` total attempts with a
+    /// small default backoff (10 ms doubling, capped at 250 ms).
+    pub fn with_max_attempts(max_attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
+
+    /// Override the backoff schedule: `base` before the first retry,
+    /// doubling per further retry, capped at `max`.
+    #[must_use]
+    pub fn backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max.max(base);
+        self
+    }
+
+    /// The backoff slept after the `attempt`-th failed attempt (1-based):
+    /// `base_backoff × 2^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: usize) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16) as u32;
+        self.base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+    }
+}
+
+/// One failed attempt in a job's supervisor trace (see
+/// [`JobResult::attempts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptFailure {
+    /// Which attempt failed (1-based; attempt 1 is the initial run).
+    pub attempt: usize,
+    /// The typed error that ended the attempt.
+    pub error: Error,
+    /// Backoff slept before the retry that followed, or zero when no
+    /// retry followed (the failure was terminal or the budget was spent).
+    pub backoff: Duration,
+}
 
 /// Engine-unique identifier of one submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -70,6 +149,13 @@ pub struct Job {
     pub config: SamplerConfig,
     /// The trajectory seed (defaults to `config.seed`).
     pub seed: u64,
+    /// Deterministic fault plan injected into this job's kernel launches
+    /// (robustness testing only).  One session spans the whole job,
+    /// **including retries**: launch counters keep advancing across
+    /// attempts, so a fault keyed to an early launch index behaves like a
+    /// transient and a same-seed retry runs past it cleanly.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<lms_simt::FaultPlan>,
 }
 
 impl Job {
@@ -80,6 +166,8 @@ impl Job {
             seed: None,
             config: SamplerConfig::default(),
             target,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
@@ -93,6 +181,8 @@ pub struct JobBuilder {
     seed: Option<u64>,
     config: SamplerConfig,
     target: LoopTarget,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<lms_simt::FaultPlan>,
 }
 
 impl JobBuilder {
@@ -115,6 +205,14 @@ impl JobBuilder {
         self
     }
 
+    /// Arm a deterministic fault plan on this job's kernel launches (see
+    /// [`Job::fault_plan`]).
+    #[cfg(feature = "fault-injection")]
+    pub fn fault_plan(mut self, plan: lms_simt::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Validate the configuration and return the finished job.
     pub fn build(self) -> Result<Job, ConfigError> {
         self.config.validate()?;
@@ -123,6 +221,8 @@ impl JobBuilder {
             seed: self.seed.unwrap_or(self.config.seed),
             config: self.config,
             target: self.target,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: self.fault_plan,
         })
     }
 }
@@ -201,6 +301,12 @@ pub struct JobResult {
     pub seed: u64,
     /// The trajectory, or the typed error that ended the job.
     pub outcome: Result<TrajectoryResult, Error>,
+    /// The supervisor's attempt trace: one entry per **failed** attempt,
+    /// in order.  Empty when the job succeeded first try; when the job
+    /// succeeded after retries, these are the transient failures the
+    /// same-seed reruns recovered from; when `outcome` is an error, the
+    /// last entry is that final failure (with zero backoff).
+    pub attempts: Vec<AttemptFailure>,
 }
 
 impl JobResult {
@@ -244,6 +350,7 @@ struct EngineInner {
     timing: TimingModel,
     scratch: ScratchPool,
     concurrency: usize,
+    retry: RetryPolicy,
     next_id: AtomicU64,
 }
 
@@ -255,6 +362,7 @@ pub struct EngineBuilder {
     executor: Executor,
     timing: TimingModel,
     concurrency: usize,
+    retry: RetryPolicy,
 }
 
 impl EngineBuilder {
@@ -279,6 +387,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Set the supervisor's [`RetryPolicy`] for retryable failures
+    /// (default: no retries).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Validate and build the engine.
     pub fn build(self) -> Result<LoopModelingEngine, ConfigError> {
         if self.concurrency == 0 {
@@ -291,6 +406,7 @@ impl EngineBuilder {
                 timing: self.timing,
                 scratch: ScratchPool::new(),
                 concurrency: self.concurrency,
+                retry: self.retry,
                 next_id: AtomicU64::new(0),
             }),
         })
@@ -316,6 +432,7 @@ impl LoopModelingEngine {
             concurrency: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            retry: RetryPolicy::no_retries(),
         }
     }
 
@@ -332,6 +449,11 @@ impl LoopModelingEngine {
     /// Maximum number of jobs running at once.
     pub fn concurrency(&self) -> usize {
         self.inner.concurrency
+    }
+
+    /// The supervisor's retry policy for retryable failures.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry
     }
 
     /// The engine-owned pool of scoring workspaces jobs lease from.
@@ -353,6 +475,12 @@ impl LoopModelingEngine {
     /// worker threads pull jobs from the queue, each running its population
     /// kernels on a `1/workers` split of the engine's executor; results are
     /// delivered through the handle in completion order.
+    ///
+    /// **Drain semantics**: dropping the handle cancels jobs still queued
+    /// (workers skip them) while jobs already running finish undisturbed —
+    /// their results are discarded.  Use [`BatchHandle::cancel_all`] first
+    /// to also stop running jobs at their next iteration boundary, or
+    /// [`BatchHandle::join`] to wait for everything.
     pub fn submit(&self, jobs: impl IntoIterator<Item = Job>) -> BatchHandle {
         let jobs: Vec<Job> = jobs.into_iter().collect();
         let tickets: Vec<Arc<Ticket>> = jobs
@@ -390,8 +518,9 @@ impl LoopModelingEngine {
                 let next = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
                 let Some((ticket, job)) = next else { break };
                 let result = run_one(&inner, &executor, &ticket, job);
-                // A dropped handle just discards results; remaining jobs
-                // still run to completion.
+                // A dropped handle discards results (its `Drop` cancelled
+                // the still-queued jobs, which workers observe through the
+                // tickets before starting them).
                 let _ = tx.send(result);
             });
         }
@@ -404,8 +533,11 @@ impl LoopModelingEngine {
     }
 }
 
-/// Run one job on a worker, honouring cancellation and reporting progress
-/// through its ticket.
+/// Run one job on a worker under the engine's supervisor: honour
+/// cancellation, report progress through the ticket, classify failures via
+/// the [failure taxonomy](Error) and re-run retryable ones with the **same
+/// seed** under the engine's bounded [`RetryPolicy`], recording an attempt
+/// trace in the [`JobResult`].
 fn run_one(
     inner: &Arc<EngineInner>,
     executor: &Executor,
@@ -422,30 +554,76 @@ fn run_one(
             outcome: Err(Error::Cancelled {
                 completed_iterations: 0,
             }),
+            attempts: Vec::new(),
         };
     }
     ticket.set_status(JobStatus::Running);
 
-    let outcome = match MoscemSampler::try_new(job.target, Arc::clone(&inner.kb), job.config) {
-        Err(e) => Err(Error::Config(e)),
-        Ok(sampler) => {
-            let sampler = sampler.with_timing_model(inner.timing.clone());
-            let report = |done: usize, _total: usize| {
-                ticket.iterations_done.store(done, Ordering::Relaxed);
-            };
-            let controls = RunControls::new()
-                .cancel_flag(&ticket.cancel)
-                .progress(&report)
-                .scratch_pool(&inner.scratch);
-            // A panicking job must not take the whole batch down; its
-            // leased scratches are lost, which the pool absorbs.
-            match catch_unwind(AssertUnwindSafe(|| {
-                sampler.run_controlled(executor, seed, &controls)
-            })) {
-                Ok(res) => res,
-                Err(payload) => Err(Error::JobPanicked {
-                    detail: panic_detail(payload),
-                }),
+    // One fault session spans the whole job *including retries*: launch
+    // counters keep advancing across attempts, so an injected fault at an
+    // early launch index behaves like a transient.
+    #[cfg(feature = "fault-injection")]
+    let _fault_guard = job
+        .fault_plan
+        .clone()
+        .map(|plan| lms_simt::fault::install(lms_simt::fault::FaultSession::begin(plan)));
+
+    let policy = inner.retry;
+    let mut attempts: Vec<AttemptFailure> = Vec::new();
+    let outcome = loop {
+        let attempt_outcome = match MoscemSampler::try_new(
+            job.target.clone(),
+            Arc::clone(&inner.kb),
+            job.config.clone(),
+        ) {
+            Err(e) => Err(Error::Config(e)),
+            Ok(sampler) => {
+                let sampler = sampler.with_timing_model(inner.timing.clone());
+                let report = |done: usize, _total: usize| {
+                    ticket.iterations_done.store(done, Ordering::Relaxed);
+                };
+                let controls = RunControls::new()
+                    .cancel_flag(&ticket.cancel)
+                    .progress(&report)
+                    .scratch_pool(&inner.scratch);
+                // A panicking job must not take the whole batch down; its
+                // leased scratches are lost, which the pool absorbs.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    sampler.run_controlled(executor, seed, &controls)
+                })) {
+                    Ok(res) => res,
+                    Err(payload) => Err(Error::JobPanicked {
+                        label: ticket.label.clone(),
+                        detail: panic_detail(payload),
+                    }),
+                }
+            }
+        };
+        match attempt_outcome {
+            Ok(res) => break Ok(res),
+            Err(e) => {
+                let attempt = attempts.len() + 1;
+                let retry = e.is_retryable()
+                    && attempt < policy.max_attempts.max(1)
+                    && !ticket.cancel.load(Ordering::Relaxed);
+                if !retry {
+                    attempts.push(AttemptFailure {
+                        attempt,
+                        error: e.clone(),
+                        backoff: Duration::ZERO,
+                    });
+                    break Err(e);
+                }
+                let backoff = policy.backoff_for(attempt);
+                attempts.push(AttemptFailure {
+                    attempt,
+                    error: e,
+                    backoff,
+                });
+                ticket.iterations_done.store(0, Ordering::Relaxed);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
             }
         }
     };
@@ -460,15 +638,20 @@ fn run_one(
         label: ticket.label.clone(),
         seed,
         outcome,
+        attempts,
     }
 }
 
-/// Render a panic payload as text.
+/// Render a panic payload as text.  `panic!` carries `&str` or `String`;
+/// `std::panic::panic_any` callers sometimes box, so `Box<String>` is
+/// unwrapped too before giving up on the payload.
 fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(s) = payload.downcast_ref::<Box<String>>() {
+        (**s).clone()
     } else {
         "non-string panic payload".to_string()
     }
@@ -478,8 +661,13 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// Iterate it (or call [`BatchHandle::next_result`]) to receive
 /// [`JobResult`]s in completion order; [`BatchHandle::join`] drains
-/// everything and restores submission order.  Dropping the handle does not
-/// cancel the batch — use [`BatchHandle::cancel_all`] for that.
+/// everything and restores submission order.
+///
+/// Dropping the handle performs a **graceful drain**: jobs still queued
+/// are cancelled (their workers skip them), jobs already running finish
+/// their trajectories undisturbed and their results are discarded.  Use
+/// [`BatchHandle::cancel_all`] before dropping to also stop running jobs
+/// at their next iteration boundary.
 #[derive(Debug)]
 #[must_use = "dropping the handle discards the batch's results"]
 pub struct BatchHandle {
@@ -577,6 +765,22 @@ impl Iterator for BatchHandle {
     /// Streams results in completion order.
     fn next(&mut self) -> Option<JobResult> {
         self.next_result()
+    }
+}
+
+impl Drop for BatchHandle {
+    /// Graceful drain: nobody will look at this batch's results any more,
+    /// so jobs still queued are cancelled and their workers skip them.
+    /// Jobs already running are left to finish undisturbed (cancelling
+    /// them mid-flight is [`BatchHandle::cancel_all`]'s job, an explicit
+    /// decision).  After [`BatchHandle::join`] this is a no-op — every
+    /// ticket is terminal by then.
+    fn drop(&mut self) {
+        for ticket in &self.tickets {
+            if ticket.status() == JobStatus::Queued {
+                ticket.cancel.store(true, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -692,6 +896,53 @@ mod tests {
         let results: Vec<JobResult> = handle.collect();
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.outcome.is_ok()));
+        // A clean first-try success carries an empty attempt trace.
+        assert!(results.iter().all(|r| r.attempts.is_empty()));
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_exponential_and_capped() {
+        let p = RetryPolicy::with_max_attempts(5)
+            .backoff(Duration::from_millis(10), Duration::from_millis(60));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(40));
+        assert_eq!(p.backoff_for(4), Duration::from_millis(60));
+        assert_eq!(p.backoff_for(60), Duration::from_millis(60));
+        let none = RetryPolicy::no_retries();
+        assert_eq!(none.max_attempts, 1);
+        assert_eq!(none.backoff_for(1), Duration::ZERO);
+        assert_eq!(RetryPolicy::default(), none);
+        // `backoff` keeps the cap at least the base.
+        let swapped =
+            RetryPolicy::with_max_attempts(2).backoff(Duration::from_millis(50), Duration::ZERO);
+        assert_eq!(swapped.max_backoff, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn dropping_the_handle_cancels_queued_jobs_but_not_running_ones() {
+        let engine = LoopModelingEngine::builder(fast_kb())
+            .concurrency(1)
+            .build()
+            .unwrap();
+        // With one worker the second job is still queued when the handle
+        // is dropped right after submission.
+        let handle = engine.submit(vec![job_for("1cex", 1), job_for("5pti", 2)]);
+        let first = Arc::clone(&handle.tickets[0]);
+        let second = Arc::clone(&handle.tickets[1]);
+        drop(handle);
+        // The worker drains the queue: the first job runs to completion
+        // (drop does not shoot down running jobs), the second is skipped.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while !(first.status().is_terminal() && second.status().is_terminal()) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers did not drain the batch"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(first.status(), JobStatus::Completed);
+        assert_eq!(second.status(), JobStatus::Cancelled);
     }
 
     #[test]

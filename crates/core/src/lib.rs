@@ -56,21 +56,25 @@ pub mod convergence;
 pub mod decoyset;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod mutation;
 pub mod pareto;
 pub mod sampler;
 
 pub use annealing::{TemperatureController, TemperatureSchedule};
 pub use arena::{PopulationArena, CCD_BLOCK_WIDTH};
-pub use config::{InitMode, ObjectiveMode, SamplerConfig, SamplerConfigBuilder};
+pub use config::{
+    InitMode, JobLimits, NumericGuard, ObjectiveMode, SamplerConfig, SamplerConfigBuilder,
+};
 pub use conformation::Conformation;
 pub use convergence::{autocorrelation, effective_sample_size, gelman_rubin, FrontProgress};
 pub use decoyset::{Decoy, DecoySet};
 pub use engine::{
-    BatchHandle, EngineBuilder, Job, JobBuilder, JobId, JobProgress, JobResult, JobStatus,
-    LoopModelingEngine,
+    AttemptFailure, BatchHandle, EngineBuilder, Job, JobBuilder, JobId, JobProgress, JobResult,
+    JobStatus, LoopModelingEngine, RetryPolicy,
 };
 pub use error::{ConfigError, Error};
+pub use health::{member_is_finite, member_poison, PoisonedLane};
 pub use mutation::{MutationConfig, MutationOutcome, Mutator};
 pub use pareto::{
     count_non_dominated, crowding_distances, fitness_against, fitness_assignment,

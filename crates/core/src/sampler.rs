@@ -19,7 +19,7 @@
 //! the paper's modeled GPU-vs-CPU timings alongside the measured host times.
 
 use crate::arena::{MemberSlot, PopulationArena, CCD_BLOCK_WIDTH};
-use crate::config::{InitMode, ObjectiveMode, SamplerConfig};
+use crate::config::{InitMode, NumericGuard, ObjectiveMode, SamplerConfig};
 use crate::conformation::Conformation;
 use crate::decoyset::DecoySet;
 use crate::error::{ConfigError, Error};
@@ -294,6 +294,12 @@ struct Member {
     scoring_us: f64,
     ccd_rotations: f64,
     accepted_last: bool,
+    /// Whether the last close of this member's candidate converged (the
+    /// CCD non-convergence readback behind the stall guard).
+    converged_last: bool,
+    /// The first poisoned candidate lane the last evolution step saw, if
+    /// any (feeds the [`NumericGuard`] verdict on the host).
+    poison: Option<crate::health::PoisonedLane>,
 }
 
 impl Member {
@@ -308,6 +314,8 @@ impl Member {
             scoring_us: 0.0,
             ccd_rotations: 0.0,
             accepted_last: false,
+            converged_last: false,
+            poison: None,
         }
     }
 }
@@ -375,9 +383,17 @@ impl MoscemSampler {
 
     /// Run one sampling trajectory with an explicit seed (used when
     /// repeating trajectories to fill a decoy set).
+    ///
+    /// # Panics
+    ///
+    /// With default [`JobLimits`](crate::JobLimits) and
+    /// [`NumericGuard`] settings this cannot fail;
+    /// when the config sets limits or the guard aborts the run, the typed
+    /// error surfaces as a panic here — use
+    /// [`MoscemSampler::run_controlled`] to handle those errors.
     pub fn run_with_seed(&self, executor: &Executor, seed: u64) -> TrajectoryResult {
         self.run_controlled(executor, seed, &RunControls::new())
-            .expect("a run without a cancel flag cannot fail")
+            .expect("a run without controls can only fail when JobLimits or NumericGuard abort it")
     }
 
     /// Run one sampling trajectory through the **per-member reference
@@ -393,7 +409,7 @@ impl MoscemSampler {
     /// implementation.
     pub fn run_reference_with_seed(&self, executor: &Executor, seed: u64) -> TrajectoryResult {
         self.run_reference_controlled(executor, seed, &RunControls::new())
-            .expect("a run without a cancel flag cannot fail")
+            .expect("a run without controls can only fail when JobLimits or NumericGuard abort it")
     }
 
     /// [`MoscemSampler::run_reference_with_seed`] under cooperative
@@ -421,6 +437,9 @@ impl MoscemSampler {
         let spec = &self.timing.device;
 
         let wall_start = Instant::now();
+        let limits = cfg.limits;
+        let deadline = limits.deadline.map(|d| (wall_start + d, d));
+        let mut stall_streak = 0usize;
         let mut component = ComponentTimes::default();
         let mut modeled_gpu = 0.0f64;
         let mut modeled_cpu = 0.0f64;
@@ -444,6 +463,14 @@ impl MoscemSampler {
             return Err(Error::Cancelled {
                 completed_iterations: 0,
             });
+        }
+        if let Some((at, limit)) = deadline {
+            if Instant::now() >= at {
+                return Err(Error::DeadlineExceeded {
+                    limit,
+                    completed_iterations: 0,
+                });
+            }
         }
         // Warm the per-target environment-candidate cache on the host thread
         // before the population kernels fan out.
@@ -526,6 +553,14 @@ impl MoscemSampler {
             &mut modeled_cpu,
         );
 
+        // Initialisation numerical health: the same sweep-and-verdict the
+        // staged pipeline runs as its `[HealthSweep]` stage, applied to the
+        // members' freshly scored state.
+        if let Err(e) = self.reference_init_health(&mut members) {
+            Self::return_scratches(&mut members, controls);
+            return Err(e);
+        }
+
         // --- Initial fitness + snapshot 0 ----------------------------------
         let mut temperature_controller = cfg.effective_temperature_schedule().controller();
         let mut temperature = temperature_controller.temperature();
@@ -558,6 +593,15 @@ impl MoscemSampler {
                 return Err(Error::Cancelled {
                     completed_iterations: iter - 1,
                 });
+            }
+            if let Some((at, limit)) = deadline {
+                if Instant::now() >= at {
+                    Self::return_scratches(&mut members, controls);
+                    return Err(Error::DeadlineExceeded {
+                        limit,
+                        completed_iterations: iter - 1,
+                    });
+                }
             }
             let other_start = Instant::now();
             // Sorting (best fitness first) and stride partition into
@@ -620,10 +664,21 @@ impl MoscemSampler {
                 let cand_rmsd = self.target.rmsd_to_native(&m.structure);
                 let scoring_us = t_score.elapsed().as_secs_f64() * 1e6;
 
+                // Numerical health: a non-finite candidate lane never
+                // reaches the Metropolis draw (NaN compares false against
+                // the closure bound, so the gate alone would let it
+                // through), mirroring the staged pipeline's post-score
+                // health sweep.
+                let finite = crate::health::member_is_finite(
+                    &cand_scores,
+                    m.cand.as_slice(),
+                    ccd.final_deviation,
+                    cand_rmsd,
+                );
                 // The loop-closure condition: candidates that CCD could not
                 // bring back to the anchor are rejected outright (an open
                 // loop scores deceptively well by drifting off the protein).
-                let accept = if ccd.final_deviation > max_closure {
+                let accept = if !finite || ccd.final_deviation > max_closure {
                     false
                 } else {
                     let reference = &complex_scores[complex_of[i]];
@@ -649,7 +704,41 @@ impl MoscemSampler {
                 m.ccd_us = ccd_us;
                 m.scoring_us = scoring_us;
                 m.ccd_rotations = ccd.rotations_applied as f64;
+                m.converged_last = ccd.converged;
+                m.poison = if finite {
+                    None
+                } else {
+                    crate::health::member_poison(
+                        &cand_scores,
+                        m.cand.as_slice(),
+                        ccd.final_deviation,
+                        cand_rmsd,
+                    )
+                };
             });
+            // Numerical-health verdict and the closure stall guard, on the
+            // flags the evolution kernel recorded.
+            if members.iter().any(|m| m.poison.is_some()) {
+                if let Err(e) = self.reference_poison_verdict(&members, iter) {
+                    Self::return_scratches(&mut members, controls);
+                    return Err(e);
+                }
+            }
+            if let Some(limit) = limits.max_closure_stall {
+                if members.iter().any(|m| m.converged_last) {
+                    stall_streak = 0;
+                } else {
+                    stall_streak += 1;
+                    if stall_streak >= limit {
+                        Self::return_scratches(&mut members, controls);
+                        return Err(Error::Stalled {
+                            streak: stall_streak,
+                            limit,
+                            completed_iterations: iter - 1,
+                        });
+                    }
+                }
+            }
             self.account_population_kernels(
                 &members,
                 &work,
@@ -823,6 +912,9 @@ impl MoscemSampler {
         let spec = &self.timing.device;
 
         let wall_start = Instant::now();
+        let limits = cfg.limits;
+        let deadline = limits.deadline.map(|d| (wall_start + d, d));
+        let mut stall_streak = 0usize;
         let mut component = ComponentTimes::default();
         let mut modeled_gpu = 0.0f64;
         let mut modeled_cpu = 0.0f64;
@@ -844,6 +936,14 @@ impl MoscemSampler {
             return Err(Error::Cancelled {
                 completed_iterations: 0,
             });
+        }
+        if let Some((at, limit)) = deadline {
+            if Instant::now() >= at {
+                return Err(Error::DeadlineExceeded {
+                    limit,
+                    completed_iterations: 0,
+                });
+            }
         }
         // Warm the per-target environment-candidate cache on the host thread
         // before the population kernels fan out, then allocate the arena —
@@ -890,6 +990,10 @@ impl MoscemSampler {
                         *rng = init_factory.stream(i as u64, 0);
                     }
                     sample_initial_torsions(init_mode, &classes, &rama, &mut slot.cand, rng);
+                    #[cfg(feature = "fault-injection")]
+                    if lms_simt::fault::take_nan() {
+                        slot.cand.set_angle(0, f64::NAN);
+                    }
                 });
                 // The reference times redraw sampling inside its CCD span;
                 // mirror that attribution.
@@ -931,6 +1035,12 @@ impl MoscemSampler {
             &mut modeled_gpu,
             &mut modeled_cpu,
         );
+        // Numerical health sweep over the freshly scored candidates before
+        // they become the population.
+        if let Err(e) = self.stage_health(executor, &mut arena, 0, &mut component) {
+            arena.release_scratches(controls.scratch_pool);
+            return Err(e);
+        }
         // Initialization writes the population: the closed, scored
         // candidates become the members' current state.
         arena.torsions.copy_from_slice(&arena.cand_torsions);
@@ -974,6 +1084,15 @@ impl MoscemSampler {
                 return Err(Error::Cancelled {
                     completed_iterations: iter - 1,
                 });
+            }
+            if let Some((at, limit)) = deadline {
+                if Instant::now() >= at {
+                    arena.release_scratches(controls.scratch_pool);
+                    return Err(Error::DeadlineExceeded {
+                        limit,
+                        completed_iterations: iter - 1,
+                    });
+                }
             }
             let other_start = Instant::now();
             // Sorting (best fitness first) and stride partition into
@@ -1020,6 +1139,10 @@ impl MoscemSampler {
                         &mut slot.mut_indices,
                     );
                     *unsafe { starts.item_mut(i) } = start;
+                    #[cfg(feature = "fault-injection")]
+                    if lms_simt::fault::take_nan() {
+                        slot.cand.set_angle(0, f64::NAN);
+                    }
                 });
                 component.other_us += mutate.host_us();
                 self.record_kernel_launch(
@@ -1050,6 +1173,24 @@ impl MoscemSampler {
                 &mut modeled_gpu,
                 &mut modeled_cpu,
             );
+            // Closure stall guard: a streak of iterations in which not a
+            // single member's CCD converged means the sampler is burning
+            // its budget without making progress.
+            if let Some(limit) = limits.max_closure_stall {
+                if arena.cand_converged.iter().any(|&c| c) {
+                    stall_streak = 0;
+                } else {
+                    stall_streak += 1;
+                    if stall_streak >= limit {
+                        arena.release_scratches(controls.scratch_pool);
+                        return Err(Error::Stalled {
+                            streak: stall_streak,
+                            limit,
+                            completed_iterations: iter - 1,
+                        });
+                    }
+                }
+            }
 
             // Stages 3 + 4 — rebuild (observable readback) and the three
             // scoring kernels, one population-wide launch each.
@@ -1063,6 +1204,15 @@ impl MoscemSampler {
                 &mut modeled_gpu,
                 &mut modeled_cpu,
             );
+
+            // Numerical health sweep: poisoned candidates are quarantined
+            // (force-rejected without touching the member's stream) or fail
+            // the job, per the configured guard policy — before the
+            // Metropolis stage can let NaN into the population.
+            if let Err(e) = self.stage_health(executor, &mut arena, iter, &mut component) {
+                arena.release_scratches(controls.scratch_pool);
+                return Err(e);
+            }
 
             // Stage 5 — Metropolis against the member's complex snapshot,
             // on the stream the mutate stage advanced.
@@ -1272,6 +1422,7 @@ impl MoscemSampler {
         let block_us = SharedLanes::new(&mut arena.block_ccd_us);
         let devs = SharedLanes::new(&mut arena.cand_closure_dev);
         let rotations = SharedLanes::new(&mut arena.ccd_rotations);
+        let converged = SharedLanes::new(&mut arena.cand_converged);
         let starts = &arena.ccd_start;
         let _ = executor.launch(KernelKind::Ccd, n_blocks, |b| {
             let t = Instant::now();
@@ -1314,12 +1465,17 @@ impl MoscemSampler {
             for (j, &i) in ids[..count].iter().enumerate() {
                 let res = scratch.results()[j];
                 *unsafe { devs.item_mut(i) } = res.final_deviation;
+                *unsafe { converged.item_mut(i) } = res.converged;
                 let r = unsafe { rotations.item_mut(i) };
                 if accumulate {
                     *r += res.rotations_applied as f64;
                 } else {
                     *r = res.rotations_applied as f64;
                 }
+            }
+            #[cfg(feature = "fault-injection")]
+            if lms_simt::fault::take_nan() {
+                *unsafe { devs.item_mut(lo) } = f64::NAN;
             }
             *unsafe { block_us.item_mut(b) } += t.elapsed().as_secs_f64() * 1e6;
         });
@@ -1358,6 +1514,10 @@ impl MoscemSampler {
                 *unsafe { rmsds.item_mut(i) } = self.target.rmsd_to_native(&slot.structure);
                 unsafe { cand_flat.lane_mut(i * stride, stride) }
                     .copy_from_slice(slot.cand.as_slice());
+                #[cfg(feature = "fault-injection")]
+                if lms_simt::fault::take_nan() {
+                    *unsafe { rmsds.item_mut(i) } = f64::NAN;
+                }
                 *unsafe { times.item_mut(i) } = t.elapsed().as_secs_f64() * 1e6;
             });
         }
@@ -1412,6 +1572,14 @@ impl MoscemSampler {
                                 .triplet_pass(&self.target, structure, cand, scratch);
                         }
                         _ => unreachable!("score stage launches only Eval kernels"),
+                    }
+                    #[cfg(feature = "fault-injection")]
+                    if lms_simt::fault::take_nan() {
+                        match kind {
+                            KernelKind::EvalVdw => a[0] = f64::NAN,
+                            KernelKind::EvalDist => a[1] = f64::NAN,
+                            _ => a[2] = f64::NAN,
+                        }
                     }
                     *sv = ScoreVector::from_array(a);
                     *unsafe { times.item_mut(i) } = t.elapsed().as_secs_f64() * 1e6;
@@ -1519,6 +1687,181 @@ impl MoscemSampler {
             modeled_gpu,
             modeled_cpu,
         );
+    }
+
+    /// The staged `health` kernel: one population-wide `[HealthSweep]`
+    /// launch classifying every member's candidate lanes as finite or
+    /// poisoned, followed by the host-side [`NumericGuard`] policy verdict
+    /// ([`MoscemSampler::quarantine_or_fail`]).
+    ///
+    /// The sweep is a robustness stage of this implementation, not a paper
+    /// task: it is deliberately *not* recorded into the profiler or the
+    /// modeled GPU/CPU totals, so the staged pipeline's modeled timings
+    /// stay comparable to the fused reference's.  Its measured host time
+    /// lands in [`ComponentTimes::other_us`], and the CI perf gate bounds
+    /// it below 3% of a staged iteration.
+    fn stage_health(
+        &self,
+        executor: &Executor,
+        arena: &mut PopulationArena,
+        iteration: usize,
+        component: &mut ComponentTimes,
+    ) -> Result<(), Error> {
+        let n = arena.n_members();
+        let stride = arena.stride();
+        let start = Instant::now();
+        {
+            let healthy = SharedLanes::new(&mut arena.healthy);
+            let scores = &arena.cand_scores;
+            let torsions = &arena.cand_torsions;
+            let devs = &arena.cand_closure_dev;
+            let rmsds = &arena.cand_rmsd;
+            let _ = executor.launch(KernelKind::HealthSweep, n, |i| {
+                // SAFETY: kernel i touches only member i's verdict slot.
+                *unsafe { healthy.item_mut(i) } = crate::health::member_is_finite(
+                    &scores[i],
+                    &torsions[i * stride..(i + 1) * stride],
+                    devs[i],
+                    rmsds[i],
+                );
+            });
+        }
+        component.other_us += start.elapsed().as_secs_f64() * 1e6;
+        if arena.healthy.iter().all(|&h| h) {
+            return Ok(());
+        }
+        self.quarantine_or_fail(arena, iteration)
+    }
+
+    /// The [`NumericGuard`] verdict on a health sweep that flagged at least
+    /// one poisoned member: fail the job with a typed
+    /// [`Error::NumericalFault`], or quarantine the poisoned members and
+    /// keep sampling.  A fully poisoned population fails regardless of the
+    /// policy — there is no sound state left to continue from.
+    fn quarantine_or_fail(
+        &self,
+        arena: &mut PopulationArena,
+        iteration: usize,
+    ) -> Result<(), Error> {
+        let first_bad = arena
+            .healthy
+            .iter()
+            .position(|&h| !h)
+            .expect("caller flagged at least one poisoned member");
+        let donor = arena.healthy.iter().position(|&h| h);
+        if matches!(self.config.numeric_guard, NumericGuard::Fail) || donor.is_none() {
+            return Err(self.numeric_fault(arena, first_bad, iteration));
+        }
+        let stride = arena.stride();
+        if iteration == 0 {
+            // Initialisation has no current state to fall back on: re-seed
+            // each poisoned member's candidate lanes from the first healthy
+            // donor before the candidates become the population.
+            let donor = donor.expect("guard handled the all-poisoned case");
+            for i in 0..arena.n_members() {
+                if arena.healthy[i] {
+                    continue;
+                }
+                arena
+                    .cand_torsions
+                    .copy_within(donor * stride..(donor + 1) * stride, i * stride);
+                arena.cand_scores[i] = arena.cand_scores[donor];
+                arena.cand_closure_dev[i] = arena.cand_closure_dev[donor];
+                arena.cand_rmsd[i] = arena.cand_rmsd[donor];
+                arena.healthy[i] = true;
+            }
+        } else {
+            // Mid-run, quarantine is one write: an infinite closure
+            // deviation makes the Metropolis gate reject the candidate
+            // *without drawing from the member's stream*, so the member
+            // keeps its last sound state and the trajectory's random
+            // streams — hence same-seed bit-identity — are untouched.
+            for i in 0..arena.n_members() {
+                if !arena.healthy[i] {
+                    arena.cand_closure_dev[i] = f64::INFINITY;
+                    arena.healthy[i] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the typed [`Error::NumericalFault`] naming the poisoned
+    /// member, the iteration and (when the poison sat in a score slot) the
+    /// offending objective.
+    fn numeric_fault(&self, arena: &PopulationArena, member: usize, iteration: usize) -> Error {
+        let stride = arena.stride();
+        let poison = crate::health::member_poison(
+            &arena.cand_scores[member],
+            &arena.cand_torsions[member * stride..(member + 1) * stride],
+            arena.cand_closure_dev[member],
+            arena.cand_rmsd[member],
+        );
+        Error::NumericalFault {
+            member,
+            iteration,
+            objective: poison.and_then(|p| p.objective()),
+        }
+    }
+
+    /// Initialisation-round health check of the per-member reference
+    /// implementation: the same classification and [`NumericGuard`] verdict
+    /// as the staged `[HealthSweep]` stage, applied to the members' freshly
+    /// initialised state.
+    fn reference_init_health(&self, members: &mut [Member]) -> Result<(), Error> {
+        fn poison_of(m: &Member) -> Option<crate::health::PoisonedLane> {
+            crate::health::member_poison(
+                &m.conf.scores,
+                m.conf.torsions.as_slice(),
+                m.conf.closure_deviation,
+                m.conf.rmsd_to_native,
+            )
+        }
+        let Some(first_bad) = members.iter().position(|m| poison_of(m).is_some()) else {
+            return Ok(());
+        };
+        let donor = members.iter().position(|m| poison_of(m).is_none());
+        let Some(donor) =
+            donor.filter(|_| matches!(self.config.numeric_guard, NumericGuard::Quarantine))
+        else {
+            return Err(Error::NumericalFault {
+                member: first_bad,
+                iteration: 0,
+                objective: poison_of(&members[first_bad]).and_then(|p| p.objective()),
+            });
+        };
+        let donor_conf = members[donor].conf.clone();
+        for m in members.iter_mut() {
+            if poison_of(m).is_some() {
+                m.conf
+                    .torsions
+                    .copy_from_flat(donor_conf.torsions.as_slice());
+                m.conf.scores = donor_conf.scores;
+                m.conf.closure_deviation = donor_conf.closure_deviation;
+                m.conf.rmsd_to_native = donor_conf.rmsd_to_native;
+            }
+        }
+        Ok(())
+    }
+
+    /// Mid-run [`NumericGuard`] verdict of the per-member reference
+    /// implementation.  The fused evolution kernel already force-rejected
+    /// every poisoned candidate (the reference-path form of quarantine);
+    /// what is left is failing the job when the policy is `Fail` or when
+    /// the whole population proposed poison.
+    fn reference_poison_verdict(&self, members: &[Member], iteration: usize) -> Result<(), Error> {
+        let Some(first_bad) = members.iter().position(|m| m.poison.is_some()) else {
+            return Ok(());
+        };
+        let all_poisoned = members.iter().all(|m| m.poison.is_some());
+        if matches!(self.config.numeric_guard, NumericGuard::Fail) || all_poisoned {
+            return Err(Error::NumericalFault {
+                member: first_bad,
+                iteration,
+                objective: members[first_bad].poison.and_then(|p| p.objective()),
+            });
+        }
+        Ok(())
     }
 
     /// Record one staged kernel launch: modeled device/CPU time from the

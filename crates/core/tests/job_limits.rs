@@ -1,0 +1,167 @@
+//! Feature-off robustness: [`JobLimits`] enforcement (wall-clock deadline,
+//! iteration budget, closure-stall streak) and the engine supervisor's
+//! terminal-vs-retryable classification — no fault injection involved.
+
+use lms_closure::CcdConfig;
+use lms_core::{
+    ConfigError, Error, Job, JobLimits, LoopModelingEngine, MoscemSampler, RetryPolicy,
+    RunControls, SamplerConfig,
+};
+use lms_protein::{BenchmarkLibrary, LoopTarget};
+use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
+use lms_simt::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_kb() -> Arc<KnowledgeBase> {
+    KnowledgeBase::build(KnowledgeBaseConfig::fast())
+}
+
+fn target() -> LoopTarget {
+    BenchmarkLibrary::standard().target_by_name("1cex").unwrap()
+}
+
+fn tiny_builder() -> lms_core::SamplerConfigBuilder {
+    SamplerConfig::test_scale()
+        .to_builder()
+        .population_size(8)
+        .n_complexes(2)
+        .iterations(3)
+        .snapshot_iterations(Vec::new())
+}
+
+/// A config whose CCD can never converge (zero tolerance): every iteration
+/// counts toward the stall streak.
+fn stall_config(limit: usize) -> SamplerConfig {
+    tiny_builder()
+        .iterations(4)
+        .ccd(CcdConfig::new().with_tolerance(0.0))
+        .limits(JobLimits::none().with_max_closure_stall(limit))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn an_already_spent_deadline_fires_before_initialisation() {
+    let cfg = tiny_builder()
+        .limits(JobLimits::none().with_deadline(Duration::from_nanos(1)))
+        .build()
+        .unwrap();
+    let sampler = MoscemSampler::new(target(), fast_kb(), cfg);
+    let err = sampler
+        .run_controlled(&Executor::scalar(), 7, &RunControls::new())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        Error::DeadlineExceeded {
+            limit: Duration::from_nanos(1),
+            completed_iterations: 0,
+        }
+    );
+    assert!(!err.is_retryable(), "deadlines are terminal");
+}
+
+#[test]
+fn stall_guard_fires_after_the_configured_streak() {
+    let limit = 2;
+    let sampler = MoscemSampler::new(target(), fast_kb(), stall_config(limit));
+    let err = sampler
+        .run_controlled(&Executor::scalar(), 11, &RunControls::new())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        Error::Stalled {
+            streak: limit,
+            limit,
+            completed_iterations: limit - 1,
+        }
+    );
+    assert!(err.is_retryable(), "stalls can be environmental");
+}
+
+#[test]
+fn limit_validation_rejects_degenerate_budgets() {
+    let zero_deadline = tiny_builder()
+        .limits(JobLimits::none().with_deadline(Duration::ZERO))
+        .build()
+        .unwrap_err();
+    assert_eq!(zero_deadline, ConfigError::ZeroDeadline);
+
+    let over_budget = tiny_builder()
+        .iterations(10)
+        .limits(JobLimits::none().with_max_iterations(5))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        over_budget,
+        ConfigError::IterationBudgetExceeded {
+            iterations: 10,
+            budget: 5,
+        }
+    );
+
+    let zero_stall = tiny_builder()
+        .limits(JobLimits::none().with_max_closure_stall(0))
+        .build()
+        .unwrap_err();
+    assert_eq!(zero_stall, ConfigError::ZeroStallLimit);
+
+    // A sufficient budget passes and is inert at runtime.
+    let ok = tiny_builder()
+        .iterations(2)
+        .limits(JobLimits::none().with_max_iterations(2))
+        .build()
+        .unwrap();
+    assert!(ok.limits.is_limited());
+    let result = MoscemSampler::new(target(), fast_kb(), ok).run_with_seed(&Executor::scalar(), 5);
+    assert_eq!(result.population.len(), 8);
+}
+
+#[test]
+fn supervisor_does_not_retry_terminal_failures() {
+    let engine = LoopModelingEngine::builder(fast_kb())
+        .concurrency(1)
+        .retry_policy(RetryPolicy::with_max_attempts(3).backoff(Duration::ZERO, Duration::ZERO))
+        .build()
+        .unwrap();
+    let cfg = tiny_builder()
+        .limits(JobLimits::none().with_deadline(Duration::from_nanos(1)))
+        .build()
+        .unwrap();
+    let job = Job::builder(target()).config(cfg).seed(3).build().unwrap();
+    let results = engine.submit(vec![job]).join();
+    let result = &results[0];
+    assert!(matches!(
+        result.outcome,
+        Err(Error::DeadlineExceeded { .. })
+    ));
+    // Terminal failure: exactly one attempt, recorded with zero backoff.
+    assert_eq!(result.attempts.len(), 1);
+    assert_eq!(result.attempts[0].attempt, 1);
+    assert_eq!(result.attempts[0].backoff, Duration::ZERO);
+}
+
+#[test]
+fn supervisor_retries_a_deterministic_stall_to_the_attempt_budget() {
+    let engine = LoopModelingEngine::builder(fast_kb())
+        .concurrency(1)
+        .retry_policy(RetryPolicy::with_max_attempts(3).backoff(Duration::ZERO, Duration::ZERO))
+        .build()
+        .unwrap();
+    let job = Job::builder(target())
+        .config(stall_config(1))
+        .seed(3)
+        .build()
+        .unwrap();
+    let results = engine.submit(vec![job]).join();
+    let result = &results[0];
+    assert!(matches!(result.outcome, Err(Error::Stalled { .. })));
+    // Same seed, deterministic fault: every attempt fails the same way
+    // until the budget is spent.
+    assert_eq!(result.attempts.len(), 3);
+    assert!(result
+        .attempts
+        .iter()
+        .all(|a| matches!(a.error, Error::Stalled { .. })));
+    assert_eq!(result.attempts.last().unwrap().backoff, Duration::ZERO);
+}

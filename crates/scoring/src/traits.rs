@@ -147,6 +147,16 @@ impl ScoreVector {
     pub fn is_finite(&self) -> bool {
         self.values.iter().all(|v| v.is_finite())
     }
+
+    /// The first objective (in canonical order) whose component is
+    /// non-finite, if any — the diagnostic half of the numerical health
+    /// sweep: when a score vector is poisoned, this names the scoring
+    /// function that produced the poison.
+    pub fn first_non_finite(&self) -> Option<Objective> {
+        Objective::ALL
+            .into_iter()
+            .find(|o| !self.values[o.index()].is_finite())
+    }
 }
 
 impl fmt::Display for ScoreVector {
@@ -260,6 +270,15 @@ mod tests {
     fn finiteness() {
         assert!(ScoreVector::new(1.0, 2.0, 3.0).is_finite());
         assert!(!ScoreVector::new(f64::NAN, 2.0, 3.0).is_finite());
+        assert_eq!(ScoreVector::new(1.0, 2.0, 3.0).first_non_finite(), None);
+        assert_eq!(
+            ScoreVector::new(1.0, f64::INFINITY, 3.0).first_non_finite(),
+            Some(Objective::Dist)
+        );
+        assert_eq!(
+            ScoreVector::new(f64::NAN, f64::NAN, 3.0).first_non_finite(),
+            Some(Objective::Vdw)
+        );
         assert!(!ScoreVector::new(1.0, f64::INFINITY, 3.0).is_finite());
         assert!(!ScoreVector::new(1.0, 2.0, 3.0)
             .with_burial(f64::NAN)

@@ -203,17 +203,38 @@ impl Executor {
     /// member state from disjoint lanes, which is what makes scalar and
     /// parallel launches bit-identical.
     ///
+    /// Under the `fault-injection` feature, the fault session installed on
+    /// the *launching* thread (see `crate::fault::install`) is consulted
+    /// before every lane: this is the single choke point where a
+    /// `crate::fault::FaultPlan` keyed by `(kind, launch_index, lane)`
+    /// injects panics, NaN poisoning, or stalls.  With the feature off (the
+    /// default) no fault code is compiled and the launch path is identical
+    /// to previous releases.
+    ///
     /// Returns the [`KernelLaunch`] record with the measured host wall time.
     pub fn launch<F>(&self, kind: KernelKind, threads: usize, kernel: F) -> KernelLaunch
     where
         F: Fn(usize) + Sync + Send,
     {
+        #[cfg(feature = "fault-injection")]
+        let session = crate::fault::active().map(|s| {
+            let launch_index = s.next_launch_index(kind);
+            (s, launch_index)
+        });
         // One zero-sized lane per logical thread drives the existing
         // data-parallel dispatch without ever touching the heap (a `Vec` of
         // a ZST never allocates), so both entry points share one
         // scalar/parallel/sized-pool implementation.
         let mut lanes = vec![(); threads];
-        let host = self.for_each_indexed(&mut lanes, |i, _| kernel(i));
+        let host = self.for_each_indexed(&mut lanes, |i, _| {
+            #[cfg(feature = "fault-injection")]
+            if let Some((session, launch_index)) = &session {
+                session.fire(kind, *launch_index, i);
+            }
+            kernel(i);
+            #[cfg(feature = "fault-injection")]
+            crate::fault::clear_nan();
+        });
         KernelLaunch {
             kind,
             threads,

@@ -37,12 +37,17 @@ pub enum KernelKind {
     /// Population selection: accepted candidates overwrite their members'
     /// conformation lanes in the SoA arena.
     Select,
+    /// Numerical health guard: a post-score sweep classifying every
+    /// member's candidate lanes (scores, torsions, closure deviation,
+    /// observables) as finite or poisoned.  A robustness kernel of this
+    /// implementation, not a paper task.
+    HealthSweep,
 }
 
 impl KernelKind {
     /// All kernels in the order the paper's Table II lists them (the
     /// kernels the paper does not list separately come last).
-    pub const ALL: [KernelKind; 10] = [
+    pub const ALL: [KernelKind; 11] = [
         KernelKind::Ccd,
         KernelKind::EvalDist,
         KernelKind::EvalVdw,
@@ -53,6 +58,7 @@ impl KernelKind {
         KernelKind::Metropolis,
         KernelKind::Rebuild,
         KernelKind::Select,
+        KernelKind::HealthSweep,
     ];
 
     /// Display name matching the paper's bracketed task labels.
@@ -68,6 +74,7 @@ impl KernelKind {
             KernelKind::Metropolis => "[Metropolis]",
             KernelKind::Rebuild => "[Rebuild]",
             KernelKind::Select => "[Select]",
+            KernelKind::HealthSweep => "[HealthSweep]",
         }
     }
 
@@ -85,6 +92,7 @@ impl KernelKind {
             KernelKind::Metropolis => 10,
             KernelKind::Rebuild => 24,
             KernelKind::Select => 8,
+            KernelKind::HealthSweep => 6,
         }
     }
 
@@ -112,6 +120,9 @@ impl KernelKind {
             // copied torsion lane element.
             KernelKind::Rebuild => 30.0,
             KernelKind::Select => 4.0,
+            // A HealthSweep work unit is one finite-classification of an
+            // in-register double — about as cheap as a kernel gets.
+            KernelKind::HealthSweep => 2.0,
         }
     }
 
@@ -123,6 +134,7 @@ impl KernelKind {
                 | KernelKind::Metropolis
                 | KernelKind::Rebuild
                 | KernelKind::Select
+                | KernelKind::HealthSweep
         )
     }
 }

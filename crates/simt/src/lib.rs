@@ -38,6 +38,8 @@
 
 pub mod device;
 pub mod executor;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod kernel;
 pub mod lanes;
 pub mod memory;
@@ -47,6 +49,8 @@ pub mod timing;
 
 pub use device::{DeviceSpec, HostSpec};
 pub use executor::{Executor, KernelLaunch};
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultKind, FaultPlan, FaultSession, FaultSite};
 pub use kernel::{KernelKind, LaunchConfig};
 pub use lanes::SharedLanes;
 pub use memory::{transfer_time_us, DataPlacement, MemorySpace, TransferKind};

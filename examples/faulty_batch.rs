@@ -1,0 +1,98 @@
+//! Fault-tolerant batch running: per-job deadlines and stall guards
+//! ([`JobLimits`]), the numerical-health quarantine policy
+//! ([`NumericGuard`]), seeded same-seed retries ([`RetryPolicy`]), and
+//! reading the supervisor's attempt trace off each [`JobResult`].
+//!
+//! Run with: `cargo run --release --example faulty_batch`
+//!
+//! Everything here works in the default build.  To make faults *happen*
+//! deterministically (injected panics / NaN poison / stalls at exact
+//! kernel-launch sites), enable the `fault-injection` feature and arm a
+//! `FaultPlan` on a job — see `crates/core/tests/fault_runtime.rs`.
+
+use lms::prelude::*;
+use std::time::Duration;
+
+fn main() -> Result<(), Error> {
+    let library = BenchmarkLibrary::standard();
+    let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+
+    // The supervisor re-runs retryable failures (stalls, numerical
+    // faults, stage panics) with the job's own seed: up to 3 attempts,
+    // exponential backoff from 10ms.  Terminal failures (deadline,
+    // cancellation, config) are never retried.
+    let engine = LoopModelingEngine::builder(kb)
+        .executor(Executor::parallel())
+        .retry_policy(RetryPolicy::with_max_attempts(3))
+        .build()?;
+
+    // A healthy job: generous budgets that a normal run never touches,
+    // plus the quarantine policy — a member whose candidate turns
+    // non-finite mid-run is force-rejected instead of killing the job.
+    let guarded = SamplerConfig::builder()
+        .population_size(16)
+        .iterations(4)
+        .limits(
+            JobLimits::none()
+                .with_deadline(Duration::from_secs(120))
+                .with_max_iterations(1_000)
+                .with_max_closure_stall(50),
+        )
+        .numeric_guard(NumericGuard::Quarantine)
+        .build()?;
+
+    // A doomed job: a deadline so tight the trajectory cannot finish.
+    // Deadlines are *terminal* — the supervisor reports them without
+    // burning retry attempts.
+    let doomed = SamplerConfig::builder()
+        .population_size(16)
+        .iterations(4)
+        .limits(JobLimits::none().with_deadline(Duration::from_nanos(1)))
+        .build()?;
+
+    let jobs = vec![
+        Job::builder(library.target_by_name("1cex").expect("benchmark target"))
+            .config(guarded)
+            .seed(7)
+            .label("guarded")
+            .build()?,
+        Job::builder(library.target_by_name("5pti").expect("benchmark target"))
+            .config(doomed)
+            .seed(8)
+            .label("doomed")
+            .build()?,
+    ];
+
+    for result in engine.submit(jobs) {
+        // The attempt trace: one entry per *failed* attempt.  Empty on
+        // first-try success; on a retried transient it lists what each
+        // rerun recovered from; on final failure the last entry is the
+        // fatal error with zero backoff.
+        for attempt in &result.attempts {
+            println!(
+                "  {}: attempt {} failed ({}), backed off {:?}",
+                result.label, attempt.attempt, attempt.error, attempt.backoff
+            );
+        }
+        match &result.outcome {
+            Ok(trajectory) => println!(
+                "{}: ok after {} failed attempt(s) — {} non-dominated of {}",
+                result.label,
+                result.attempts.len(),
+                trajectory.non_dominated_count(),
+                trajectory.population.len(),
+            ),
+            Err(e) => println!(
+                "{}: failed ({}){}",
+                result.label,
+                e,
+                if e.is_retryable() {
+                    " — retryable, budget spent"
+                } else {
+                    " — terminal, not retried"
+                },
+            ),
+        }
+    }
+    Ok(())
+}

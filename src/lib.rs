@@ -105,6 +105,33 @@
 //! equivalence property tests), while running measurably faster per
 //! member-iteration — a ratio the CI perf gate tracks.
 //!
+//! ## Fault tolerance: deadlines, retries, health guards
+//!
+//! Long batches on shared hardware fail in boring ways — a job outlives
+//! its time slot, a numerical kernel emits a NaN, a worker panics.  The
+//! runtime makes every such failure a *typed, classified* outcome:
+//!
+//! | error | meaning | class |
+//! |---|---|---|
+//! | [`prelude::Error::Cancelled`] | cancelled via the batch handle | terminal |
+//! | [`prelude::Error::DeadlineExceeded`] | [`prelude::JobLimits`] wall-clock budget spent | terminal |
+//! | [`prelude::Error::Stalled`] | CCD made no progress for a configured streak | retryable |
+//! | [`prelude::Error::NumericalFault`] | non-finite score/torsion/observable detected | retryable |
+//! | [`prelude::Error::JobPanicked`] | a stage kernel panicked (payload captured) | retryable |
+//!
+//! Budgets are set per job with [`prelude::JobLimits`] on the sampler
+//! config; the poisoned-value policy is [`prelude::NumericGuard`] (fail
+//! fast, or quarantine the poisoned member and keep sampling).  The
+//! engine's supervisor re-runs *retryable* failures with the **same
+//! seed** under a bounded-backoff [`prelude::RetryPolicy`], recording
+//! one [`prelude::AttemptFailure`] per failed attempt on the
+//! [`prelude::JobResult`] — determinism makes the rerun bit-identical
+//! up to the fault, so a transient either disappears or reproduces
+//! exactly.  A deterministic fault-injection harness (seeded panics,
+//! NaN poison and stalls at exact kernel-launch sites) backs all of
+//! this under the `fault-injection` cargo feature; see
+//! `examples/faulty_batch.rs` and the `simt` crate's `fault` module.
+//!
 //! ## Crates
 //!
 //! The facade re-exports the whole suite; the [`prelude`] is the curated
@@ -136,11 +163,11 @@ pub use lms_simt as simt;
 pub mod prelude {
     pub use lms_closure::{CcdCloser, CcdConfig, CcdResult};
     pub use lms_core::{
-        crowding_distances, BatchHandle, ComponentTimes, ConfigError, Decoy, DecoyProduction,
-        DecoySet, EngineBuilder, Error, InitMode, IterationSnapshot, Job, JobBuilder, JobId,
-        JobProgress, JobResult, JobStatus, LoopModelingEngine, MoscemSampler, MutationConfig,
-        ObjectiveMode, RunControls, SamplerConfig, SamplerConfigBuilder, TemperatureSchedule,
-        TrajectoryResult,
+        crowding_distances, AttemptFailure, BatchHandle, ComponentTimes, ConfigError, Decoy,
+        DecoyProduction, DecoySet, EngineBuilder, Error, InitMode, IterationSnapshot, Job,
+        JobBuilder, JobId, JobLimits, JobProgress, JobResult, JobStatus, LoopModelingEngine,
+        MoscemSampler, MutationConfig, NumericGuard, ObjectiveMode, PoisonedLane, RetryPolicy,
+        RunControls, SamplerConfig, SamplerConfigBuilder, TemperatureSchedule, TrajectoryResult,
     };
     pub use lms_decoys::{
         cluster_decoys, compare_decoy_sets, distinct_non_dominated, ensemble_stats, ClusterMetric,
@@ -156,4 +183,6 @@ pub mod prelude {
     pub use lms_simt::{
         DeviceSpec, Executor, KernelKind, KernelLaunch, LaunchConfig, Profiler, TimingModel,
     };
+    #[cfg(feature = "fault-injection")]
+    pub use lms_simt::{FaultKind, FaultPlan, FaultSession, FaultSite};
 }
