@@ -8,7 +8,7 @@ use lms_bench::{load_target, shared_kb};
 use lms_closure::CcdConfig;
 use lms_core::{MoscemSampler, ObjectiveMode, SamplerConfig};
 use lms_scoring::Objective;
-use lms_simt::Executor;
+use lms_simt::ExecutorConfig;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -46,7 +46,13 @@ fn bench_single_vs_multi(c: &mut Criterion) {
             .expect("valid bench config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_function(name, |b| {
-            b.iter(|| black_box(sampler.run(&Executor::parallel()).best_rmsd()))
+            b.iter(|| {
+                black_box(
+                    sampler
+                        .run(&ExecutorConfig::parallel().build().unwrap())
+                        .best_rmsd(),
+                )
+            })
         });
     }
     group.finish();
@@ -67,7 +73,13 @@ fn bench_complexes(c: &mut Criterion) {
             .expect("valid bench config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| black_box(sampler.run(&Executor::parallel()).non_dominated_count()))
+            b.iter(|| {
+                black_box(
+                    sampler
+                        .run(&ExecutorConfig::parallel().build().unwrap())
+                        .non_dominated_count(),
+                )
+            })
         });
     }
     group.finish();
@@ -92,7 +104,13 @@ fn bench_ccd_budget(c: &mut Criterion) {
             .expect("valid bench config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_with_input(BenchmarkId::from_parameter(sweeps), &sweeps, |b, _| {
-            b.iter(|| black_box(sampler.run(&Executor::parallel()).best_rmsd()))
+            b.iter(|| {
+                black_box(
+                    sampler
+                        .run(&ExecutorConfig::parallel().build().unwrap())
+                        .best_rmsd(),
+                )
+            })
         });
     }
     group.finish();
@@ -108,7 +126,13 @@ fn bench_annealing(c: &mut Criterion) {
     // Adaptive temperature (the paper's scheme).
     let adaptive = MoscemSampler::new(target.clone(), kb.clone(), base_config());
     group.bench_function("adaptive", |b| {
-        b.iter(|| black_box(adaptive.run(&Executor::parallel()).acceptance_rate))
+        b.iter(|| {
+            black_box(
+                adaptive
+                    .run(&ExecutorConfig::parallel().build().unwrap())
+                    .acceptance_rate,
+            )
+        })
     });
     // Effectively fixed temperature: a band so wide it never adjusts.
     let fixed_cfg = base_config()
@@ -118,7 +142,13 @@ fn bench_annealing(c: &mut Criterion) {
         .expect("valid bench config");
     let fixed = MoscemSampler::new(target, kb, fixed_cfg);
     group.bench_function("fixed", |b| {
-        b.iter(|| black_box(fixed.run(&Executor::parallel()).acceptance_rate))
+        b.iter(|| {
+            black_box(
+                fixed
+                    .run(&ExecutorConfig::parallel().build().unwrap())
+                    .acceptance_rate,
+            )
+        })
     });
     group.finish();
 }

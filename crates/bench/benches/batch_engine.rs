@@ -23,7 +23,7 @@ use criterion::{criterion_group, Criterion};
 use lms_bench::shared_kb;
 use lms_core::{Job, LoopModelingEngine, MoscemSampler, SamplerConfig, TrajectoryResult};
 use lms_protein::{BenchmarkLibrary, LoopTarget};
-use lms_simt::Executor;
+use lms_simt::{Executor, ExecutorConfig};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -103,7 +103,7 @@ fn assert_equivalent(a: &[TrajectoryResult], b: &[TrajectoryResult]) {
 fn bench_batch_vs_sequential(c: &mut Criterion) {
     let targets = batch_targets();
     let engine = LoopModelingEngine::builder(shared_kb())
-        .executor(Executor::parallel())
+        .executor(ExecutorConfig::parallel())
         .build()
         .expect("valid engine");
     let mut group = c.benchmark_group("batch_engine");
@@ -111,7 +111,9 @@ fn bench_batch_vs_sequential(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(4));
     group.warm_up_time(Duration::from_millis(500));
     group.bench_function("sequential_8_jobs", |b| {
-        b.iter(|| black_box(run_sequential(&targets, &Executor::parallel()).len()))
+        b.iter(|| {
+            black_box(run_sequential(&targets, &ExecutorConfig::parallel().build().unwrap()).len())
+        })
     });
     group.bench_function("engine_batch_8_jobs", |b| {
         b.iter(|| black_box(run_batch(&engine, &targets).len()))
@@ -136,7 +138,7 @@ fn median_wall<F: FnMut()>(mut f: F, samples: u32) -> Duration {
 /// at the workspace root.
 fn write_bench_json() {
     let targets = batch_targets();
-    let executor = Executor::parallel();
+    let executor = ExecutorConfig::parallel().build().unwrap();
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -174,14 +176,20 @@ fn write_bench_json() {
         host_cores,
     );
 
+    let caps = executor.capabilities();
     let json = format!(
         "{{\n  \"benchmark\": \"batch_engine\",\n  \"unit\": \"ms\",\n  \
          \"comparison\": \"8 small jobs: sequential MoscemSampler runs vs one LoopModelingEngine batch\",\n  \
+         \"executor\": {{\"backend\": \"{}\", \"lane_width\": {}, \"threads\": {}, \"ccd_block_width\": {}}},\n  \
          \"jobs\": {},\n  \"population_size\": 24,\n  \"iterations\": 4,\n  \
          \"host_cores\": {host_cores},\n  \"engine_concurrency\": {},\n  \
          \"sequential_ms\": {:.2},\n  \"batch_ms\": {:.2},\n  \"speedup\": {speedup:.3},\n  \
          \"bit_identical\": true,\n  \
          \"note\": \"on a 1-core host no parallel win is possible; the ratio then bounds scheduler overhead\"\n}}\n",
+        caps.name,
+        caps.lane_width,
+        caps.threads,
+        caps.ccd_block_width,
         targets.len(),
         engine.concurrency(),
         sequential.as_secs_f64() * 1e3,

@@ -14,19 +14,28 @@
 //!   reach sphere, emulating a full-size protein around the loop).  The
 //!   linear scan degrades with the total candidate count; the cell list
 //!   should stay near-flat.
+//! * **Lockstep CCD blocks**: the population-batched `close_batch` swept
+//!   over CCD block widths, on the scalar backend and (with the `simd`
+//!   feature) the wide-lane backend, plus an isolated scalar-vs-wide
+//!   comparison of the batched optimal-rotation kernel itself — the ratio
+//!   the perf gate tracks, since at the closure level the NeRF rebuilds
+//!   dominate and would bury the kernel win in noise.
 //!
 //! Besides the criterion groups, the harness writes `BENCH_ccd.json` at
-//! the workspace root recording both comparisons for the perf trajectory.
+//! the workspace root recording the comparisons (and, under the `simd`
+//! feature, the wide-lane `simd` section with the executor capabilities
+//! that produced it) for the perf trajectory.
 
 use criterion::{criterion_group, Criterion};
 use lms_bench::scaled_env_target;
-use lms_closure::CcdCloser;
+use lms_closure::{optimal_rotation_batch, CcdBatchScratch, CcdCloser, CcdLane};
 use lms_geometry::{StreamRngFactory, Vec3};
 use lms_protein::{
     AminoAcid, BenchmarkLibrary, LoopBuilder, LoopFrame, LoopStructure, LoopTarget, TargetSpec,
     Torsions,
 };
 use lms_scoring::{ScoreScratch, VdwScore};
+use lms_simt::ExecutorConfig;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -107,6 +116,15 @@ const LOOP_LENGTHS: [usize; 3] = [4, 8, 12];
 /// Environment scale factors for the VDW comparison.
 const ENV_FACTORS: [usize; 3] = [1, 10, 100];
 
+/// CCD block widths the lockstep-closure sweep runs at.
+const BLOCK_WIDTHS: [usize; 3] = [4, 8, 16];
+
+/// Lane counts the isolated rotation-kernel comparison runs at.
+const KERNEL_WIDTHS: [usize; 4] = [4, 8, 16, 32];
+
+/// Members in the lockstep-closure population.
+const BLOCK_POPULATION: usize = 16;
+
 fn target_of_len(len: usize) -> LoopTarget {
     let spec = TargetSpec {
         name: "1cex",
@@ -131,6 +149,65 @@ fn starts(target: &LoopTarget, count: usize) -> Vec<Torsions> {
             t
         })
         .collect()
+}
+
+/// Deterministic synthetic inputs for `width` lanes of the batched
+/// optimal-rotation kernel: protein-magnitude coordinates on gentle
+/// trigonometric walks, unit axes — enough variation that no lane's
+/// arithmetic folds away, with no RNG in the timing loop.
+fn kernel_inputs(width: usize) -> (Vec<[Vec3; 3]>, [Vec3; 3], Vec<Vec3>, Vec<Vec3>) {
+    let targets = [
+        Vec3::new(1.2, 0.4, -0.8),
+        Vec3::new(2.6, 1.5, 0.3),
+        Vec3::new(3.9, 0.9, 1.1),
+    ];
+    let mut moving = Vec::with_capacity(width);
+    let mut pivots = Vec::with_capacity(width);
+    let mut axes = Vec::with_capacity(width);
+    for j in 0..width {
+        let p = j as f64 * 0.37;
+        moving.push([
+            Vec3::new(1.0 + p.sin(), 0.2 + p.cos(), -0.5 + 0.1 * p),
+            Vec3::new(2.4 + (p * 1.7).sin(), 1.1 + (p * 0.9).cos(), 0.4 - 0.05 * p),
+            Vec3::new(3.6 + (p * 0.6).cos(), 0.7 + (p * 1.3).sin(), 1.3 + 0.02 * p),
+        ]);
+        pivots.push(Vec3::new(0.3 * p.cos(), 0.2 * p.sin(), 0.1 * p));
+        axes.push(
+            Vec3::new((p * 0.8).cos(), (p * 1.1).sin(), 0.7)
+                .try_normalize()
+                .expect("non-degenerate axis"),
+        );
+    }
+    (moving, targets, pivots, axes)
+}
+
+/// Close a population in lockstep blocks of `width`, resetting every member
+/// to its start torsions first.  Mirrors the sampler's `stage_close` block
+/// partition (ragged final block included) over reused buffers.
+fn close_population(
+    closer: &CcdCloser,
+    target: &LoopTarget,
+    starts: &[Torsions],
+    width: usize,
+    torsions: &mut [Torsions],
+    structures: &mut [LoopStructure],
+    scratch: &mut CcdBatchScratch,
+) {
+    for (t, s) in torsions.iter_mut().zip(starts.iter()) {
+        t.clone_from(s);
+    }
+    for (t_block, s_block) in torsions.chunks_mut(width).zip(structures.chunks_mut(width)) {
+        let mut lanes: Vec<CcdLane> = t_block
+            .iter_mut()
+            .zip(s_block.iter_mut())
+            .map(|(t, s)| CcdLane {
+                torsions: t,
+                structure: s,
+                start_index: 0,
+            })
+            .collect();
+        closer.close_batch(&target.frame, &target.sequence, &mut lanes, scratch);
+    }
 }
 
 fn bench_ccd_closure(c: &mut Criterion) {
@@ -206,6 +283,39 @@ fn bench_vdw_environment(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rotation_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccd_rotation_kernel");
+    group.sample_size(12);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(200));
+
+    for &width in &KERNEL_WIDTHS {
+        let (moving, targets, pivots, axes) = kernel_inputs(width);
+        group.bench_function(format!("scalar/w{width}"), |b| {
+            let mut thetas = Vec::with_capacity(width);
+            b.iter(|| {
+                optimal_rotation_batch(&moving, &targets, &pivots, &axes, &mut thetas);
+                black_box(&thetas);
+            })
+        });
+        #[cfg(feature = "simd")]
+        group.bench_function(format!("wide/w{width}"), |b| {
+            let mut thetas = Vec::with_capacity(width);
+            b.iter(|| {
+                lms_closure::optimal_rotation_batch_wide(
+                    &moving,
+                    &targets,
+                    &pivots,
+                    &axes,
+                    &mut thetas,
+                );
+                black_box(&thetas);
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Median ns/call of a closure over `samples` timed batches.
 fn median_ns<F: FnMut()>(mut f: F, iters: u32, samples: u32) -> f64 {
     let mut results: Vec<f64> = (0..samples)
@@ -219,6 +329,111 @@ fn median_ns<F: FnMut()>(mut f: F, iters: u32, samples: u32) -> f64 {
         .collect();
     results.sort_by(|a, b| a.partial_cmp(b).unwrap());
     results[results.len() / 2]
+}
+
+/// The capabilities of the executor backend this bench run's lockstep
+/// sweep corresponds to, rendered as JSON metadata so the artifact's
+/// numbers stay attributable to a backend.
+fn executor_metadata() -> String {
+    #[cfg(feature = "simd")]
+    let executor = ExecutorConfig::simd()
+        .threads(1)
+        .build()
+        .expect("simd backend available under the simd feature");
+    #[cfg(not(feature = "simd"))]
+    let executor = ExecutorConfig::scalar()
+        .build()
+        .expect("scalar backend is always available");
+    let caps = executor.capabilities();
+    format!(
+        "{{\"backend\": \"{}\", \"lane_width\": {}, \"threads\": {}, \"ccd_block_width\": {}}}",
+        caps.name, caps.lane_width, caps.threads, caps.ccd_block_width
+    )
+}
+
+/// Measure the isolated scalar-vs-wide optimal-rotation kernel across lane
+/// counts and render the `"simd"` JSON section the perf gate tracks.  The
+/// kernel-level ratio is the gated number because the closure-level sweep
+/// is dominated by NeRF rebuild cost, which the wide lanes do not touch.
+#[cfg(feature = "simd")]
+fn simd_kernel_section() -> String {
+    let lane_width = ExecutorConfig::simd()
+        .build()
+        .expect("simd backend available")
+        .capabilities()
+        .lane_width;
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    for &width in &KERNEL_WIDTHS {
+        let (moving, targets, pivots, axes) = kernel_inputs(width);
+        // Bit-identity sanity check before timing anything.
+        let mut scalar_thetas = Vec::new();
+        let mut wide_thetas = Vec::new();
+        optimal_rotation_batch(&moving, &targets, &pivots, &axes, &mut scalar_thetas);
+        lms_closure::optimal_rotation_batch_wide(
+            &moving,
+            &targets,
+            &pivots,
+            &axes,
+            &mut wide_thetas,
+        );
+        assert_eq!(scalar_thetas.len(), wide_thetas.len());
+        for (s, w) in scalar_thetas.iter().zip(wide_thetas.iter()) {
+            assert_eq!(s.to_bits(), w.to_bits(), "wide kernel diverged from scalar");
+        }
+
+        let iters = 8_000u32;
+        let mut thetas = Vec::with_capacity(width);
+        let scalar = median_ns(
+            || {
+                optimal_rotation_batch(&moving, &targets, &pivots, &axes, &mut thetas);
+                black_box(&thetas);
+            },
+            iters,
+            9,
+        ) / width as f64;
+        let wide = median_ns(
+            || {
+                lms_closure::optimal_rotation_batch_wide(
+                    &moving,
+                    &targets,
+                    &pivots,
+                    &axes,
+                    &mut thetas,
+                );
+                black_box(&thetas);
+            },
+            iters,
+            9,
+        ) / width as f64;
+        let speedup = scalar / wide;
+        speedups.push(speedup);
+        println!(
+            "ccd_rotation_kernel w={width}: scalar {scalar:.2} ns/lane, \
+             wide {wide:.2} ns/lane, speedup {speedup:.2}x"
+        );
+        entries.push(format!(
+            "      {{\"lanes\": {width}, \"scalar_ns_per_lane\": {scalar:.2}, \
+             \"wide_ns_per_lane\": {wide:.2}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = speedups[speedups.len() / 2];
+    println!("ccd_rotation_kernel median wide-lane speedup: {median:.2}x");
+    format!(
+        ",\n  \"simd\": {{\n    \
+         \"comparison\": \"scalar vs wide-f64 batched optimal-rotation kernel (bit-identical)\",\n    \
+         \"lane_width\": {lane_width},\n    \"results\": [\n{}\n    ],\n    \
+         \"speedup\": {median:.3}\n  }}",
+        entries.join(",\n")
+    )
+}
+
+/// Without the `simd` feature the artifact simply has no `"simd"` section;
+/// the perf gate treats the metric as optional until both sides carry it.
+#[cfg(not(feature = "simd"))]
+fn simd_kernel_section() -> String {
+    String::new()
 }
 
 /// Measure both comparisons and write `BENCH_ccd.json` at the workspace
@@ -321,14 +536,84 @@ fn write_bench_json() {
     let growth = cells_by_factor[2] / cells_by_factor[0];
     println!("vdw_env cell-list cost growth 100x/1x: {growth:.2}x");
 
+    // --- Lockstep CCD blocks: block-width / backend sweep --------------
+    let target = target_of_len(8);
+    let member_starts = starts(&target, BLOCK_POPULATION);
+    let mut member_torsions = member_starts.clone();
+    let mut member_structures: Vec<LoopStructure> = (0..BLOCK_POPULATION)
+        .map(|_| LoopStructure::with_capacity(8))
+        .collect();
+    let mut batch_scratch = CcdBatchScratch::default();
+    let mut block_entries = Vec::new();
+    for &width in &BLOCK_WIDTHS {
+        let scalar_closer = CcdCloser::default();
+        let scalar = median_ns(
+            || {
+                close_population(
+                    &scalar_closer,
+                    &target,
+                    &member_starts,
+                    width,
+                    &mut member_torsions,
+                    &mut member_structures,
+                    &mut batch_scratch,
+                );
+            },
+            2,
+            5,
+        ) / BLOCK_POPULATION as f64;
+        #[cfg(feature = "simd")]
+        {
+            let wide_closer = CcdCloser::default().with_wide_lanes(true);
+            let wide = median_ns(
+                || {
+                    close_population(
+                        &wide_closer,
+                        &target,
+                        &member_starts,
+                        width,
+                        &mut member_torsions,
+                        &mut member_structures,
+                        &mut batch_scratch,
+                    );
+                },
+                2,
+                5,
+            ) / BLOCK_POPULATION as f64;
+            let speedup = scalar / wide;
+            println!(
+                "ccd_blocks w={width}: scalar {scalar:.0} ns/member, \
+                 wide {wide:.0} ns/member, speedup {speedup:.2}x"
+            );
+            block_entries.push(format!(
+                "      {{\"block_width\": {width}, \"scalar_ns_per_member\": {scalar:.1}, \
+                 \"wide_ns_per_member\": {wide:.1}, \"speedup\": {speedup:.3}}}"
+            ));
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            println!("ccd_blocks w={width}: scalar {scalar:.0} ns/member");
+            block_entries.push(format!(
+                "      {{\"block_width\": {width}, \"scalar_ns_per_member\": {scalar:.1}}}"
+            ));
+        }
+    }
+
     let json = format!(
-        "{{\n  \"benchmark\": \"ccd_closure\",\n  \"unit\": \"ns\",\n  \"ccd\": {{\n    \
+        "{{\n  \"benchmark\": \"ccd_closure\",\n  \"unit\": \"ns\",\n  \
+         \"executor\": {},\n  \"ccd\": {{\n    \
          \"comparison\": \"full NeRF rebuild per rotation vs suffix-only rebuild_from\",\n    \
          \"results\": [\n{}\n    ]\n  }},\n  \"vdw_env\": {{\n    \
          \"comparison\": \"linear candidate scan vs cell-list query per site\",\n    \
-         \"results\": [\n{}\n    ],\n    \"cells_cost_growth_100x_over_1x\": {growth:.3}\n  }}\n}}\n",
+         \"results\": [\n{}\n    ],\n    \"cells_cost_growth_100x_over_1x\": {growth:.3}\n  }},\n  \
+         \"blocks\": {{\n    \
+         \"comparison\": \"lockstep close_batch over a {BLOCK_POPULATION}-member population, per CCD block width\",\n    \
+         \"results\": [\n{}\n    ]\n  }}{}\n}}\n",
+        executor_metadata(),
         ccd_entries.join(",\n"),
-        env_entries.join(",\n")
+        env_entries.join(",\n"),
+        block_entries.join(",\n"),
+        simd_kernel_section()
     );
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| format!("{d}/../.."))
@@ -338,7 +623,12 @@ fn write_bench_json() {
     println!("wrote {path}");
 }
 
-criterion_group!(benches, bench_ccd_closure, bench_vdw_environment);
+criterion_group!(
+    benches,
+    bench_ccd_closure,
+    bench_vdw_environment,
+    bench_rotation_kernel
+);
 
 fn main() {
     let mut criterion = Criterion::default();

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lms_bench::{load_target, shared_kb};
 use lms_core::{MoscemSampler, SamplerConfig};
-use lms_simt::Executor;
+use lms_simt::ExecutorConfig;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -27,10 +27,22 @@ fn bench_population_scaling(c: &mut Criterion) {
             .expect("valid bench config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         group.bench_with_input(BenchmarkId::new("scalar", pop), &pop, |b, _| {
-            b.iter(|| black_box(sampler.run(&Executor::scalar()).acceptance_rate))
+            b.iter(|| {
+                black_box(
+                    sampler
+                        .run(&ExecutorConfig::scalar().build().unwrap())
+                        .acceptance_rate,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("parallel", pop), &pop, |b, _| {
-            b.iter(|| black_box(sampler.run(&Executor::parallel()).acceptance_rate))
+            b.iter(|| {
+                black_box(
+                    sampler
+                        .run(&ExecutorConfig::parallel().build().unwrap())
+                        .acceptance_rate,
+                )
+            })
         });
     }
     group.finish();

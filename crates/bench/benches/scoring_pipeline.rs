@@ -40,7 +40,7 @@ use lms_bench::{scaled_env_target, shared_kb};
 use lms_core::{member_is_finite, MoscemSampler, SamplerConfig};
 use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopStructure, LoopTarget, TargetSpec, Torsions};
 use lms_scoring::{MultiScorer, ScoreScratch, ScoringFunction, VdwScore};
-use lms_simt::Executor;
+use lms_simt::ExecutorConfig;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -314,7 +314,7 @@ fn pipeline_sampler() -> MoscemSampler {
 
 fn bench_population_pipeline(c: &mut Criterion) {
     let sampler = pipeline_sampler();
-    let exec = Executor::scalar();
+    let exec = ExecutorConfig::scalar().build().unwrap();
     let mut group = c.benchmark_group("population_pipeline");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(4));
@@ -516,7 +516,7 @@ fn write_bench_json() {
 
     // --- population-batched pipeline vs per-member reference ----------
     let sampler = pipeline_sampler();
-    let exec = Executor::scalar();
+    let exec = ExecutorConfig::scalar().build().unwrap();
     // Bit-identity is asserted on every measurement run: the ratio below is
     // pure execution-shape speedup, never an algorithm change.
     {

@@ -21,7 +21,7 @@ use lms_core::MoscemSampler;
 use lms_decoys::{ensemble_stats, format_percent, format_us, section, TextTable};
 use lms_protein::{to_pdb, LoopBuilder};
 use lms_scoring::{normalize_population, ScoreVector};
-use lms_simt::Executor;
+use lms_simt::ExecutorConfig;
 
 /// Figure 1: wall-clock time share of the algorithm components in the
 /// CPU-only implementation (paper: CCD + scoring ≈ 99 %, CCD alone ≈ 84 %).
@@ -33,7 +33,7 @@ use lms_simt::Executor;
 /// pass and apportion it by modeled work).
 pub fn fig1_cpu_profile(scale: Scale) -> String {
     let sampler = sampler_for("1cex", scale, 101);
-    let result = sampler.run(&Executor::scalar());
+    let result = sampler.run(&ExecutorConfig::scalar().build().unwrap());
     let f = result.component_times.fractions();
 
     let mut out = section("Figure 1: time profile of the CPU-only implementation (1cex 40:51)");
@@ -116,7 +116,12 @@ pub fn fig3_population_size(scale: Scale) -> String {
             .expect("valid experiment config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg);
         let results: Vec<_> = (0..trajectories)
-            .map(|t| sampler.run_with_seed(&Executor::parallel(), 1000 + t as u64))
+            .map(|t| {
+                sampler.run_with_seed(
+                    &ExecutorConfig::parallel().build().unwrap(),
+                    1000 + t as u64,
+                )
+            })
             .collect();
         let stats = ensemble_stats(&results, 30.0).expect("at least one trajectory");
         table.add_row(vec![
@@ -172,8 +177,8 @@ pub fn fig4_speedup_scaling(scale: Scale) -> String {
             .build()
             .expect("valid experiment config");
         let sampler = MoscemSampler::new(target.clone(), kb.clone(), cfg.clone());
-        let scalar = sampler.run(&Executor::scalar());
-        let parallel = sampler.run(&Executor::parallel());
+        let scalar = sampler.run(&ExecutorConfig::scalar().build().unwrap());
+        let parallel = sampler.run(&ExecutorConfig::parallel().build().unwrap());
         modeled_cpu_series.push(scalar.modeled_cpu_us);
         modeled_gpu_series.push(scalar.modeled_gpu_us);
         table.add_row(vec![
@@ -248,7 +253,7 @@ pub fn table1_speedup(scale: Scale) -> String {
     ]);
     for (i, (name, start, end)) in loops.iter().enumerate() {
         let sampler = sampler_for(name, scale, 500 + i as u64);
-        let result = sampler.run(&Executor::parallel());
+        let result = sampler.run(&ExecutorConfig::parallel().build().unwrap());
         table.add_row(vec![
             name.to_string(),
             start.to_string(),
@@ -278,7 +283,7 @@ pub fn table1_speedup(scale: Scale) -> String {
 /// monolithic per-member evolve pass.
 pub fn table2_kernel_profile(scale: Scale) -> String {
     let sampler = sampler_for("1cex", scale, 202);
-    let result = sampler.run(&Executor::parallel());
+    let result = sampler.run(&ExecutorConfig::parallel().build().unwrap());
     let mut out = section("Table II: computational time of GPU tasks on 1cex(40:51)");
     out.push_str(&result.profiler.table2_report());
     out.push_str(
@@ -299,7 +304,7 @@ pub fn table3_occupancy(scale: Scale) -> String {
         .build()
         .expect("valid experiment config");
     let sampler = MoscemSampler::new(load_target("1cex"), shared_kb(), cfg);
-    let result = sampler.run(&Executor::parallel());
+    let result = sampler.run(&ExecutorConfig::parallel().build().unwrap());
     let mut out = section("Table III: registers per thread and occupancy per multiprocessor");
     out.push_str(&result.profiler.table3_report());
     out.push_str("\nPaper: CCD/EvalDIST/EvalVDW 32 registers -> 50%, EvalTRIP 20 -> 75%, fitness kernels -> 100%.\n");
@@ -356,7 +361,7 @@ pub fn table4_outcomes(scale: Scale) -> (Vec<TargetOutcome>, String) {
                 .expect("valid experiment config");
             let sampler = MoscemSampler::new(target, kb.clone(), cfg);
             let production = sampler.produce_decoys(
-                &Executor::parallel(),
+                &ExecutorConfig::parallel().build().unwrap(),
                 scale.decoy_target(),
                 scale.max_trajectories(),
             );
@@ -428,7 +433,7 @@ pub fn fig5_front_evolution(scale: Scale) -> String {
         .build()
         .expect("valid experiment config");
     let sampler = MoscemSampler::new(load_target("5pti"), shared_kb(), cfg);
-    let result = sampler.run(&Executor::parallel());
+    let result = sampler.run(&ExecutorConfig::parallel().build().unwrap());
 
     let mut out = section("Figure 5: evolution of the non-dominated conformations in 5pti(7:17)");
     for snap in &result.snapshots {
@@ -492,7 +497,7 @@ pub fn fig6_best_decoys(scale: Scale) -> String {
             .expect("valid experiment config");
         let sampler = MoscemSampler::new(target.clone(), shared_kb(), cfg);
         let production = sampler.produce_decoys(
-            &Executor::parallel(),
+            &ExecutorConfig::parallel().build().unwrap(),
             scale.decoy_target(),
             scale.max_trajectories(),
         );

@@ -387,6 +387,24 @@ pub fn collect_metrics(
         },
     )?;
 
+    // ccd_closure: wide-lane SIMD speedup of the batched optimal-rotation
+    // kernel (median across lane counts).  Present only when the bench ran
+    // with the `simd` feature; optional on both sides so scalar-only runs
+    // still gate everything else, but once both artifacts carry it the
+    // wide kernels cannot silently regress to scalar speed.
+    if let (Some(b), Some(f)) = (
+        ccd_baseline.get("simd").and_then(|o| o.num("speedup")),
+        ccd_fresh.get("simd").and_then(|o| o.num("speedup")),
+    ) {
+        metrics.push(Metric {
+            name: "simd rotation-kernel speedup".to_string(),
+            baseline: b,
+            fresh: f,
+            direction: Direction::HigherIsBetter,
+            absolute: false,
+        });
+    }
+
     // ccd_closure: cell-list speedup per environment factor.
     pair_by_key(
         ccd_baseline.get("vdw_env").and_then(|c| c.get("results")),
@@ -521,7 +539,8 @@ mod tests {
       ]},
       "vdw_env": {"results": [
         {"env_factor": 1, "speedup": 1.185}, {"env_factor": 10, "speedup": 10.366}
-      ]}
+      ]},
+      "simd": {"lane_width": 4, "speedup": 1.320}
     }"#;
 
     const BATCH_1CORE: &str = r#"{"benchmark": "batch_engine", "host_cores": 1, "speedup": 0.958}"#;
@@ -558,9 +577,9 @@ mod tests {
             0.25,
         )
         .unwrap();
-        // 2 scoring speedups + cost ratio + pipeline + 2 ccd + 2 vdw_env
-        // + batch floor.
-        assert_eq!(metrics.len(), 9);
+        // 2 scoring speedups + cost ratio + pipeline + 2 ccd + simd
+        // + 2 vdw_env + batch floor.
+        assert_eq!(metrics.len(), 10);
         assert!(regressions.is_empty(), "{regressions:?}");
     }
 
@@ -598,7 +617,46 @@ mod tests {
             0.25,
         )
         .unwrap();
-        assert_eq!(metrics.len(), 8);
+        assert_eq!(metrics.len(), 9);
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn simd_kernel_regression_fails_the_gate() {
+        // The wide kernels decaying to below scalar speed (1.32 → 0.90,
+        // i.e. −32%) must trip the 25% gate.
+        let degraded = CCD.replace("\"speedup\": 1.320", "\"speedup\": 0.90");
+        assert_ne!(degraded, CCD, "fixture surgery failed");
+        let (_, regressions) = gate(
+            &j(SCORING),
+            &j(SCORING),
+            &j(CCD),
+            &j(&degraded),
+            &j(BATCH_1CORE),
+            &j(BATCH_1CORE),
+            0.25,
+        )
+        .unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].name.contains("simd"));
+        // A fresh artifact from a scalar-only bench run has no "simd"
+        // section: the metric is skipped, everything else still gates.
+        let scalar_only = CCD.replace(
+            ",\n      \"simd\": {\"lane_width\": 4, \"speedup\": 1.320}",
+            "",
+        );
+        assert_ne!(scalar_only, CCD, "fixture surgery failed");
+        let (metrics, regressions) = gate(
+            &j(SCORING),
+            &j(SCORING),
+            &j(CCD),
+            &j(&scalar_only),
+            &j(BATCH_1CORE),
+            &j(BATCH_1CORE),
+            0.25,
+        )
+        .unwrap();
+        assert_eq!(metrics.len(), 9);
         assert!(regressions.is_empty(), "{regressions:?}");
     }
 
@@ -681,7 +739,7 @@ mod tests {
             0.25,
         )
         .unwrap();
-        assert_eq!(metrics.len(), 10);
+        assert_eq!(metrics.len(), 11);
         assert!(regressions.is_empty(), "{regressions:?}");
         // …and past the bound it fails, no matter the tolerance: the
         // bound is absolute, so even a huge tolerance cannot excuse it.

@@ -112,12 +112,17 @@ pub struct CcdResult {
 pub struct CcdCloser {
     builder: LoopBuilder,
     config: CcdConfig,
+    wide: bool,
 }
 
 impl CcdCloser {
     /// Create a closer with an explicit builder and configuration.
     pub fn new(builder: LoopBuilder, config: CcdConfig) -> Self {
-        CcdCloser { builder, config }
+        CcdCloser {
+            builder,
+            config,
+            wide: false,
+        }
     }
 
     /// Create a closer with the default builder and the given configuration.
@@ -125,7 +130,25 @@ impl CcdCloser {
         CcdCloser {
             builder: LoopBuilder::default(),
             config,
+            wide: false,
         }
+    }
+
+    /// Enable explicit wide-`f64` lanes in the batched rotation kernel
+    /// ([`CcdCloser::close_batch`]).  The wide kernel applies the same IEEE
+    /// operations in the same per-lane order as the scalar one, so results
+    /// are bit-identical either way.  Without the `simd` cargo feature this
+    /// is a no-op (the scalar kernel runs regardless); the sequential entry
+    /// points are always scalar.
+    #[must_use]
+    pub fn with_wide_lanes(mut self, wide: bool) -> Self {
+        self.wide = wide;
+        self
+    }
+
+    /// Whether the batched rotation kernel uses wide lanes.
+    pub fn wide_lanes(&self) -> bool {
+        self.wide
     }
 
     /// The configuration in use.
@@ -216,10 +239,25 @@ impl CcdCloser {
                 // Only angle `k` changed and `scratch` is exact for the
                 // pre-rotation torsions, so a suffix-only rebuild from `k`
                 // reproduces the full rebuild bit for bit at ~half the cost.
+                // Only the backbone spine and the end frame feed the sweep
+                // (rotation pivots/axes and the deviation metric), so the
+                // rebuild additionally skips the O/centroid placements —
+                // the same discipline as the batched path; the full rebuild
+                // below recovers them bit-identically.
                 self.builder
-                    .rebuild_from(frame, sequence, torsions, k, scratch);
+                    .rebuild_spine_from(frame, sequence, torsions, k, scratch);
             }
             deviation = self.builder.closure_deviation(frame, scratch);
+        }
+
+        // The sweeps rebuilt spines only; one full rebuild restores the O
+        // atoms and centroids so `scratch` holds the exact structure of the
+        // final torsions (a full build from the final torsions equals the
+        // incremental chain — property-tested in
+        // `lms-protein/tests/incremental_rebuild.rs`).  With zero rotations
+        // `scratch` still holds its exact initial full build.
+        if rotations_applied > 0 {
+            self.builder.build_into(frame, sequence, torsions, scratch);
         }
 
         CcdResult {
@@ -493,6 +531,32 @@ mod tests {
             let rf = close_full_rebuild(&closer, &target.frame, &target.sequence, &mut full);
             assert_eq!(incremental, full, "{name}: torsion trajectories diverged");
             assert_eq!(ri, rf, "{name}: closure statistics diverged");
+        }
+    }
+
+    #[test]
+    fn spine_only_sweeps_leave_a_fully_built_scratch_structure() {
+        // The sweeps rebuild spines only; on return the scratch structure
+        // must nevertheless be the exact full build of the final torsions
+        // (O atoms and centroids included), because callers score it
+        // directly.  Include an untouched native loop (zero rotations).
+        for (name, perturb, seed) in [("1cex", 30.0, 11), ("1akz", 45.0, 2), ("5pti", 0.0, 8)] {
+            let (target, mut torsions) = target_and_perturbed(name, perturb, seed);
+            let closer = CcdCloser::default();
+            let mut scratch = LoopStructure::with_capacity(target.n_residues());
+            let result = closer.close_with_scratch(
+                &target.frame,
+                &target.sequence,
+                &mut torsions,
+                0,
+                &mut scratch,
+            );
+            let full = target.build(&LoopBuilder::default(), &torsions);
+            assert_eq!(scratch, full, "{name}: scratch is not the full build");
+            assert!(
+                (target.closure_deviation(&scratch) - result.final_deviation).abs() < 1e-12,
+                "{name}: deviation inconsistent with returned structure"
+            );
         }
     }
 

@@ -28,12 +28,17 @@ use lms_protein::{LoopStructure, Torsions};
 use lms_scoring::{ScoreScratch, ScoreVector, ScratchPool};
 use rand_chacha::ChaCha8Rng;
 
-/// Number of members one CCD lockstep block closes together — the SIMD-width
-/// analogue of the paper's intra-block threads.  Small enough that a block's
-/// structures stay cache-resident and the close stage still fans out across
-/// executor threads, large enough for the batched optimal-rotation inner
-/// products to vectorise across members.
-pub const CCD_BLOCK_WIDTH: usize = 8;
+/// The historical fixed CCD lockstep block width.  The block width is now a
+/// backend-reported parameter of the executor
+/// ([`lms_simt::Executor::ccd_block_width`]) and flows into the population
+/// arena at trajectory start; this constant survives only
+/// as the default ([`lms_simt::DEFAULT_CCD_BLOCK_WIDTH`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "the CCD block width is runtime-configured via ExecutorConfig::ccd_block_width; \
+            use lms_simt::DEFAULT_CCD_BLOCK_WIDTH for the default"
+)]
+pub const CCD_BLOCK_WIDTH: usize = lms_simt::DEFAULT_CCD_BLOCK_WIDTH;
 
 /// One member's heavyweight reusable workspaces: the buffers the
 /// per-conformation kernels mutate through references, exactly as the
@@ -61,6 +66,7 @@ pub struct PopulationArena {
     pub(crate) n_members: usize,
     pub(crate) stride: usize,
     pub(crate) n_blocks: usize,
+    pub(crate) ccd_block_width: usize,
     // --- flat SoA population state ("device global memory") -------------
     pub(crate) torsions: Vec<f64>,
     pub(crate) cand_torsions: Vec<f64>,
@@ -103,16 +109,20 @@ impl PopulationArena {
     /// loop of `n_residues`, partitioned into `n_complexes` for the
     /// Metropolis reference sets.  Scoring scratches are leased from `pool`
     /// when one is provided (the engine's warm workspaces), otherwise
-    /// freshly pre-sized.
+    /// freshly pre-sized.  `ccd_block_width` — how many members one CCD
+    /// lockstep block closes together — is the executor backend's reported
+    /// parameter ([`lms_simt::Executor::ccd_block_width`]), not a constant.
     pub(crate) fn new(
         n_members: usize,
         n_residues: usize,
         max_mutations: usize,
         n_complexes: usize,
         pool: Option<&ScratchPool>,
+        ccd_block_width: usize,
     ) -> Self {
+        assert!(ccd_block_width > 0, "CCD block width must be non-zero");
         let stride = 2 * n_residues;
-        let n_blocks = n_members.div_ceil(CCD_BLOCK_WIDTH);
+        let n_blocks = n_members.div_ceil(ccd_block_width);
         let slots = (0..n_members)
             .map(|_| MemberSlot {
                 structure: LoopStructure::with_capacity(n_residues),
@@ -141,6 +151,7 @@ impl PopulationArena {
             n_members,
             stride,
             n_blocks,
+            ccd_block_width,
             torsions: vec![0.0; n_members * stride],
             cand_torsions: vec![0.0; n_members * stride],
             scores: vec![ScoreVector::default(); n_members],
@@ -182,17 +193,23 @@ impl PopulationArena {
         self.stride
     }
 
-    /// Number of CCD lockstep blocks ([`CCD_BLOCK_WIDTH`] members each,
-    /// the final block possibly smaller).
+    /// Number of CCD lockstep blocks ([`PopulationArena::ccd_block_width`]
+    /// members each, the final block possibly smaller).
     pub fn n_blocks(&self) -> usize {
         self.n_blocks
+    }
+
+    /// Members per CCD lockstep block, as reported by the executor backend
+    /// this arena was allocated for.
+    pub fn ccd_block_width(&self) -> usize {
+        self.ccd_block_width
     }
 
     /// The member range of one closure block.
     #[cfg(test)]
     fn block_range(&self, block: usize) -> std::ops::Range<usize> {
-        let lo = block * CCD_BLOCK_WIDTH;
-        lo..((lo + CCD_BLOCK_WIDTH).min(self.n_members))
+        let lo = block * self.ccd_block_width;
+        lo..((lo + self.ccd_block_width).min(self.n_members))
     }
 
     /// Hand every member's scoring scratch back to `pool` (used on every
@@ -233,11 +250,12 @@ mod tests {
 
     #[test]
     fn arena_layout_and_block_partition() {
-        let arena = PopulationArena::new(20, 12, 3, 3, None);
+        let arena = PopulationArena::new(20, 12, 3, 3, None, 8);
         assert_eq!(arena.n_members(), 20);
         assert_eq!(arena.stride(), 24);
         assert_eq!(arena.torsions.len(), 20 * 24);
         assert_eq!(arena.n_blocks(), 3);
+        assert_eq!(arena.ccd_block_width(), 8);
         assert_eq!(arena.block_range(0), 0..8);
         assert_eq!(arena.block_range(2), 16..20);
         // CSR complex partition: stride partition of 20 over 3 complexes is
@@ -246,8 +264,19 @@ mod tests {
     }
 
     #[test]
+    fn arena_block_partition_follows_runtime_width() {
+        let arena = PopulationArena::new(20, 12, 3, 3, None, 6);
+        assert_eq!(arena.ccd_block_width(), 6);
+        assert_eq!(arena.n_blocks(), 4);
+        assert_eq!(arena.block_range(0), 0..6);
+        assert_eq!(arena.block_range(3), 18..20);
+        assert_eq!(arena.block_ccd_us.len(), 4);
+        assert_eq!(arena.ccd_blocks.len(), 4);
+    }
+
+    #[test]
     fn into_population_round_trips_member_state() {
-        let mut arena = PopulationArena::new(3, 2, 2, 1, None);
+        let mut arena = PopulationArena::new(3, 2, 2, 1, None, 8);
         for i in 0..3 {
             for k in 0..4 {
                 arena.torsions[i * 4 + k] = (i * 4 + k) as f64 * 0.25;

@@ -32,7 +32,7 @@ use crate::error::{ConfigError, Error};
 use crate::sampler::{MoscemSampler, RunControls, TrajectoryResult};
 use lms_protein::LoopTarget;
 use lms_scoring::{KnowledgeBase, ScratchPool};
-use lms_simt::{Executor, TimingModel};
+use lms_simt::{Capabilities, Executor, ExecutorConfig, TimingModel};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -307,6 +307,10 @@ pub struct JobResult {
     /// same-seed reruns recovered from; when `outcome` is an error, the
     /// last entry is that final failure (with zero backoff).
     pub attempts: Vec<AttemptFailure>,
+    /// Capabilities of the (split) executor this job's kernels ran on —
+    /// backend, lane width, thread budget, CCD block width — so every
+    /// result is attributable to a backend.
+    pub capabilities: Capabilities,
 }
 
 impl JobResult {
@@ -359,18 +363,35 @@ struct EngineInner {
 #[must_use = "an engine builder does nothing until .build() is called"]
 pub struct EngineBuilder {
     kb: Arc<KnowledgeBase>,
-    executor: Executor,
+    executor: ExecutorConfig,
     timing: TimingModel,
     concurrency: usize,
     retry: RetryPolicy,
 }
 
 impl EngineBuilder {
-    /// Set the executor jobs run their population kernels on (default:
-    /// [`Executor::parallel`]).  Concurrent jobs split its thread budget
-    /// via [`Executor::split`].
-    pub fn executor(mut self, executor: Executor) -> Self {
-        self.executor = executor;
+    /// Set the executor configuration jobs run their population kernels on
+    /// (default: [`ExecutorConfig::parallel`]).  Accepts an
+    /// [`ExecutorConfig`] directly or an already-built [`Executor`] (whose
+    /// configuration is re-captured), and validates it in
+    /// [`EngineBuilder::build`].  Concurrent jobs split the built
+    /// executor's thread budget via [`Executor::split`].
+    ///
+    /// ```
+    /// # use lms_core::LoopModelingEngine;
+    /// # use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
+    /// # use lms_simt::ExecutorConfig;
+    /// # fn main() -> Result<(), lms_core::ConfigError> {
+    /// let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+    /// let engine = LoopModelingEngine::builder(kb)
+    ///     .executor(ExecutorConfig::parallel().threads(4).ccd_block_width(16))
+    ///     .build()?;
+    /// assert_eq!(engine.executor().ccd_block_width(), 16);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn executor(mut self, executor: impl Into<ExecutorConfig>) -> Self {
+        self.executor = executor.into();
         self
     }
 
@@ -394,15 +415,19 @@ impl EngineBuilder {
         self
     }
 
-    /// Validate and build the engine.
+    /// Validate and build the engine.  The executor configuration is
+    /// validated here; a rejected one (zero/oversized CCD block width, a
+    /// backend missing its cargo feature) surfaces as
+    /// [`ConfigError::InvalidExecutor`].
     pub fn build(self) -> Result<LoopModelingEngine, ConfigError> {
         if self.concurrency == 0 {
             return Err(ConfigError::ZeroConcurrency);
         }
+        let executor = self.executor.build()?;
         Ok(LoopModelingEngine {
             inner: Arc::new(EngineInner {
                 kb: self.kb,
-                executor: self.executor,
+                executor,
                 timing: self.timing,
                 scratch: ScratchPool::new(),
                 concurrency: self.concurrency,
@@ -427,7 +452,7 @@ impl LoopModelingEngine {
     pub fn builder(kb: Arc<KnowledgeBase>) -> EngineBuilder {
         EngineBuilder {
             kb,
-            executor: Executor::parallel(),
+            executor: ExecutorConfig::parallel(),
             timing: TimingModel::default(),
             concurrency: std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -555,6 +580,7 @@ fn run_one(
                 completed_iterations: 0,
             }),
             attempts: Vec::new(),
+            capabilities: executor.capabilities(),
         };
     }
     ticket.set_status(JobStatus::Running);
@@ -639,6 +665,7 @@ fn run_one(
         seed,
         outcome,
         attempts,
+        capabilities: executor.capabilities(),
     }
 }
 
@@ -872,7 +899,8 @@ mod tests {
             let trajectory = result.outcome.as_ref().expect("job should succeed");
             let target = BenchmarkLibrary::standard().target_by_name(name).unwrap();
             let sampler = MoscemSampler::new(target, Arc::clone(&kb), tiny_config(100 + i as u64));
-            let reference = sampler.run_with_seed(&Executor::scalar(), 100 + i as u64);
+            let reference =
+                sampler.run_with_seed(&ExecutorConfig::scalar().build().unwrap(), 100 + i as u64);
             for (a, b) in trajectory
                 .population
                 .iter()
@@ -977,17 +1005,39 @@ mod tests {
         // Regression guard for the shared-pool bug: two workers must not
         // end up on the same lazily-built pool.  `split` builds a fresh
         // pool per call, so consecutive splits are independent executors.
-        let exec = Executor::parallel_with_threads(4);
+        let exec = ExecutorConfig::parallel().threads(4).build().unwrap();
         let a = exec.split(2);
         let b = exec.split(2);
-        let (Executor::Parallel { pool: pa, .. }, Executor::Parallel { pool: pb, .. }) = (&a, &b)
-        else {
-            panic!("split of a parallel executor must stay parallel");
-        };
+        assert!(a.is_parallel() && b.is_parallel());
         assert!(
-            !Arc::ptr_eq(pa, pb),
+            !a.shares_pool_with(&b),
             "independent splits must not share a thread pool"
         );
+        // Clones DO share, which is exactly what split must avoid.
+        assert!(a.shares_pool_with(&a.clone()));
+    }
+
+    #[test]
+    fn engine_builder_rejects_invalid_executor_configs() {
+        let err = LoopModelingEngine::builder(fast_kb())
+            .executor(ExecutorConfig::parallel().ccd_block_width(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidExecutor(_)));
+    }
+
+    #[test]
+    fn job_results_report_executor_capabilities() {
+        let engine = LoopModelingEngine::builder(fast_kb())
+            .executor(ExecutorConfig::scalar().ccd_block_width(4))
+            .build()
+            .unwrap();
+        assert_eq!(engine.executor().ccd_block_width(), 4);
+        let results = engine.submit(vec![job_for("1cex", 5)]).join();
+        let caps = results[0].capabilities;
+        assert_eq!(caps.backend, lms_simt::Backend::Scalar);
+        assert_eq!(caps.ccd_block_width, 4);
+        assert_eq!(caps.lane_width, 1);
     }
 
     #[test]
@@ -1000,8 +1050,8 @@ mod tests {
         let target = job.target.clone();
         let config = job.config.clone();
         let via_engine = engine.run(job).unwrap();
-        let reference =
-            MoscemSampler::new(target, kb, config).run_with_seed(&Executor::scalar(), 7);
+        let reference = MoscemSampler::new(target, kb, config)
+            .run_with_seed(&ExecutorConfig::scalar().build().unwrap(), 7);
         for (a, b) in via_engine
             .population
             .iter()

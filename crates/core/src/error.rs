@@ -88,6 +88,10 @@ pub enum ConfigError {
     /// must be positive (a zero streak would fail every job at its first
     /// iteration boundary).
     ZeroStallLimit,
+    /// The engine's [`ExecutorConfig`](lms_simt::ExecutorConfig) failed
+    /// validation (e.g. a zero or oversized CCD block width, or a backend
+    /// whose cargo feature is not compiled in).
+    InvalidExecutor(lms_simt::ExecutorConfigError),
 }
 
 impl fmt::Display for ConfigError {
@@ -142,11 +146,27 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroStallLimit => {
                 write!(f, "JobLimits max_closure_stall must be positive")
             }
+            ConfigError::InvalidExecutor(e) => {
+                write!(f, "invalid executor configuration: {e}")
+            }
         }
     }
 }
 
-impl StdError for ConfigError {}
+impl StdError for ConfigError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ConfigError::InvalidExecutor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lms_simt::ExecutorConfigError> for ConfigError {
+    fn from(e: lms_simt::ExecutorConfigError) -> Self {
+        ConfigError::InvalidExecutor(e)
+    }
+}
 
 /// Anything that can go wrong while running a sampling job.
 ///
@@ -321,6 +341,17 @@ mod tests {
     fn config_errors_nest_as_error_sources() {
         let e: Error = ConfigError::ZeroPopulation.into();
         assert!(matches!(e, Error::Config(ConfigError::ZeroPopulation)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn executor_config_errors_nest_with_their_source() {
+        let e: ConfigError = lms_simt::ExecutorConfigError::ZeroCcdBlockWidth.into();
+        assert!(matches!(
+            e,
+            ConfigError::InvalidExecutor(lms_simt::ExecutorConfigError::ZeroCcdBlockWidth)
+        ));
+        assert!(e.to_string().contains("executor"));
         assert!(e.source().is_some());
     }
 

@@ -62,7 +62,9 @@ pub mod pareto;
 pub mod sampler;
 
 pub use annealing::{TemperatureController, TemperatureSchedule};
-pub use arena::{PopulationArena, CCD_BLOCK_WIDTH};
+pub use arena::PopulationArena;
+#[allow(deprecated)]
+pub use arena::CCD_BLOCK_WIDTH;
 pub use config::{
     InitMode, JobLimits, NumericGuard, ObjectiveMode, SamplerConfig, SamplerConfigBuilder,
 };

@@ -18,7 +18,7 @@
 //! analytic device/host [`TimingModel`] so the experiment harness can report
 //! the paper's modeled GPU-vs-CPU timings alongside the measured host times.
 
-use crate::arena::{MemberSlot, PopulationArena, CCD_BLOCK_WIDTH};
+use crate::arena::{MemberSlot, PopulationArena};
 use crate::config::{InitMode, NumericGuard, ObjectiveMode, SamplerConfig};
 use crate::conformation::Conformation;
 use crate::decoyset::DecoySet;
@@ -31,6 +31,7 @@ use lms_protein::{LoopBuilder, LoopStructure, LoopTarget, RamaClass, RamaLibrary
 use lms_scoring::{KnowledgeBase, MultiScorer, ScoreScratch, ScoreVector, ScratchPool};
 use lms_simt::{
     Executor, KernelKind, LaunchConfig, Profiler, SharedLanes, TimingModel, TransferKind,
+    MAX_CCD_BLOCK_WIDTH,
 };
 use rand::Rng;
 use std::fmt;
@@ -432,6 +433,7 @@ impl MoscemSampler {
         let factory = StreamRngFactory::new(seed);
         let launch = LaunchConfig::with_block_size(n, cfg.threads_per_block);
         let profiler = Arc::new(Profiler::new());
+        profiler.set_executor(executor.capabilities());
         let work = WorkModel::for_target(&self.target);
         let closer = CcdCloser::new(self.builder, cfg.ccd);
         let spec = &self.timing.device;
@@ -907,8 +909,15 @@ impl MoscemSampler {
         let factory = StreamRngFactory::new(seed);
         let launch_cfg = LaunchConfig::with_block_size(n, cfg.threads_per_block);
         let profiler = Arc::new(Profiler::new());
+        let capabilities = executor.capabilities();
+        profiler.set_executor(capabilities);
         let work = WorkModel::for_target(&self.target);
-        let closer = CcdCloser::new(self.builder, cfg.ccd);
+        // A backend reporting wide lanes gets the explicit wide-f64 CCD and
+        // VDW kernels — bit-identical to the scalar loops, so this flips
+        // only the instruction mix, never the trajectory.
+        let wide = capabilities.lane_width > 1;
+        let closer = CcdCloser::new(self.builder, cfg.ccd).with_wide_lanes(wide);
+        let scorer = self.scorer.clone().with_wide_lanes(wide);
         let spec = &self.timing.device;
 
         let wall_start = Instant::now();
@@ -955,6 +964,7 @@ impl MoscemSampler {
             cfg.mutation.max_mutations,
             cfg.n_complexes,
             controls.scratch_pool,
+            executor.ccd_block_width(),
         );
         let stride = arena.stride();
 
@@ -1028,6 +1038,7 @@ impl MoscemSampler {
         self.stage_rebuild_and_score(
             executor,
             &mut arena,
+            &scorer,
             &work,
             launch_cfg,
             &profiler,
@@ -1197,6 +1208,7 @@ impl MoscemSampler {
             self.stage_rebuild_and_score(
                 executor,
                 &mut arena,
+                &scorer,
                 &work,
                 launch_cfg,
                 &profiler,
@@ -1394,8 +1406,10 @@ impl MoscemSampler {
     }
 
     /// The staged `close` kernel: one launch over the arena's lockstep
-    /// blocks, each block closing up to [`CCD_BLOCK_WIDTH`] members together
-    /// with batched optimal-rotation inner products.
+    /// blocks, each block closing up to
+    /// [`ccd_block_width`](PopulationArena::ccd_block_width) members
+    /// together (the executor backend's reported width) with batched
+    /// optimal-rotation inner products.
     ///
     /// `mask_above` restricts the launch to members whose candidate closure
     /// deviation still exceeds the bound (the init retry rounds);
@@ -1414,6 +1428,8 @@ impl MoscemSampler {
     ) {
         let n = arena.n_members();
         let n_blocks = arena.n_blocks();
+        let width = arena.ccd_block_width();
+        debug_assert!(width <= MAX_CCD_BLOCK_WIDTH);
         if !accumulate {
             arena.block_ccd_us.iter_mut().for_each(|t| *t = 0.0);
         }
@@ -1426,14 +1442,18 @@ impl MoscemSampler {
         let starts = &arena.ccd_start;
         let _ = executor.launch(KernelKind::Ccd, n_blocks, |b| {
             let t = Instant::now();
-            let lo = b * CCD_BLOCK_WIDTH;
-            let hi = (lo + CCD_BLOCK_WIDTH).min(n);
+            let lo = b * width;
+            let hi = (lo + width).min(n);
             // SAFETY: kernel b touches only block b's scratch and the
             // slots/lanes of members [lo, hi).
             let scratch = unsafe { blocks.item_mut(b) };
-            let mut store: [MaybeUninit<CcdLane>; CCD_BLOCK_WIDTH] =
-                [const { MaybeUninit::uninit() }; CCD_BLOCK_WIDTH];
-            let mut ids = [0usize; CCD_BLOCK_WIDTH];
+            // Stack staging is sized for the widest configurable block
+            // (ExecutorConfig validation caps `width` at
+            // MAX_CCD_BLOCK_WIDTH); only the first `hi - lo` entries are
+            // ever touched.
+            let mut store: [MaybeUninit<CcdLane>; MAX_CCD_BLOCK_WIDTH] =
+                [const { MaybeUninit::uninit() }; MAX_CCD_BLOCK_WIDTH];
+            let mut ids = [0usize; MAX_CCD_BLOCK_WIDTH];
             let mut count = 0usize;
             // Raw indexing is the deliberate kernel idiom here: `i` is the
             // device thread id addressing several parallel SoA buffers.
@@ -1492,6 +1512,7 @@ impl MoscemSampler {
         &self,
         executor: &Executor,
         arena: &mut PopulationArena,
+        scorer: &MultiScorer,
         work: &WorkModel,
         launch_cfg: LaunchConfig,
         profiler: &Profiler,
@@ -1558,18 +1579,15 @@ impl MoscemSampler {
                     let mut a = sv.as_array();
                     match kind {
                         KernelKind::EvalVdw => {
-                            let (vdw, burial) =
-                                self.scorer.vdw_pass(&self.target, structure, scratch);
+                            let (vdw, burial) = scorer.vdw_pass(&self.target, structure, scratch);
                             a[0] = vdw;
                             a[3] = burial;
                         }
                         KernelKind::EvalDist => {
-                            a[1] = self.scorer.dist_pass(&self.target, structure, scratch);
+                            a[1] = scorer.dist_pass(&self.target, structure, scratch);
                         }
                         KernelKind::EvalTrip => {
-                            a[2] = self
-                                .scorer
-                                .triplet_pass(&self.target, structure, cand, scratch);
+                            a[2] = scorer.triplet_pass(&self.target, structure, cand, scratch);
                         }
                         _ => unreachable!("score stage launches only Eval kernels"),
                     }
@@ -2186,6 +2204,18 @@ mod tests {
         KnowledgeBase::build(KnowledgeBaseConfig::fast())
     }
 
+    fn scalar() -> Executor {
+        lms_simt::ExecutorConfig::scalar()
+            .build()
+            .expect("valid config")
+    }
+
+    fn parallel() -> Executor {
+        lms_simt::ExecutorConfig::parallel()
+            .build()
+            .expect("valid config")
+    }
+
     fn small_sampler(name: &str, cfg: SamplerConfig) -> MoscemSampler {
         let target = BenchmarkLibrary::standard().target_by_name(name).unwrap();
         MoscemSampler::new(target, fast_kb(), cfg)
@@ -2200,7 +2230,7 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("1cex", cfg);
-        let result = sampler.run(&Executor::scalar());
+        let result = sampler.run(&scalar());
         assert_eq!(result.population.len(), 24);
         for c in &result.population {
             assert!(c.scores.is_finite());
@@ -2227,8 +2257,8 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("5pti", cfg);
-        let a = sampler.run(&Executor::scalar());
-        let b = sampler.run(&Executor::parallel());
+        let a = sampler.run(&scalar());
+        let b = sampler.run(&parallel());
         assert_eq!(a.population.len(), b.population.len());
         for (x, y) in a.population.iter().zip(b.population.iter()) {
             assert_eq!(
@@ -2251,8 +2281,8 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("3pte", cfg);
-        let a = sampler.run_with_seed(&Executor::scalar(), 1);
-        let b = sampler.run_with_seed(&Executor::scalar(), 2);
+        let a = sampler.run_with_seed(&scalar(), 1);
+        let b = sampler.run_with_seed(&scalar(), 2);
         assert_ne!(
             a.population.iter().map(|c| c.scores).collect::<Vec<_>>(),
             b.population.iter().map(|c| c.scores).collect::<Vec<_>>()
@@ -2269,7 +2299,7 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("1akz", cfg);
-        let result = sampler.run(&Executor::scalar());
+        let result = sampler.run(&scalar());
         assert_eq!(result.snapshots.len(), 3);
         assert_eq!(result.snapshots[0].iteration, 0);
         assert_eq!(result.snapshots[1].iteration, 2);
@@ -2292,7 +2322,7 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("1cex", cfg);
-        let result = sampler.run(&Executor::scalar());
+        let result = sampler.run(&scalar());
         let f = result.component_times.fractions();
         let heavy = f[0] + f[1];
         assert!(
@@ -2311,7 +2341,7 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("1dim", cfg);
-        let result = sampler.run(&Executor::parallel());
+        let result = sampler.run(&parallel());
         assert!(result.modeled_cpu_us > 0.0);
         assert!(result.modeled_gpu_us > 0.0);
         assert!(result.modeled_speedup() > 1.0);
@@ -2326,7 +2356,7 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("1ixh", cfg);
-        let result = sampler.run(&Executor::scalar());
+        let result = sampler.run(&scalar());
         let kernels = result.profiler.kernel_stats();
         for kind in [
             KernelKind::Ccd,
@@ -2364,7 +2394,7 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("1cex", cfg);
-        let result = sampler.run(&Executor::parallel());
+        let result = sampler.run(&parallel());
         let first = &result.snapshots[0];
         let last = &result.snapshots[1];
         // The front should not collapse, and the best decoy should not get
@@ -2407,8 +2437,8 @@ mod tests {
                 ..base
             },
         );
-        let a = multi.run(&Executor::scalar());
-        let b = single.run(&Executor::scalar());
+        let a = multi.run(&scalar());
+        let b = single.run(&scalar());
         // Different acceptance dynamics ⇒ different trajectories.
         assert_ne!(
             a.population.iter().map(|c| c.scores).collect::<Vec<_>>(),
@@ -2426,7 +2456,7 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("1cex", base.clone());
-        let result = sampler.run(&Executor::parallel());
+        let result = sampler.run(&parallel());
         // One trace per complex, one point per iteration.
         assert_eq!(result.complex_traces.len(), 3);
         for trace in &result.complex_traces {
@@ -2445,7 +2475,7 @@ mod tests {
             }),
             ..base
         };
-        let annealed = small_sampler("1cex", annealed_cfg).run(&Executor::parallel());
+        let annealed = small_sampler("1cex", annealed_cfg).run(&parallel());
         assert!(annealed.final_temperature < 0.1);
     }
 
@@ -2458,7 +2488,7 @@ mod tests {
             ..SamplerConfig::test_scale()
         };
         let sampler = small_sampler("1bhe", cfg);
-        let production = sampler.produce_decoys(&Executor::parallel(), 6, 4);
+        let production = sampler.produce_decoys(&parallel(), 6, 4);
         assert!(production.trajectories_run >= 1);
         assert!(production.trajectories_run <= 4);
         assert!(!production.decoys.is_empty());

@@ -1,21 +1,63 @@
 //! Property tests: the staged population-batched kernel pipeline
 //! (`MoscemSampler::run_controlled` / `run_with_seed`) is **bit-identical**
 //! to the per-member reference implementation
-//! (`MoscemSampler::run_reference_with_seed`) — across every `Executor`
-//! variant, both objective modes (3- and 4-objective), the single-objective
+//! (`MoscemSampler::run_reference_with_seed`) — across every executor
+//! backend (scalar / parallel / SIMD when compiled in), several CCD block
+//! widths, both objective modes (3- and 4-objective), the single-objective
 //! and weighted-sum baselines, multiple seeds and targets.
 //!
-//! This is the contract that makes the SoA arena refactor safe: the staged
-//! launches (`mutate`, `close`, `rebuild`, `score`, `metropolis`, `select`)
-//! reorganise *execution*, never *computation* — every member draws the
-//! same `(member, iteration)` random stream and sees the same floating-
-//! point operation sequence as the fused per-member loop.
+//! This is the contract that makes the SoA arena refactor and the pluggable
+//! backend API safe: the staged launches (`mutate`, `close`, `rebuild`,
+//! `score`, `metropolis`, `select`) reorganise *execution*, never
+//! *computation* — every member draws the same `(member, iteration)` random
+//! stream and sees the same floating-point operation sequence as the fused
+//! per-member loop, whatever backend or block width runs it.  Every new
+//! backend must join [`equivalence_executors`] to ship.
 
 use lms_core::{MoscemSampler, ObjectiveMode, SamplerConfig, TrajectoryResult};
 use lms_protein::BenchmarkLibrary;
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig, Objective};
-use lms_simt::Executor;
+use lms_simt::{Executor, ExecutorConfig};
 use std::sync::Arc;
+
+/// The full backend × block-width equivalence matrix.  Every backend the
+/// build knows about appears here — adding an executor backend without
+/// extending this harness is a bug.
+fn equivalence_executors() -> Vec<Executor> {
+    #[cfg_attr(not(feature = "simd"), allow(unused_mut))]
+    let mut executors = vec![
+        ExecutorConfig::scalar().build().unwrap(),
+        ExecutorConfig::parallel().build().unwrap(),
+        ExecutorConfig::parallel().threads(2).build().unwrap(),
+        // Block widths off the default 8: a divisor of the population, a
+        // non-divisor (ragged final block), and single-member blocks.
+        ExecutorConfig::scalar().ccd_block_width(4).build().unwrap(),
+        ExecutorConfig::parallel()
+            .threads(2)
+            .ccd_block_width(5)
+            .build()
+            .unwrap(),
+        ExecutorConfig::scalar().ccd_block_width(1).build().unwrap(),
+    ];
+    #[cfg(feature = "simd")]
+    {
+        executors.push(ExecutorConfig::simd().build().unwrap());
+        executors.push(
+            ExecutorConfig::simd()
+                .threads(2)
+                .ccd_block_width(12)
+                .build()
+                .unwrap(),
+        );
+    }
+    executors
+}
+
+/// Label an executor for assertion messages.
+fn describe(executor: &Executor) -> String {
+    let caps = executor.capabilities();
+    format!("{} w={}", caps.name, caps.ccd_block_width)
+}
 
 fn fast_kb() -> Arc<KnowledgeBase> {
     KnowledgeBase::build(KnowledgeBaseConfig::fast())
@@ -114,23 +156,20 @@ fn assert_bit_identical(batched: &TrajectoryResult, reference: &TrajectoryResult
 
 #[test]
 fn batched_pipeline_matches_reference_across_executors_and_seeds() {
-    let executors = [
-        Executor::scalar(),
-        Executor::parallel(),
-        Executor::parallel_with_threads(2),
-    ];
+    let executors = equivalence_executors();
     for name in ["1cex", "5pti"] {
         let s = sampler(name, base_config());
         for seed in [1u64, 42, 2010] {
             // The reference run itself is executor-invariant; compute it once
             // per seed on the scalar baseline.
-            let reference = s.run_reference_with_seed(&Executor::scalar(), seed);
+            let reference =
+                s.run_reference_with_seed(&ExecutorConfig::scalar().build().unwrap(), seed);
             for executor in &executors {
                 let batched = s.run_with_seed(executor, seed);
                 assert_bit_identical(
                     &batched,
                     &reference,
-                    &format!("{name} seed {seed} on {}", executor.name()),
+                    &format!("{name} seed {seed} on {}", describe(executor)),
                 );
             }
         }
@@ -147,13 +186,24 @@ fn batched_pipeline_matches_reference_in_four_objective_mode() {
     // 1xyz is the buried target: the burial objective is non-trivial there.
     let s = sampler("1xyz", cfg);
     for seed in [7u64, 99] {
-        let reference = s.run_reference_with_seed(&Executor::scalar(), seed);
-        for executor in [Executor::scalar(), Executor::parallel_with_threads(2)] {
+        let reference = s.run_reference_with_seed(&ExecutorConfig::scalar().build().unwrap(), seed);
+        #[cfg_attr(not(feature = "simd"), allow(unused_mut))]
+        let mut executors = vec![
+            ExecutorConfig::scalar().build().unwrap(),
+            ExecutorConfig::parallel()
+                .threads(2)
+                .ccd_block_width(6)
+                .build()
+                .unwrap(),
+        ];
+        #[cfg(feature = "simd")]
+        executors.push(ExecutorConfig::simd().build().unwrap());
+        for executor in executors {
             let batched = s.run_with_seed(&executor, seed);
             assert_bit_identical(
                 &batched,
                 &reference,
-                &format!("burial seed {seed} on {}", executor.name()),
+                &format!("burial seed {seed} on {}", describe(&executor)),
             );
         }
         // The burial slot is genuinely active (not reduced to the
@@ -184,8 +234,8 @@ fn batched_pipeline_matches_reference_in_baseline_objective_modes() {
             .build()
             .expect("valid baseline config");
         let s = sampler("1akz", cfg);
-        let reference = s.run_reference_with_seed(&Executor::scalar(), 5);
-        let batched = s.run_with_seed(&Executor::parallel(), 5);
+        let reference = s.run_reference_with_seed(&ExecutorConfig::scalar().build().unwrap(), 5);
+        let batched = s.run_with_seed(&ExecutorConfig::parallel().build().unwrap(), 5);
         assert_bit_identical(&batched, &reference, label);
     }
 }
@@ -201,8 +251,11 @@ fn uniform_random_init_mode_matches_reference() {
         .expect("valid config");
     let s = sampler("1cex", cfg);
     for seed in [3u64, 11] {
-        let reference = s.run_reference_with_seed(&Executor::scalar(), seed);
-        let batched = s.run_with_seed(&Executor::parallel_with_threads(3), seed);
+        let reference = s.run_reference_with_seed(&ExecutorConfig::scalar().build().unwrap(), seed);
+        let batched = s.run_with_seed(
+            &ExecutorConfig::parallel().threads(3).build().unwrap(),
+            seed,
+        );
         assert_bit_identical(&batched, &reference, &format!("uniform-init seed {seed}"));
     }
 }

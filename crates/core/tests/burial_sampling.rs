@@ -6,7 +6,7 @@
 use lms_core::{MoscemSampler, SamplerConfig};
 use lms_protein::BenchmarkLibrary;
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-use lms_simt::Executor;
+use lms_simt::ExecutorConfig;
 use std::sync::Arc;
 
 fn kb() -> Arc<KnowledgeBase> {
@@ -28,7 +28,7 @@ fn config(burial: bool) -> SamplerConfig {
 fn disabled_burial_slot_stays_exactly_zero() {
     let target = BenchmarkLibrary::standard().target_by_name("1xyz").unwrap();
     let sampler = MoscemSampler::new(target, kb(), config(false));
-    let result = sampler.run(&Executor::parallel());
+    let result = sampler.run(&ExecutorConfig::parallel().build().unwrap());
     for c in &result.population {
         assert_eq!(c.scores.burial(), 0.0);
         assert!(c.scores.is_finite());
@@ -40,8 +40,8 @@ fn enabled_burial_scores_every_member_and_changes_the_trajectory() {
     let library = BenchmarkLibrary::standard();
     let off = MoscemSampler::new(library.target_by_name("1xyz").unwrap(), kb(), config(false));
     let on = MoscemSampler::new(library.target_by_name("1xyz").unwrap(), kb(), config(true));
-    let a = off.run(&Executor::parallel());
-    let b = on.run(&Executor::parallel());
+    let a = off.run(&ExecutorConfig::parallel().build().unwrap());
+    let b = on.run(&ExecutorConfig::parallel().build().unwrap());
 
     // Every member of the enabled run carries a real burial score on the
     // deeply buried 1xyz target.
@@ -66,8 +66,8 @@ fn enabled_burial_scores_every_member_and_changes_the_trajectory() {
 fn enabled_burial_runs_are_deterministic_across_executors() {
     let library = BenchmarkLibrary::standard();
     let sampler = MoscemSampler::new(library.target_by_name("1cex").unwrap(), kb(), config(true));
-    let scalar = sampler.run(&Executor::scalar());
-    let parallel = sampler.run(&Executor::parallel());
+    let scalar = sampler.run(&ExecutorConfig::scalar().build().unwrap());
+    let parallel = sampler.run(&ExecutorConfig::parallel().build().unwrap());
     assert_eq!(scalar.population.len(), parallel.population.len());
     for (x, y) in scalar.population.iter().zip(parallel.population.iter()) {
         assert_eq!(x.torsions, y.torsions);

@@ -252,6 +252,62 @@ fn quarantine_policy_recovers_from_injected_nans() {
 }
 
 #[test]
+fn fault_sites_key_identically_across_executor_backends() {
+    // Fault sites are keyed by (kernel kind, launch index, logical lane) —
+    // coordinates of the *computation*, not of the backend that runs it.
+    // The same plan must therefore hit the same member on every backend
+    // and produce bit-identical quarantine recoveries.
+    let plans = [
+        FaultPlan::new().inject(KernelKind::EvalDist, 1, 1, FaultKind::Nan),
+        FaultPlan::new().inject(KernelKind::Ccd, 0, 0, FaultKind::Nan),
+    ];
+    let mut executor_configs = vec![
+        lms_simt::ExecutorConfig::scalar(),
+        lms_simt::ExecutorConfig::parallel().threads(2),
+    ];
+    #[cfg(feature = "simd")]
+    executor_configs.push(lms_simt::ExecutorConfig::simd().threads(2));
+    for plan in plans {
+        let mut baseline: Option<Vec<Conformation>> = None;
+        for exec_cfg in &executor_configs {
+            let engine = LoopModelingEngine::builder(fast_kb())
+                .concurrency(1)
+                .executor(*exec_cfg)
+                .build()
+                .unwrap();
+            let cfg = tiny_builder(2)
+                .numeric_guard(NumericGuard::Quarantine)
+                .build()
+                .unwrap();
+            let job = Job::builder(target())
+                .config(cfg)
+                .seed(13)
+                .fault_plan(plan.clone())
+                .build()
+                .unwrap();
+            let result = run_single(&engine, job);
+            let backend = result.capabilities.name;
+            let population = result
+                .outcome
+                .unwrap_or_else(|e| panic!("quarantine recovers on {backend}: {e}"))
+                .population;
+            match &baseline {
+                None => baseline = Some(population),
+                Some(reference) => {
+                    for (i, (a, b)) in population.iter().zip(reference.iter()).enumerate() {
+                        assert_eq!(
+                            a.torsions, b.torsions,
+                            "member {i} torsions diverge on {backend}"
+                        );
+                        assert_eq!(a.scores, b.scores, "member {i} scores diverge on {backend}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn an_injected_stall_trips_the_wallclock_deadline() {
     let engine = engine_with(RetryPolicy::no_retries());
     let cfg = tiny_builder(2)

@@ -9,7 +9,7 @@ use lms_core::{
 };
 use lms_protein::{BenchmarkLibrary, LoopTarget};
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-use lms_simt::Executor;
+use lms_simt::ExecutorConfig;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -49,7 +49,11 @@ fn an_already_spent_deadline_fires_before_initialisation() {
         .unwrap();
     let sampler = MoscemSampler::new(target(), fast_kb(), cfg);
     let err = sampler
-        .run_controlled(&Executor::scalar(), 7, &RunControls::new())
+        .run_controlled(
+            &ExecutorConfig::scalar().build().unwrap(),
+            7,
+            &RunControls::new(),
+        )
         .unwrap_err();
     assert_eq!(
         err,
@@ -66,7 +70,11 @@ fn stall_guard_fires_after_the_configured_streak() {
     let limit = 2;
     let sampler = MoscemSampler::new(target(), fast_kb(), stall_config(limit));
     let err = sampler
-        .run_controlled(&Executor::scalar(), 11, &RunControls::new())
+        .run_controlled(
+            &ExecutorConfig::scalar().build().unwrap(),
+            11,
+            &RunControls::new(),
+        )
         .unwrap_err();
     assert_eq!(
         err,
@@ -113,7 +121,8 @@ fn limit_validation_rejects_degenerate_budgets() {
         .build()
         .unwrap();
     assert!(ok.limits.is_limited());
-    let result = MoscemSampler::new(target(), fast_kb(), ok).run_with_seed(&Executor::scalar(), 5);
+    let result = MoscemSampler::new(target(), fast_kb(), ok)
+        .run_with_seed(&ExecutorConfig::scalar().build().unwrap(), 5);
     assert_eq!(result.population.len(), 8);
 }
 

@@ -15,7 +15,7 @@ use lms_core::{MoscemSampler, MutationConfig, Mutator, RunControls, SamplerConfi
 use lms_geometry::StreamRngFactory;
 use lms_protein::{BenchmarkLibrary, LoopBuilder, LoopStructure, RamaClass, Torsions};
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig, MultiScorer, ScoreScratch, VdwScore};
-use lms_simt::Executor;
+use lms_simt::ExecutorConfig;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -272,39 +272,59 @@ fn staged_arena_pipeline_is_allocation_free_after_warmup() {
     // kernel — reuses arena buffers allocated at trajectory start.  Sample
     // the allocation counter from the per-iteration progress callback and
     // require exact zero growth across steady-state iterations.
-    let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
-    let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
-    let iterations = 10usize;
-    let cfg = SamplerConfig::builder()
-        .population_size(12)
-        .n_complexes(2)
-        .iterations(iterations)
-        .seed(7)
-        .build()
-        .expect("valid test config");
-    let sampler = MoscemSampler::new(target, kb, cfg);
+    //
+    // The invariant must hold for every block partition of the population
+    // (the default width, a non-divisor width with a ragged final block,
+    // single-member blocks) and on the wide-lane SIMD backend, whose CCD
+    // and VDW kernels stage into preallocated lane buffers.  Executors are
+    // pinned to one worker because the parallel dispatch path itself spawns
+    // scoped threads (an allocation by design); the kernels it runs are the
+    // same ones proven allocation-free here.
+    #[cfg_attr(not(feature = "simd"), allow(unused_mut))]
+    let mut executor_configs = vec![
+        ExecutorConfig::scalar(),
+        ExecutorConfig::scalar().ccd_block_width(5),
+        ExecutorConfig::scalar().ccd_block_width(1),
+    ];
+    #[cfg(feature = "simd")]
+    executor_configs.push(ExecutorConfig::simd().threads(1).ccd_block_width(6));
+    for exec_cfg in executor_configs {
+        let executor = exec_cfg.build().expect("valid executor config");
+        let caps = executor.capabilities();
+        let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
+        let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+        let iterations = 10usize;
+        let cfg = SamplerConfig::builder()
+            .population_size(12)
+            .n_complexes(2)
+            .iterations(iterations)
+            .seed(7)
+            .build()
+            .expect("valid test config");
+        let sampler = MoscemSampler::new(target, kb, cfg);
 
-    let samples: Vec<AtomicUsize> = (0..=iterations).map(|_| AtomicUsize::new(0)).collect();
-    let progress = |done: usize, _total: usize| {
-        samples[done].store(allocation_count(), Ordering::Relaxed);
-    };
-    let controls = RunControls::new().progress(&progress);
-    let result = sampler
-        .run_controlled(&Executor::scalar(), 7, &controls)
-        .expect("uncancelled run succeeds");
-    assert_eq!(result.population.len(), 12);
+        let samples: Vec<AtomicUsize> = (0..=iterations).map(|_| AtomicUsize::new(0)).collect();
+        let progress = |done: usize, _total: usize| {
+            samples[done].store(allocation_count(), Ordering::Relaxed);
+        };
+        let controls = RunControls::new().progress(&progress);
+        let result = sampler
+            .run_controlled(&executor, 7, &controls)
+            .expect("uncancelled run succeeds");
+        assert_eq!(result.population.len(), 12);
 
-    // Iterations 1–3 may warm buffers up (profiler rows, trace growth);
-    // every later iteration must allocate exactly nothing.
-    for iter in 4..=iterations {
-        let before = samples[iter - 1].load(Ordering::Relaxed);
-        let after = samples[iter].load(Ordering::Relaxed);
-        assert_eq!(
-            after - before,
-            0,
-            "staged iteration {iter} performed {} heap allocations",
-            after - before
-        );
+        // Iterations 1–3 may warm buffers up (profiler rows, trace growth);
+        // every later iteration must allocate exactly nothing.
+        for iter in 4..=iterations {
+            let before = samples[iter - 1].load(Ordering::Relaxed);
+            let after = samples[iter].load(Ordering::Relaxed);
+            assert_eq!(
+                after - before,
+                0,
+                "staged iteration {iter} on {caps} performed {} heap allocations",
+                after - before
+            );
+        }
     }
 }
 

@@ -64,6 +64,21 @@ impl MultiScorer {
         self
     }
 
+    /// Enable or disable explicit wide-`f64` lanes in the VDW contact
+    /// distance passes (see [`VdwScore::with_wide_lanes`]).  The sampler
+    /// flips this on when the executor backend reports a wide lane width;
+    /// scores are bit-identical either way.
+    #[must_use]
+    pub fn with_wide_lanes(mut self, wide: bool) -> Self {
+        self.vdw = self.vdw.with_wide_lanes(wide);
+        self
+    }
+
+    /// Whether the VDW passes use the wide distance kernel.
+    pub fn wide_lanes(&self) -> bool {
+        self.vdw.wide_lanes()
+    }
+
     /// Whether the BURIAL objective is evaluated.
     pub fn burial_enabled(&self) -> bool {
         self.burial_enabled

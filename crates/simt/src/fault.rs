@@ -283,7 +283,7 @@ pub fn clear_nan() {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::Executor;
+    use crate::executor::ExecutorConfig;
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::AtomicUsize;
 
@@ -320,7 +320,7 @@ mod tests {
         let plan = FaultPlan::new().inject(KernelKind::EvalVdw, 1, 3, FaultKind::Panic);
         let session = FaultSession::begin(plan);
         let _guard = install(session);
-        let exec = Executor::scalar();
+        let exec = ExecutorConfig::scalar().build().unwrap();
         // Launch 0 of EvalVdw and any launch of another kernel are clean.
         let ran = AtomicUsize::new(0);
         let _ = exec.launch(KernelKind::EvalVdw, 8, |_| {
@@ -344,7 +344,7 @@ mod tests {
     fn nan_flag_is_armed_for_the_faulted_lane_and_cleared_after() {
         let plan = FaultPlan::new().inject(KernelKind::Reproduction, 0, 2, FaultKind::Nan);
         let _guard = install(FaultSession::begin(plan));
-        let exec = Executor::scalar();
+        let exec = ExecutorConfig::scalar().build().unwrap();
         let mut poisoned = vec![false; 4];
         {
             let flags = std::sync::Mutex::new(&mut poisoned);
@@ -364,7 +364,10 @@ mod tests {
         let stall = Duration::from_millis(20);
         let plan = FaultPlan::new().inject(KernelKind::Ccd, 0, 0, FaultKind::Stall(stall));
         let _guard = install(FaultSession::begin(plan));
-        let launch = Executor::scalar().launch(KernelKind::Ccd, 1, |_| {});
+        let launch = ExecutorConfig::scalar()
+            .build()
+            .unwrap()
+            .launch(KernelKind::Ccd, 1, |_| {});
         assert!(launch.host >= stall, "host time {:?}", launch.host);
     }
 
@@ -372,7 +375,7 @@ mod tests {
     fn faults_fire_under_the_parallel_executor_too() {
         let plan = FaultPlan::new().inject(KernelKind::Select, 0, 5, FaultKind::Panic);
         let _guard = install(FaultSession::begin(plan));
-        let exec = Executor::parallel_with_threads(2);
+        let exec = ExecutorConfig::parallel().threads(2).build().unwrap();
         let result = catch_unwind(AssertUnwindSafe(|| {
             let _ = exec.launch(KernelKind::Select, 16, |_| {});
         }));

@@ -93,7 +93,7 @@ impl<'a, T> SharedLanes<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::Executor;
+    use crate::executor::ExecutorConfig;
     use crate::kernel::KernelKind;
 
     #[test]
@@ -102,13 +102,17 @@ mod tests {
         let members = 64;
         let mut flat = vec![0.0f64; members * stride];
         let lanes = SharedLanes::new(&mut flat);
-        let launch = Executor::parallel().launch(KernelKind::Select, members, |i| {
-            // SAFETY: thread i touches only lane i.
-            let lane = unsafe { lanes.lane_mut(i * stride, stride) };
-            for (k, v) in lane.iter_mut().enumerate() {
-                *v = (i * stride + k) as f64;
-            }
-        });
+        let launch =
+            ExecutorConfig::parallel()
+                .build()
+                .unwrap()
+                .launch(KernelKind::Select, members, |i| {
+                    // SAFETY: thread i touches only lane i.
+                    let lane = unsafe { lanes.lane_mut(i * stride, stride) };
+                    for (k, v) in lane.iter_mut().enumerate() {
+                        *v = (i * stride + k) as f64;
+                    }
+                });
         assert_eq!(launch.threads, members);
         for (k, v) in flat.iter().enumerate() {
             assert_eq!(*v, k as f64);
@@ -121,10 +125,14 @@ mod tests {
         let lanes = SharedLanes::new(&mut flat);
         assert_eq!(lanes.len(), 128);
         assert!(!lanes.is_empty());
-        let _ = Executor::scalar().launch(KernelKind::Metropolis, 128, |i| {
-            // SAFETY: thread i touches only element i.
-            *unsafe { lanes.item_mut(i) } = i as u64 * 3;
-        });
+        let _ =
+            ExecutorConfig::scalar()
+                .build()
+                .unwrap()
+                .launch(KernelKind::Metropolis, 128, |i| {
+                    // SAFETY: thread i touches only element i.
+                    *unsafe { lanes.item_mut(i) } = i as u64 * 3;
+                });
         for (i, v) in flat.iter().enumerate() {
             assert_eq!(*v, i as u64 * 3);
         }
@@ -135,8 +143,11 @@ mod tests {
         let mut a = vec![0u32; 1000];
         let mut b = vec![0u32; 1000];
         for (exec, buf) in [
-            (Executor::scalar(), &mut a),
-            (Executor::parallel_with_threads(3), &mut b),
+            (ExecutorConfig::scalar().build().unwrap(), &mut a),
+            (
+                ExecutorConfig::parallel().threads(3).build().unwrap(),
+                &mut b,
+            ),
         ] {
             let lanes = SharedLanes::new(buf);
             let _ = exec.launch(KernelKind::Reproduction, 1000, |i| {
@@ -151,9 +162,13 @@ mod tests {
         let mut flat: Vec<u8> = Vec::new();
         let lanes = SharedLanes::new(&mut flat);
         assert!(lanes.is_empty());
-        let launch = Executor::parallel().launch(KernelKind::Select, 0, |_| {
-            panic!("kernel must not run for an empty population")
-        });
+        let launch =
+            ExecutorConfig::parallel()
+                .build()
+                .unwrap()
+                .launch(KernelKind::Select, 0, |_| {
+                    panic!("kernel must not run for an empty population")
+                });
         assert_eq!(launch.threads, 0);
     }
 }

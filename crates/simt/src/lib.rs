@@ -14,7 +14,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use lms_simt::{DeviceSpec, Executor, KernelKind, LaunchConfig, TimingModel};
+//! use lms_simt::{DeviceSpec, ExecutorConfig, KernelKind, LaunchConfig, TimingModel};
 //!
 //! // Occupancy of the CCD kernel at the paper's 128-thread blocks.
 //! let spec = DeviceSpec::gtx280();
@@ -24,8 +24,9 @@
 //! assert!((occ.occupancy - 0.5).abs() < 1e-9);
 //!
 //! // Run a kernel over a population on all cores.
+//! let executor = ExecutorConfig::parallel().build().expect("valid config");
 //! let mut population = vec![0u64; 1024];
-//! Executor::parallel().for_each_indexed(&mut population, |i, x| *x = i as u64);
+//! executor.for_each_indexed(&mut population, |i, x| *x = i as u64);
 //! assert_eq!(population[1023], 1023);
 //!
 //! // Modeled device time for that launch.
@@ -48,7 +49,10 @@ pub mod profiler;
 pub mod timing;
 
 pub use device::{DeviceSpec, HostSpec};
-pub use executor::{Executor, KernelLaunch};
+pub use executor::{
+    Backend, Capabilities, Executor, ExecutorConfig, ExecutorConfigError, KernelLaunch,
+    DEFAULT_CCD_BLOCK_WIDTH, MAX_CCD_BLOCK_WIDTH,
+};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultKind, FaultPlan, FaultSession, FaultSite};
 pub use kernel::{KernelKind, LaunchConfig};

@@ -3,6 +3,7 @@
 //! Table II — and the per-kernel occupancy summary behind its Table III.
 
 use crate::device::DeviceSpec;
+use crate::executor::Capabilities;
 use crate::kernel::KernelKind;
 use crate::memory::{transfer_time_us, TransferKind};
 use crate::occupancy::Occupancy;
@@ -46,12 +47,27 @@ struct ProfilerInner {
     kernels: BTreeMap<KernelKind, KernelStats>,
     transfers: BTreeMap<TransferKind, TransferStats>,
     occupancy: BTreeMap<KernelKind, Occupancy>,
+    executor: Option<Capabilities>,
 }
 
 impl Profiler {
     /// Create an empty profiler.
     pub fn new() -> Self {
         Profiler::default()
+    }
+
+    /// Record the capabilities of the executor driving the profiled run,
+    /// so every report is attributable to a backend.  The sampler calls
+    /// this once at trajectory start with
+    /// [`Executor::capabilities`](crate::Executor::capabilities).
+    pub fn set_executor(&self, capabilities: Capabilities) {
+        self.inner.lock().executor = Some(capabilities);
+    }
+
+    /// The executor capabilities recorded by [`Profiler::set_executor`], if
+    /// any.
+    pub fn executor(&self) -> Option<Capabilities> {
+        self.inner.lock().executor
     }
 
     /// Record one kernel launch.
@@ -115,6 +131,9 @@ impl Profiler {
         let total = self.total_device_us().max(1e-12);
 
         let mut out = String::new();
+        if let Some(caps) = self.executor() {
+            writeln!(out, "Executor: {caps}").unwrap();
+        }
         writeln!(
             out,
             "{:<10} {:<30} {:>8} {:>16} {:>8} {:>16}",
@@ -199,6 +218,9 @@ impl Profiler {
         }
         for (k, o) in &other_inner.occupancy {
             inner.occupancy.insert(*k, *o);
+        }
+        if inner.executor.is_none() {
+            inner.executor = other_inner.executor;
         }
     }
 }
@@ -308,6 +330,31 @@ mod tests {
             report.contains("100%"),
             "fitness kernels at 100%:\n{report}"
         );
+    }
+
+    #[test]
+    fn table2_report_leads_with_executor_capabilities() {
+        use crate::executor::ExecutorConfig;
+        let p = Profiler::new();
+        assert!(p.executor().is_none());
+        let executor = ExecutorConfig::scalar().build().unwrap();
+        p.set_executor(executor.capabilities());
+        p.record_kernel(
+            KernelKind::Ccd,
+            1.0,
+            1.0,
+            1.0,
+            sample_occupancy(KernelKind::Ccd),
+        );
+        let report = p.table2_report();
+        assert!(
+            report.starts_with("Executor: scalar (lane_width=1, threads=1, ccd_block_width="),
+            "report header names the backend:\n{report}"
+        );
+        // Merge propagates the capabilities into an unattributed profiler.
+        let q = Profiler::new();
+        q.merge(&p);
+        assert_eq!(q.executor(), Some(executor.capabilities()));
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn main() -> Result<(), Error> {
     // Build: the engine owns what all jobs share — knowledge base,
     // executor, and the pool of warm scoring workspaces.
     let engine = LoopModelingEngine::builder(kb)
-        .executor(Executor::parallel())
+        .executor(ExecutorConfig::parallel())
         .build()?;
     println!(
         "engine: {} concurrent jobs over the '{}' executor",

@@ -70,7 +70,13 @@ fn main() -> Result<(), Error> {
     // per iteration).  That is purely an internal layout/execution change:
     // the API and the sampled trajectories are identical to the per-member
     // implementation — same seed, same decoys, bit for bit.
-    let production = sampler.produce_decoys(&Executor::parallel(), 30, 3);
+    let production = sampler.produce_decoys(
+        &ExecutorConfig::parallel()
+            .build()
+            .expect("valid executor config"),
+        30,
+        3,
+    );
 
     println!(
         "collected {} structurally distinct decoys in {} trajectories",

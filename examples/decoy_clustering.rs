@@ -25,7 +25,13 @@ fn main() -> Result<(), Error> {
     // Same seeds, different executors: identical decoys by construction.
     // Different seeds model the paper's situation (different random number
     // sequences on CPU vs GPU).
-    let cpu_like = sampler.produce_decoys(&Executor::scalar(), 40, 3);
+    let cpu_like = sampler.produce_decoys(
+        &ExecutorConfig::scalar()
+            .build()
+            .expect("valid executor config"),
+        40,
+        3,
+    );
     let gpu_like = {
         // A different random sequence, as on the real GPU.
         let cfg = config.to_builder().seed(1234).build()?;
@@ -34,7 +40,13 @@ fn main() -> Result<(), Error> {
             KnowledgeBase::build(KnowledgeBaseConfig::fast()),
             cfg,
         )?;
-        sampler2.produce_decoys(&Executor::parallel(), 40, 3)
+        sampler2.produce_decoys(
+            &ExecutorConfig::parallel()
+                .build()
+                .expect("valid executor config"),
+            40,
+            3,
+        )
     };
 
     println!(

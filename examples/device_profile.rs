@@ -39,7 +39,7 @@ fn main() -> Result<(), Error> {
         .expect("1cex exists");
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
     let engine = LoopModelingEngine::builder(kb)
-        .executor(Executor::parallel())
+        .executor(ExecutorConfig::parallel())
         .build()?;
     let config = SamplerConfig::builder()
         .population_size(256)

@@ -22,7 +22,7 @@ fn main() -> Result<(), Error> {
     // exponential backoff from 10ms.  Terminal failures (deadline,
     // cancellation, config) are never retried.
     let engine = LoopModelingEngine::builder(kb)
-        .executor(Executor::parallel())
+        .executor(ExecutorConfig::parallel())
         .retry_policy(RetryPolicy::with_max_attempts(3))
         .build()?;
 

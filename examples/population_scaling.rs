@@ -15,7 +15,7 @@ fn main() -> Result<(), Error> {
         .expect("1akz exists");
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
     let engine = LoopModelingEngine::builder(kb)
-        .executor(Executor::parallel())
+        .executor(ExecutorConfig::parallel())
         .build()?;
     let trajectories = 4u64;
 

@@ -19,7 +19,7 @@ fn main() -> Result<(), Error> {
     //    `default()` for real runs.)
     let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
     let engine = LoopModelingEngine::builder(kb)
-        .executor(Executor::parallel())
+        .executor(ExecutorConfig::parallel())
         .build()?;
 
     // 3. Configure a small sampling trajectory and run it as one job.

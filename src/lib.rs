@@ -54,7 +54,7 @@
 //! // 1. Build: one engine per process, sharing the knowledge base.
 //! let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
 //! let engine = LoopModelingEngine::builder(kb)
-//!     .executor(Executor::parallel())
+//!     .executor(ExecutorConfig::parallel())
 //!     .build()?;
 //!
 //! // 2. Submit: one job per loop; configs are validated by the builders.
@@ -89,6 +89,41 @@
 //! one job inline, and the lower-level [`prelude::MoscemSampler`] remains
 //! available (a one-job batch and a direct sampler run produce bit-identical
 //! results).
+//!
+//! ## Choosing an execution backend
+//!
+//! Executors are built through the validated [`prelude::ExecutorConfig`]
+//! builder and slot in behind the same kernel-launch entry point: `scalar`
+//! (sequential baseline), `parallel` (rayon thread pool), and — with the
+//! `simd` cargo feature — `simd`, which adds explicit wide-`f64` lanes to
+//! the dominant CCD-rotation and VDW contact kernels (a measured ~1.11×
+//! on the batched optimal-rotation kernel, tracked as the `simd` ratio in
+//! `BENCH_ccd.json`).  Backend choice **never changes sampled
+//! trajectories** (per-stream RNG discipline plus bit-identical wide
+//! kernels); it only changes how fast they run.  Every
+//! executor reports [`prelude::Capabilities`] (backend name, lane width,
+//! thread budget, CCD block width), which the profiler's Table II report,
+//! the bench JSON artifacts and each [`prelude::JobResult`] carry so
+//! measurements stay attributable.
+//!
+//! ```
+//! use lms::prelude::*;
+//!
+//! # fn main() -> Result<(), ConfigError> {
+//! let kb = KnowledgeBase::build(KnowledgeBaseConfig::fast());
+//! let engine = LoopModelingEngine::builder(kb)
+//!     .executor(ExecutorConfig::parallel().threads(4).ccd_block_width(16))
+//!     .build()?;
+//! let caps = engine.executor().capabilities();
+//! assert_eq!(caps.name, "parallel");
+//! assert_eq!(caps.threads, 4);
+//! assert_eq!(caps.ccd_block_width, 16);
+//! // With `--features simd`: ExecutorConfig::simd() selects the wide-lane
+//! // backend (lane_width 4); without the feature it is rejected at build
+//! // time as ExecutorConfigError::SimdUnavailable.
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! ## The population-batched kernel pipeline (internal layout)
 //!
@@ -181,7 +216,9 @@ pub mod prelude {
         ScoreVector, ScratchPool, NUM_OBJECTIVES,
     };
     pub use lms_simt::{
-        DeviceSpec, Executor, KernelKind, KernelLaunch, LaunchConfig, Profiler, TimingModel,
+        Backend, Capabilities, DeviceSpec, Executor, ExecutorConfig, ExecutorConfigError,
+        KernelKind, KernelLaunch, LaunchConfig, Profiler, TimingModel, DEFAULT_CCD_BLOCK_WIDTH,
+        MAX_CCD_BLOCK_WIDTH,
     };
     #[cfg(feature = "fault-injection")]
     pub use lms_simt::{FaultKind, FaultPlan, FaultSession, FaultSite};

@@ -21,7 +21,7 @@ fn shared_engine() -> &'static LoopModelingEngine {
     static ENGINE: OnceLock<LoopModelingEngine> = OnceLock::new();
     ENGINE.get_or_init(|| {
         LoopModelingEngine::builder(shared_kb())
-            .executor(Executor::parallel())
+            .executor(ExecutorConfig::parallel())
             .concurrency(3)
             .build()
             .expect("valid engine config")
@@ -78,7 +78,7 @@ proptest! {
                 .unwrap();
             let sampler = MoscemSampler::try_new(target, shared_kb(), small_config(seed))
                 .expect("valid config");
-            let reference = sampler.run_with_seed(&Executor::parallel(), seed);
+            let reference = sampler.run_with_seed(&ExecutorConfig::parallel().build().expect("valid executor config"), seed);
             prop_assert_eq!(batched.population.len(), reference.population.len());
             for (a, b) in batched.population.iter().zip(reference.population.iter()) {
                 prop_assert_eq!(&a.torsions, &b.torsions);
@@ -96,7 +96,7 @@ proptest! {
 #[test]
 fn cancelled_job_stops_while_the_rest_of_the_batch_completes() {
     let engine = LoopModelingEngine::builder(shared_kb())
-        .executor(Executor::parallel())
+        .executor(ExecutorConfig::parallel())
         .concurrency(2)
         .build()
         .expect("valid engine config");

@@ -5,7 +5,7 @@
 use lms_core::{MoscemSampler, SamplerConfig};
 use lms_protein::BenchmarkLibrary;
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig};
-use lms_simt::Executor;
+use lms_simt::ExecutorConfig;
 use std::sync::Arc;
 
 fn kb() -> Arc<KnowledgeBase> {
@@ -26,8 +26,8 @@ fn config(seed: u64) -> SamplerConfig {
 fn identical_runs_are_bitwise_identical() {
     let target = BenchmarkLibrary::standard().target_by_name("1dim").unwrap();
     let sampler = MoscemSampler::new(target, kb(), config(77));
-    let a = sampler.run(&Executor::parallel());
-    let b = sampler.run(&Executor::parallel());
+    let a = sampler.run(&ExecutorConfig::parallel().build().unwrap());
+    let b = sampler.run(&ExecutorConfig::parallel().build().unwrap());
     for (x, y) in a.population.iter().zip(b.population.iter()) {
         assert_eq!(x.torsions, y.torsions);
         assert_eq!(x.scores, y.scores);
@@ -44,9 +44,9 @@ fn executor_choice_does_not_change_the_science() {
     // and GPU versions; our per-stream RNG discipline gives exact equality.
     let target = BenchmarkLibrary::standard().target_by_name("153l").unwrap();
     let sampler = MoscemSampler::new(target, kb(), config(3));
-    let scalar = sampler.run(&Executor::scalar());
-    let parallel = sampler.run(&Executor::parallel());
-    let two_threads = sampler.run(&Executor::parallel_with_threads(2));
+    let scalar = sampler.run(&ExecutorConfig::scalar().build().unwrap());
+    let parallel = sampler.run(&ExecutorConfig::parallel().build().unwrap());
+    let two_threads = sampler.run(&ExecutorConfig::parallel().threads(2).build().unwrap());
     for ((a, b), c) in scalar
         .population
         .iter()
@@ -69,8 +69,10 @@ fn different_seeds_explore_differently_but_same_benchmark() {
     assert_eq!(t1.native_torsions, t2.native_torsions);
     assert_eq!(t1.sequence, t2.sequence);
     // …while different sampler seeds give different trajectories.
-    let s1 = MoscemSampler::new(t1, kb(), config(1)).run(&Executor::parallel());
-    let s2 = MoscemSampler::new(t2, kb(), config(2)).run(&Executor::parallel());
+    let s1 =
+        MoscemSampler::new(t1, kb(), config(1)).run(&ExecutorConfig::parallel().build().unwrap());
+    let s2 =
+        MoscemSampler::new(t2, kb(), config(2)).run(&ExecutorConfig::parallel().build().unwrap());
     let same = s1
         .population
         .iter()
@@ -88,8 +90,8 @@ fn different_seeds_explore_differently_but_same_benchmark() {
 fn decoy_production_is_reproducible() {
     let target = BenchmarkLibrary::standard().target_by_name("1bhe").unwrap();
     let sampler = MoscemSampler::new(target, kb(), config(55));
-    let a = sampler.produce_decoys(&Executor::parallel(), 20, 3);
-    let b = sampler.produce_decoys(&Executor::parallel(), 20, 3);
+    let a = sampler.produce_decoys(&ExecutorConfig::parallel().build().unwrap(), 20, 3);
+    let b = sampler.produce_decoys(&ExecutorConfig::parallel().build().unwrap(), 20, 3);
     assert_eq!(a.decoys.len(), b.decoys.len());
     assert_eq!(a.trajectories_run, b.trajectories_run);
     for (x, y) in a.decoys.decoys().iter().zip(b.decoys.decoys().iter()) {

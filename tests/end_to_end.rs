@@ -7,7 +7,7 @@ use lms_core::{MoscemSampler, ObjectiveMode, SamplerConfig};
 use lms_decoys::{cluster_decoys, distinct_non_dominated, ClusterMetric};
 use lms_protein::{BenchmarkLibrary, LoopBuilder};
 use lms_scoring::{KnowledgeBase, KnowledgeBaseConfig, MultiScorer, Objective};
-use lms_simt::{Executor, KernelKind};
+use lms_simt::{ExecutorConfig, KernelKind};
 use std::sync::Arc;
 
 fn fast_kb() -> Arc<KnowledgeBase> {
@@ -28,7 +28,7 @@ fn small_config(population: usize, iterations: usize, seed: u64) -> SamplerConfi
 fn full_pipeline_produces_reasonable_decoys() {
     let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
     let sampler = MoscemSampler::new(target.clone(), fast_kb(), small_config(64, 10, 1));
-    let production = sampler.produce_decoys(&Executor::parallel(), 30, 4);
+    let production = sampler.produce_decoys(&ExecutorConfig::parallel().build().unwrap(), 30, 4);
 
     assert!(!production.decoys.is_empty(), "no decoys harvested");
     let best = production.decoys.best_rmsd().unwrap();
@@ -101,8 +101,8 @@ fn sampling_with_more_iterations_does_not_regress() {
     let kb = fast_kb();
     let short = MoscemSampler::new(target.clone(), kb.clone(), small_config(48, 2, 9));
     let long = MoscemSampler::new(target, kb, small_config(48, 12, 9));
-    let short_result = short.run(&Executor::parallel());
-    let long_result = long.run(&Executor::parallel());
+    let short_result = short.run(&ExecutorConfig::parallel().build().unwrap());
+    let long_result = long.run(&ExecutorConfig::parallel().build().unwrap());
     // RMSD is never used for acceptance, so the single best member can
     // drift; what must hold is that both runs stay in a sane band for an
     // 11-residue loop started from Ramachandran-distributed torsions.
@@ -137,8 +137,8 @@ fn multi_scoring_front_is_broader_than_single_objective() {
             .build()
             .expect("valid test config"),
     );
-    let multi_result = multi.run(&Executor::parallel());
-    let single_result = single.run(&Executor::parallel());
+    let multi_result = multi.run(&ExecutorConfig::parallel().build().unwrap());
+    let single_result = single.run(&ExecutorConfig::parallel().build().unwrap());
     let multi_nd = multi_result.non_dominated_count();
     // For the single-objective run, measure spread as distinct structures
     // among its top conformations: typically much smaller.
@@ -153,7 +153,7 @@ fn multi_scoring_front_is_broader_than_single_objective() {
 fn profiler_matches_table2_structure_end_to_end() {
     let target = BenchmarkLibrary::standard().target_by_name("1ixh").unwrap();
     let sampler = MoscemSampler::new(target, fast_kb(), small_config(32, 4, 11));
-    let result = sampler.run(&Executor::parallel());
+    let result = sampler.run(&ExecutorConfig::parallel().build().unwrap());
     let stats = result.profiler.kernel_stats();
     // Table II ordering: CCD > DIST > VDW > TRIPLET in device time.
     let t = |k: KernelKind| stats[&k].device_us;

@@ -1,0 +1,218 @@
+//! Offline portable-SIMD shim: explicit wide `f64` lanes.
+//!
+//! This vendored crate mirrors the tiny subset of the `wide` crate's API the
+//! workspace uses: a 4-lane `f64` vector with **element-wise IEEE-754
+//! semantics**.  Every operation applies the corresponding scalar `f64`
+//! operation independently per lane — no fused multiply-add, no
+//! reassociation, no horizontal reductions — so a wide computation whose
+//! per-lane operation sequence matches a scalar loop is *bit-identical* to
+//! that loop.  That property is what lets the SIMD executor backend join the
+//! sampler's bit-identity harness without a ULP-tolerance mode.
+//!
+//! The type is a `#[repr(C, align(32))]` wrapper around `[f64; 4]` with
+//! `#[inline(always)]` arithmetic: LLVM reliably auto-vectorizes the
+//! element-wise loops into SSE2/AVX `mulpd`/`addpd`/`subpd` on x86-64 (and
+//! NEON pairs on aarch64), which are exactly the IEEE scalar operations
+//! applied lane-wise — the hand-written intrinsics would emit the same
+//! instructions with the same results.
+
+#![warn(missing_docs)]
+
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Four `f64` lanes with element-wise IEEE arithmetic.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+pub struct f64x4([f64; 4]);
+
+impl f64x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// All lanes zero.
+    pub const ZERO: f64x4 = f64x4([0.0; 4]);
+
+    /// Broadcast one value to every lane.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> f64x4 {
+        f64x4([v; 4])
+    }
+
+    /// Build from an array, one value per lane.
+    #[inline(always)]
+    pub const fn from_array(a: [f64; 4]) -> f64x4 {
+        f64x4(a)
+    }
+
+    /// Load the first four elements of a slice (panics if shorter).
+    #[inline(always)]
+    pub fn from_slice(s: &[f64]) -> f64x4 {
+        f64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub const fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+
+    /// Borrow the lanes as an array.
+    #[inline(always)]
+    pub const fn as_array_ref(&self) -> &[f64; 4] {
+        &self.0
+    }
+
+    /// Element-wise square root (IEEE correctly-rounded per lane).
+    #[inline(always)]
+    pub fn sqrt(self) -> f64x4 {
+        f64x4([
+            self.0[0].sqrt(),
+            self.0[1].sqrt(),
+            self.0[2].sqrt(),
+            self.0[3].sqrt(),
+        ])
+    }
+}
+
+impl From<[f64; 4]> for f64x4 {
+    #[inline(always)]
+    fn from(a: [f64; 4]) -> f64x4 {
+        f64x4(a)
+    }
+}
+
+impl From<f64x4> for [f64; 4] {
+    #[inline(always)]
+    fn from(v: f64x4) -> [f64; 4] {
+        v.0
+    }
+}
+
+macro_rules! elementwise_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for f64x4 {
+            type Output = f64x4;
+            #[inline(always)]
+            fn $method(self, rhs: f64x4) -> f64x4 {
+                f64x4([
+                    self.0[0] $op rhs.0[0],
+                    self.0[1] $op rhs.0[1],
+                    self.0[2] $op rhs.0[2],
+                    self.0[3] $op rhs.0[3],
+                ])
+            }
+        }
+        impl $trait<f64> for f64x4 {
+            type Output = f64x4;
+            #[inline(always)]
+            fn $method(self, rhs: f64) -> f64x4 {
+                self.$method(f64x4::splat(rhs))
+            }
+        }
+    };
+}
+
+elementwise_binop!(Add, add, +);
+elementwise_binop!(Sub, sub, -);
+elementwise_binop!(Mul, mul, *);
+
+impl AddAssign for f64x4 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: f64x4) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for f64x4 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: f64x4) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for f64x4 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64x4) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn neg(self) -> f64x4 {
+        f64x4([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_independent_ieee_ops() {
+        let a = f64x4::from_array([1.5, -2.25, 1e300, f64::MIN_POSITIVE]);
+        let b = f64x4::from_array([0.3, 7.0, 1e300, 2.0]);
+        let sum = (a + b).to_array();
+        let dif = (a - b).to_array();
+        let prod = (a * b).to_array();
+        let (aa, bb) = (a.to_array(), b.to_array());
+        for i in 0..4 {
+            assert_eq!(sum[i].to_bits(), (aa[i] + bb[i]).to_bits());
+            assert_eq!(dif[i].to_bits(), (aa[i] - bb[i]).to_bits());
+            assert_eq!(prod[i].to_bits(), (aa[i] * bb[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn wide_dot_product_matches_scalar_bitwise() {
+        // The exact pattern the CCD kernel uses: left-associated
+        // (x*x' + y*y') + z*z' accumulation must match the scalar loop.
+        let xs = [0.123456789, -9.87, 3.5e-5, 1e10];
+        let ys = [4.0, 0.25, -1.75, 2.2];
+        let zs = [-0.5, 6.125, 7.0e3, -3.25e-7];
+        let wx = f64x4::from_array(xs);
+        let wy = f64x4::from_array(ys);
+        let wz = f64x4::from_array(zs);
+        let wide = (wx * wx + wy * wy + wz * wz).to_array();
+        for i in 0..4 {
+            let scalar = xs[i] * xs[i] + ys[i] * ys[i] + zs[i] * zs[i];
+            assert_eq!(wide[i].to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn splat_slice_and_conversions() {
+        assert_eq!(f64x4::splat(2.5).to_array(), [2.5; 4]);
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(f64x4::from_slice(&s).to_array(), [1.0, 2.0, 3.0, 4.0]);
+        let v: f64x4 = [9.0, 8.0, 7.0, 6.0].into();
+        let back: [f64; 4] = v.into();
+        assert_eq!(back, [9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(v.as_array_ref()[2], 7.0);
+        assert_eq!(f64x4::ZERO.to_array(), [0.0; 4]);
+        assert_eq!((-v).to_array(), [-9.0, -8.0, -7.0, -6.0]);
+    }
+
+    #[test]
+    fn sqrt_is_correctly_rounded_per_lane() {
+        let a = [2.0, 0.49, 1e-300, 144.0];
+        let w = f64x4::from_array(a).sqrt().to_array();
+        for i in 0..4 {
+            assert_eq!(w[i].to_bits(), a[i].sqrt().to_bits());
+        }
+    }
+
+    #[test]
+    fn assign_ops_match() {
+        let mut v = f64x4::splat(1.0);
+        v += f64x4::splat(2.0);
+        v *= f64x4::splat(3.0);
+        v -= f64x4::splat(4.0);
+        assert_eq!(v.to_array(), [5.0; 4]);
+        assert_eq!((f64x4::splat(1.0) + 2.0).to_array(), [3.0; 4]);
+        assert_eq!((f64x4::splat(6.0) * 0.5).to_array(), [3.0; 4]);
+        assert_eq!((f64x4::splat(6.0) - 1.5).to_array(), [4.5; 4]);
+    }
+}
