@@ -9,17 +9,21 @@
 //!   the results are bit-identical — so the ratio isolates the rebuild
 //!   cost.
 //! * **VDW environment term**: the exhaustive linear candidate scan
-//!   against the cell-list query path, on environments scaled 1×/10×/100×
-//!   at roughly constant *local* density (extra atoms fill the candidate
-//!   reach sphere, emulating a full-size protein around the loop).  The
-//!   linear scan degrades with the total candidate count; the cell list
-//!   should stay near-flat.
+//!   against the production per-residue-window cell-list pass (one shared
+//!   gather per residue) and the older per-site cell-list query it
+//!   replaced, on environments scaled 1×/10×/100× at roughly constant
+//!   *local* density (extra atoms fill the candidate reach sphere,
+//!   emulating a full-size protein around the loop).  The linear scan
+//!   degrades with the total candidate count; the cell-list passes should
+//!   stay near-flat, with the windowed pass amortizing the query cost
+//!   across each residue's sites.
 //! * **Lockstep CCD blocks**: the population-batched `close_batch` swept
 //!   over CCD block widths, on the scalar backend and (with the `simd`
-//!   feature) the wide-lane backend, plus an isolated scalar-vs-wide
-//!   comparison of the batched optimal-rotation kernel itself — the ratio
-//!   the perf gate tracks, since at the closure level the NeRF rebuilds
-//!   dominate and would bury the kernel win in noise.
+//!   feature) the wide-lane backend whose sweeps now run the lane-major
+//!   spine rebuild.  Alongside it, two isolated scalar-vs-wide
+//!   comparisons: the batched optimal-rotation kernel, and the lane-major
+//!   NeRF spine rebuild itself — the cost that dominates `close_batch` and
+//!   previously kept the closure-level ratio flat.
 //!
 //! Besides the criterion groups, the harness writes `BENCH_ccd.json` at
 //! the workspace root recording the comparisons (and, under the `simd`
@@ -275,7 +279,11 @@ fn bench_vdw_environment(c: &mut Criterion) {
             let mut scratch = ScoreScratch::for_loop_len(12);
             b.iter(|| black_box(vdw.environment_term_linear(&target, &structure, &mut scratch)))
         });
-        group.bench_function(format!("cells/x{factor}"), |b| {
+        group.bench_function(format!("per_site/x{factor}"), |b| {
+            let mut scratch = ScoreScratch::for_loop_len(12);
+            b.iter(|| black_box(vdw.environment_term_per_site(&target, &structure, &mut scratch)))
+        });
+        group.bench_function(format!("windows/x{factor}"), |b| {
             let mut scratch = ScoreScratch::for_loop_len(12);
             b.iter(|| black_box(vdw.environment_term(&target, &structure, &mut scratch)))
         });
@@ -346,9 +354,166 @@ fn executor_metadata() -> String {
         .expect("scalar backend is always available");
     let caps = executor.capabilities();
     format!(
-        "{{\"backend\": \"{}\", \"lane_width\": {}, \"threads\": {}, \"ccd_block_width\": {}}}",
-        caps.name, caps.lane_width, caps.threads, caps.ccd_block_width
+        "{{\"backend\": \"{}\", \"lane_width\": {}, \"threads\": {}, \
+         \"ccd_block_width\": {}, \"isa\": \"{}\"}}",
+        caps.name, caps.lane_width, caps.threads, caps.ccd_block_width, caps.isa
     )
+}
+
+/// Measure the isolated scalar-vs-lane-major NeRF spine rebuild — the cost
+/// that dominates `close_batch` — and render the `"rebuild"` JSON section.
+/// Every member rebuilds the full suffix from the first angle (the
+/// worst-case, and the common case early in a CCD sweep); bit-identity of
+/// the rebuilt spines and end frames is asserted before timing.
+#[cfg(feature = "simd")]
+fn rebuild_section() -> String {
+    use lms_closure::rebuild_spine_from_batch;
+    use lms_protein::SpineKernel;
+
+    /// Member counts the rebuild comparison runs at (4-lane groups: one
+    /// full group, two, four).
+    const REBUILD_WIDTHS: [usize; 3] = [4, 8, 16];
+
+    let builder = LoopBuilder::default();
+    let target = target_of_len(12);
+    let kernel = SpineKernel::new(builder.geometry(), &target.frame);
+    let isa = ExecutorConfig::simd()
+        .build()
+        .expect("simd backend available")
+        .capabilities()
+        .isa;
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    for &width in &REBUILD_WIDTHS {
+        let member_starts = starts(&target, width);
+        let accepted: Vec<usize> = (0..width).collect();
+
+        let torsions = member_starts.clone();
+        let mut structures: Vec<LoopStructure> = member_starts
+            .iter()
+            .map(|t| target.build(&builder, t))
+            .collect();
+        let mut wide_torsions = member_starts.clone();
+        let mut wide_structures: Vec<LoopStructure> = member_starts
+            .iter()
+            .map(|t| target.build(&builder, t))
+            .collect();
+        let mut lanes: Vec<CcdLane> = wide_torsions
+            .iter_mut()
+            .zip(wide_structures.iter_mut())
+            .map(|(t, s)| CcdLane {
+                torsions: t,
+                structure: s,
+                start_index: 0,
+            })
+            .collect();
+
+        // Bit-identity sanity check before timing anything.
+        rebuild_spine_from_batch(
+            &builder,
+            &kernel,
+            &target.frame,
+            &target.sequence,
+            &mut lanes,
+            &accepted,
+            0,
+        );
+        let same = |a: Vec3, b: Vec3| {
+            a.x.to_bits() == b.x.to_bits()
+                && a.y.to_bits() == b.y.to_bits()
+                && a.z.to_bits() == b.z.to_bits()
+        };
+        for j in 0..width {
+            builder.rebuild_spine_from(
+                &target.frame,
+                &target.sequence,
+                &torsions[j],
+                0,
+                &mut structures[j],
+            );
+            let wide_structure = &*lanes[j].structure;
+            for (w, r) in wide_structure
+                .residues
+                .iter()
+                .zip(structures[j].residues.iter())
+            {
+                assert!(
+                    same(w.n, r.n) && same(w.ca, r.ca) && same(w.c, r.c),
+                    "lane-major rebuild diverged from scalar (member {j})"
+                );
+            }
+            for (w, r) in wide_structure
+                .end_frame
+                .atoms()
+                .iter()
+                .zip(structures[j].end_frame.atoms().iter())
+            {
+                assert!(same(*w, *r), "lane-major end frame diverged (member {j})");
+            }
+        }
+
+        let iters = 20_000u32;
+        let scalar = median_ns(
+            || {
+                for j in 0..width {
+                    builder.rebuild_spine_from(
+                        &target.frame,
+                        &target.sequence,
+                        &torsions[j],
+                        0,
+                        &mut structures[j],
+                    );
+                }
+                black_box(&structures);
+            },
+            iters,
+            9,
+        ) / width as f64;
+        let wide = median_ns(
+            || {
+                rebuild_spine_from_batch(
+                    &builder,
+                    &kernel,
+                    &target.frame,
+                    &target.sequence,
+                    &mut lanes,
+                    &accepted,
+                    0,
+                );
+                black_box(&lanes);
+            },
+            iters,
+            9,
+        ) / width as f64;
+        let speedup = scalar / wide;
+        speedups.push(speedup);
+        println!(
+            "spine_rebuild members={width}: scalar {scalar:.0} ns/member, \
+             lane-major {wide:.0} ns/member, speedup {speedup:.2}x"
+        );
+        entries.push(format!(
+            "      {{\"members\": {width}, \"scalar_ns_per_member\": {scalar:.1}, \
+             \"wide_ns_per_member\": {wide:.1}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = speedups[speedups.len() / 2];
+    println!("spine_rebuild median lane-major speedup: {median:.2}x (isa {isa})");
+    format!(
+        ",\n  \"rebuild\": {{\n    \
+         \"comparison\": \"scalar per-member NeRF spine rebuild vs lane-major f64x4 rebuild (bit-identical, full suffix, loop_len 12)\",\n    \
+         \"isa\": \"{isa}\",\n    \"results\": [\n{}\n    ],\n    \
+         \"speedup\": {median:.3}\n  }}",
+        entries.join(",\n")
+    )
+}
+
+/// Without the `simd` feature there is no lane-major rebuild to compare;
+/// the artifact has no `"rebuild"` section and the perf gate treats its
+/// metrics as optional until both sides carry them.
+#[cfg(not(feature = "simd"))]
+fn rebuild_section() -> String {
+    String::new()
 }
 
 /// Measure the isolated scalar-vs-wide optimal-rotation kernel across lane
@@ -500,6 +665,7 @@ fn write_bench_json() {
     let base = target_of_len(12);
     let mut env_entries = Vec::new();
     let mut cells_by_factor = Vec::new();
+    let mut window_speedups = Vec::new();
     for &factor in &ENV_FACTORS {
         let target = scaled_env_target(&base, factor);
         let structure = target.build(&builder, &target.native_torsions);
@@ -514,6 +680,13 @@ fn write_bench_json() {
             iters,
             9,
         );
+        let per_site = median_ns(
+            || {
+                black_box(vdw.environment_term_per_site(&target, &structure, &mut scratch));
+            },
+            iters,
+            9,
+        );
         let cells = median_ns(
             || {
                 black_box(vdw.environment_term(&target, &structure, &mut scratch));
@@ -523,18 +696,25 @@ fn write_bench_json() {
         );
         cells_by_factor.push(cells);
         let speedup = linear / cells;
+        let window_speedup = per_site / cells;
+        window_speedups.push(window_speedup);
         println!(
             "vdw_env x{factor}: {candidates} candidates, linear {linear:.0} ns/eval, \
-             cells {cells:.0} ns/eval, speedup {speedup:.2}x"
+             per-site {per_site:.0} ns/eval, windows {cells:.0} ns/eval, \
+             speedup vs linear {speedup:.2}x, vs per-site {window_speedup:.2}x"
         );
         env_entries.push(format!(
             "      {{\"env_factor\": {factor}, \"candidates\": {candidates}, \
-             \"linear_ns_per_eval\": {linear:.1}, \"cells_ns_per_eval\": {cells:.1}, \
-             \"speedup\": {speedup:.3}}}"
+             \"linear_ns_per_eval\": {linear:.1}, \"per_site_ns_per_eval\": {per_site:.1}, \
+             \"cells_ns_per_eval\": {cells:.1}, \"speedup\": {speedup:.3}, \
+             \"window_speedup\": {window_speedup:.3}}}"
         ));
     }
     let growth = cells_by_factor[2] / cells_by_factor[0];
     println!("vdw_env cell-list cost growth 100x/1x: {growth:.2}x");
+    window_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let window_speedup = window_speedups[window_speedups.len() / 2];
+    println!("vdw_env median per-residue-window speedup over per-site: {window_speedup:.2}x");
 
     // --- Lockstep CCD blocks: block-width / backend sweep --------------
     let target = target_of_len(8);
@@ -604,15 +784,17 @@ fn write_bench_json() {
          \"executor\": {},\n  \"ccd\": {{\n    \
          \"comparison\": \"full NeRF rebuild per rotation vs suffix-only rebuild_from\",\n    \
          \"results\": [\n{}\n    ]\n  }},\n  \"vdw_env\": {{\n    \
-         \"comparison\": \"linear candidate scan vs cell-list query per site\",\n    \
-         \"results\": [\n{}\n    ],\n    \"cells_cost_growth_100x_over_1x\": {growth:.3}\n  }},\n  \
+         \"comparison\": \"linear candidate scan vs per-site cell-list queries vs per-residue candidate windows\",\n    \
+         \"results\": [\n{}\n    ],\n    \"cells_cost_growth_100x_over_1x\": {growth:.3},\n    \
+         \"window_speedup\": {window_speedup:.3}\n  }},\n  \
          \"blocks\": {{\n    \
          \"comparison\": \"lockstep close_batch over a {BLOCK_POPULATION}-member population, per CCD block width\",\n    \
-         \"results\": [\n{}\n    ]\n  }}{}\n}}\n",
+         \"results\": [\n{}\n    ]\n  }}{}{}\n}}\n",
         executor_metadata(),
         ccd_entries.join(",\n"),
         env_entries.join(",\n"),
         block_entries.join(",\n"),
+        rebuild_section(),
         simd_kernel_section()
     );
     let root = std::env::var("CARGO_MANIFEST_DIR")

@@ -405,6 +405,56 @@ pub fn collect_metrics(
         });
     }
 
+    // ccd_closure: lane-major NeRF spine-rebuild speedup (median across
+    // member counts) — the cost that dominates close_batch.  Present only
+    // when the bench ran with the `simd` feature; optional on both sides
+    // like the rotation-kernel metric.
+    if let (Some(b), Some(f)) = (
+        ccd_baseline.get("rebuild").and_then(|o| o.num("speedup")),
+        ccd_fresh.get("rebuild").and_then(|o| o.num("speedup")),
+    ) {
+        metrics.push(Metric {
+            name: "simd spine-rebuild speedup".to_string(),
+            baseline: b,
+            fresh: f,
+            direction: Direction::HigherIsBetter,
+            absolute: false,
+        });
+    }
+
+    // ccd_closure: closure-level wide-vs-scalar close_batch speedup per
+    // CCD block width.  Rows carry "speedup" only when the bench ran with
+    // the `simd` feature; each width present on both sides is gated.
+    if let (Some(b_rows), Some(f_rows)) = (
+        ccd_baseline
+            .get("blocks")
+            .and_then(|c| c.get("results"))
+            .and_then(Json::as_array),
+        ccd_fresh
+            .get("blocks")
+            .and_then(|c| c.get("results"))
+            .and_then(Json::as_array),
+    ) {
+        for row in b_rows {
+            let (Some(id), Some(b)) = (row.num("block_width"), row.num("speedup")) else {
+                continue;
+            };
+            if let Some(f) = f_rows
+                .iter()
+                .find(|r| r.num("block_width") == Some(id))
+                .and_then(|r| r.num("speedup"))
+            {
+                metrics.push(Metric {
+                    name: format!("close_batch wide speedup (w{})", id as i64),
+                    baseline: b,
+                    fresh: f,
+                    direction: Direction::HigherIsBetter,
+                    absolute: false,
+                });
+            }
+        }
+    }
+
     // ccd_closure: cell-list speedup per environment factor.
     pair_by_key(
         ccd_baseline.get("vdw_env").and_then(|c| c.get("results")),
@@ -421,6 +471,26 @@ pub fn collect_metrics(
             });
         },
     )?;
+
+    // ccd_closure: per-residue candidate-window speedup over per-site
+    // cell-list queries (median across environment factors).  Optional on
+    // both sides for forward compatibility.
+    if let (Some(b), Some(f)) = (
+        ccd_baseline
+            .get("vdw_env")
+            .and_then(|o| o.num("window_speedup")),
+        ccd_fresh
+            .get("vdw_env")
+            .and_then(|o| o.num("window_speedup")),
+    ) {
+        metrics.push(Metric {
+            name: "vdw_env per-residue-window speedup".to_string(),
+            baseline: b,
+            fresh: f,
+            direction: Direction::HigherIsBetter,
+            absolute: false,
+        });
+    }
 
     // batch_engine: sequential/batch speedup.  On a 1-core runner (either
     // side) no scheduling win is physically possible — enforce only the
@@ -538,8 +608,14 @@ mod tests {
         {"loop_len": 4, "speedup": 1.543}, {"loop_len": 8, "speedup": 1.660}
       ]},
       "vdw_env": {"results": [
-        {"env_factor": 1, "speedup": 1.185}, {"env_factor": 10, "speedup": 10.366}
+        {"env_factor": 1, "speedup": 1.185, "window_speedup": 1.7},
+        {"env_factor": 10, "speedup": 10.366, "window_speedup": 1.9}
+      ], "window_speedup": 1.800},
+      "blocks": {"results": [
+        {"block_width": 4, "scalar_ns_per_member": 100.0},
+        {"block_width": 8, "scalar_ns_per_member": 100.0, "wide_ns_per_member": 80.0, "speedup": 1.250}
       ]},
+      "rebuild": {"isa": "sse2+avx2", "speedup": 1.600},
       "simd": {"lane_width": 4, "speedup": 1.320}
     }"#;
 
@@ -577,9 +653,9 @@ mod tests {
             0.25,
         )
         .unwrap();
-        // 2 scoring speedups + cost ratio + pipeline + 2 ccd + simd
-        // + 2 vdw_env + batch floor.
-        assert_eq!(metrics.len(), 10);
+        // 2 scoring speedups + cost ratio + pipeline + 2 ccd + rebuild
+        // + blocks w8 + simd + 2 vdw_env + window + batch floor.
+        assert_eq!(metrics.len(), 13);
         assert!(regressions.is_empty(), "{regressions:?}");
     }
 
@@ -617,7 +693,7 @@ mod tests {
             0.25,
         )
         .unwrap();
-        assert_eq!(metrics.len(), 9);
+        assert_eq!(metrics.len(), 12);
         assert!(regressions.is_empty(), "{regressions:?}");
     }
 
@@ -656,8 +732,50 @@ mod tests {
             0.25,
         )
         .unwrap();
-        assert_eq!(metrics.len(), 9);
+        assert_eq!(metrics.len(), 12);
         assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn spine_rebuild_and_window_regressions_fail_the_gate() {
+        // The lane-major rebuild decaying to below scalar speed (1.60 →
+        // 1.00, i.e. −38%) must trip the 25% gate.
+        let degraded = CCD.replace(
+            "\"rebuild\": {\"isa\": \"sse2+avx2\", \"speedup\": 1.600}",
+            "\"rebuild\": {\"isa\": \"sse2+avx2\", \"speedup\": 1.000}",
+        );
+        assert_ne!(degraded, CCD, "fixture surgery failed");
+        let (_, regressions) = gate(
+            &j(SCORING),
+            &j(SCORING),
+            &j(CCD),
+            &j(&degraded),
+            &j(BATCH_1CORE),
+            &j(BATCH_1CORE),
+            0.25,
+        )
+        .unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].name.contains("spine-rebuild"));
+        // Likewise the per-residue-window pass falling back to per-site
+        // cost (1.80 → 1.00) and the closure-level close_batch win
+        // evaporating (1.25 → 0.90).
+        let degraded = CCD
+            .replace("\"window_speedup\": 1.800", "\"window_speedup\": 1.000")
+            .replace("\"speedup\": 1.250", "\"speedup\": 0.900");
+        let (_, regressions) = gate(
+            &j(SCORING),
+            &j(SCORING),
+            &j(CCD),
+            &j(&degraded),
+            &j(BATCH_1CORE),
+            &j(BATCH_1CORE),
+            0.25,
+        )
+        .unwrap();
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions.iter().any(|m| m.name.contains("close_batch")));
+        assert!(regressions.iter().any(|m| m.name.contains("window")));
     }
 
     #[test]
@@ -739,7 +857,7 @@ mod tests {
             0.25,
         )
         .unwrap();
-        assert_eq!(metrics.len(), 11);
+        assert_eq!(metrics.len(), 14);
         assert!(regressions.is_empty(), "{regressions:?}");
         // …and past the bound it fails, no matter the tolerance: the
         // bound is absolute, so even a huge tolerance cannot excuse it.

@@ -23,6 +23,8 @@
 
 use crate::ccd::{optimal_rotation, CcdCloser, CcdResult};
 use lms_geometry::Vec3;
+#[cfg(feature = "simd")]
+use lms_protein::{sin_cos_lanes, AnchorFrame, LoopBuilder, SpineKernel, WideVec3};
 use lms_protein::{AminoAcid, LoopFrame, LoopStructure, Torsions};
 
 /// One member's view into a population-batched closure: its candidate
@@ -57,6 +59,9 @@ pub struct CcdBatchScratch {
     g_axis: Vec<Vec3>,
     g_moving: Vec<[Vec3; 3]>,
     g_theta: Vec<f64>,
+    // Lanes whose rotation was accepted this torsion — the rebuild
+    // worklist the lane-major spine driver chunks into wide groups.
+    g_accept: Vec<usize>,
 }
 
 impl CcdBatchScratch {
@@ -102,6 +107,10 @@ impl CcdBatchScratch {
             self.g_axis.reserve(lanes);
             self.g_moving.reserve(lanes);
             self.g_theta.reserve(lanes);
+        }
+        self.g_accept.clear();
+        if self.g_accept.capacity() < lanes {
+            self.g_accept.reserve(lanes);
         }
     }
 }
@@ -295,6 +304,206 @@ mod wide_kernel {
     }
 }
 
+/// The lane-major (member-transposed) NeRF spine rebuild: every accepted
+/// lane of one torsion step rebuilds from the *same* changed angle — and
+/// therefore from the same first residue over the same suffix — so the
+/// driver chunks the accepted lanes into `f64x4` groups and marches each
+/// group through [`SpineKernel::place_spine`] with one member per SIMD
+/// lane.  Per lane the kernel performs exactly the scalar
+/// [`LoopBuilder::rebuild_spine_from`] operation sequence (see
+/// `lms_protein::backbone_wide`), so the rebuilt spines and end frames are
+/// bit-identical to the scalar driver's.  Groups in which any lane would
+/// take a scalar degeneracy branch fall back to the scalar rebuild per
+/// member, which restarts from the untouched prefix and overwrites any
+/// partially scattered suffix — bit-identical either way.
+///
+/// On `x86_64` the drive loop dispatches at runtime to an
+/// `#[target_feature(enable = "avx2")]` clone when the host CPU supports
+/// AVX2 (`wide::runtime_avx2`), re-compiling the inlined lane arithmetic
+/// with the AVX ISA available; the portable/SSE2 path is the fallback.
+///
+/// Public so the CCD benchmark can time the lane-major rebuild in
+/// isolation against the scalar per-member driver; production code reaches
+/// it through [`CcdCloser::close_batch`].
+#[cfg(feature = "simd")]
+pub fn rebuild_spine_from_batch(
+    builder: &LoopBuilder,
+    kernel: &SpineKernel,
+    frame: &LoopFrame,
+    sequence: &[AminoAcid],
+    lanes: &mut [CcdLane<'_>],
+    accepted: &[usize],
+    changed_angle: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if wide::runtime_avx2() {
+        // SAFETY: AVX2 support on the running CPU was just verified.
+        unsafe {
+            rebuild_spine_from_batch_avx2(
+                builder,
+                kernel,
+                frame,
+                sequence,
+                lanes,
+                accepted,
+                changed_angle,
+            );
+        }
+        return;
+    }
+    rebuild_spine_from_batch_generic(
+        builder,
+        kernel,
+        frame,
+        sequence,
+        lanes,
+        accepted,
+        changed_angle,
+    );
+}
+
+/// The AVX2-featured clone of the rebuild drive loop: identical code,
+/// compiled with the AVX ISA enabled so the `#[inline(always)]` lane
+/// arithmetic underneath picks up VEX encodings.  Results are bit-identical
+/// to the generic path (every lane operation is the same IEEE instruction
+/// either way); only the instruction selection differs.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn rebuild_spine_from_batch_avx2(
+    builder: &LoopBuilder,
+    kernel: &SpineKernel,
+    frame: &LoopFrame,
+    sequence: &[AminoAcid],
+    lanes: &mut [CcdLane<'_>],
+    accepted: &[usize],
+    changed_angle: usize,
+) {
+    rebuild_spine_from_batch_generic(
+        builder,
+        kernel,
+        frame,
+        sequence,
+        lanes,
+        accepted,
+        changed_angle,
+    );
+}
+
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn rebuild_spine_from_batch_generic(
+    builder: &LoopBuilder,
+    kernel: &SpineKernel,
+    frame: &LoopFrame,
+    sequence: &[AminoAcid],
+    lanes: &mut [CcdLane<'_>],
+    accepted: &[usize],
+    changed_angle: usize,
+) {
+    for group in accepted.chunks(wide::f64x4::LANES) {
+        rebuild_spine_group(
+            builder,
+            kernel,
+            frame,
+            sequence,
+            lanes,
+            group,
+            changed_angle,
+        );
+    }
+}
+
+/// Rebuild one group of up to four accepted lanes in lockstep.  Ragged
+/// groups pad by replicating the first lane's indices (the pad lanes
+/// compute real arithmetic but never scatter), so raggedness cannot change
+/// any member's bits.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn rebuild_spine_group(
+    builder: &LoopBuilder,
+    kernel: &SpineKernel,
+    frame: &LoopFrame,
+    sequence: &[AminoAcid],
+    lanes: &mut [CcdLane<'_>],
+    group: &[usize],
+    changed_angle: usize,
+) {
+    debug_assert!(!group.is_empty() && group.len() <= wide::f64x4::LANES);
+    let len = sequence.len();
+    let (first, _) = Torsions::describe_angle(changed_angle);
+    let idx: [usize; 4] = core::array::from_fn(|l| group[l.min(group.len() - 1)]);
+
+    let scalar_fallback = |lanes: &mut [CcdLane<'_>]| {
+        for &j in group {
+            let lane = &mut lanes[j];
+            builder.rebuild_spine_from(
+                frame,
+                sequence,
+                lane.torsions,
+                changed_angle,
+                lane.structure,
+            );
+        }
+    };
+
+    // The rebuild context: the shared N-anchor frame for a prefix rebuild
+    // (identical in every lane), or each lane's own residue `first - 1`
+    // (untouched by this torsion step, so still current).
+    let (mut prev_n, mut prev_ca, mut prev_c, mut prev_psi) = if first == 0 {
+        (
+            WideVec3::splat(frame.n_anchor.n),
+            WideVec3::splat(frame.n_anchor.ca),
+            WideVec3::splat(frame.n_anchor.c),
+            [frame.n_anchor_psi; 4],
+        )
+    } else {
+        (
+            WideVec3::from_lanes(core::array::from_fn(|l| {
+                lanes[idx[l]].structure.residues[first - 1].n
+            })),
+            WideVec3::from_lanes(core::array::from_fn(|l| {
+                lanes[idx[l]].structure.residues[first - 1].ca
+            })),
+            WideVec3::from_lanes(core::array::from_fn(|l| {
+                lanes[idx[l]].structure.residues[first - 1].c
+            })),
+            core::array::from_fn(|l| lanes[idx[l]].torsions.psi(first - 1)),
+        )
+    };
+
+    for i in first..len {
+        let (psi_sin, psi_cos) = sin_cos_lanes(prev_psi);
+        let (phi_sin, phi_cos) =
+            sin_cos_lanes(core::array::from_fn(|l| lanes[idx[l]].torsions.phi(i)));
+        let Some((n, ca, c)) =
+            kernel.place_spine(prev_n, prev_ca, prev_c, psi_sin, psi_cos, phi_sin, phi_cos)
+        else {
+            scalar_fallback(lanes);
+            return;
+        };
+        for (l, &j) in group.iter().enumerate() {
+            let r = &mut lanes[j].structure.residues[i];
+            r.n = n.lane(l);
+            r.ca = ca.lane(l);
+            r.c = c.lane(l);
+        }
+        prev_n = n;
+        prev_ca = ca;
+        prev_c = c;
+        prev_psi = core::array::from_fn(|l| lanes[idx[l]].torsions.psi(i));
+    }
+
+    let (psi_sin, psi_cos) = sin_cos_lanes(prev_psi);
+    match kernel.place_end_frame(prev_n, prev_ca, prev_c, psi_sin, psi_cos) {
+        Some((n, ca, c)) => {
+            for (l, &j) in group.iter().enumerate() {
+                lanes[j].structure.end_frame = AnchorFrame::new(n.lane(l), ca.lane(l), c.lane(l));
+            }
+        }
+        None => scalar_fallback(lanes),
+    }
+}
+
 impl CcdCloser {
     /// Close every lane of one block in population lockstep.
     ///
@@ -318,6 +527,12 @@ impl CcdCloser {
         let builder = *self.builder();
         let config = *self.config();
         let targets = frame.c_anchor.atoms();
+        // Hoist the lane-major spine kernel's constants (bond-angle
+        // products, ω and C-anchor-φ sin/cos) once per block.
+        #[cfg(feature = "simd")]
+        let spine_kernel = self
+            .wide_lanes()
+            .then(|| SpineKernel::new(builder.geometry(), frame));
         scratch.reset(lanes.len());
         if lanes.is_empty() {
             return;
@@ -418,15 +633,45 @@ impl CcdCloser {
                 // the end frame feed the sweep (rotation pivots/axes and the
                 // deviation metric), so the rebuild skips the O/centroid
                 // placements; one full rebuild after the sweeps recovers
-                // them bit-identically.
+                // them bit-identically.  Rotations land first so the
+                // rebuild worklist can be driven lane-major: all accepted
+                // lanes rebuild from the same changed angle `k`.
+                scratch.g_accept.clear();
                 for (g, &j) in scratch.g_lane.iter().enumerate() {
                     let delta = scratch.g_theta[g];
                     if delta.abs() < 1e-9 {
                         continue;
                     }
-                    let lane = &mut lanes[j];
-                    lane.torsions.rotate_angle(k, delta);
+                    lanes[j].torsions.rotate_angle(k, delta);
                     scratch.rotations[j] += 1;
+                    scratch.g_accept.push(j);
+                }
+                #[cfg(feature = "simd")]
+                if let Some(kernel) = &spine_kernel {
+                    rebuild_spine_from_batch(
+                        &builder,
+                        kernel,
+                        frame,
+                        sequence,
+                        lanes,
+                        &scratch.g_accept,
+                        k,
+                    );
+                } else {
+                    for &j in &scratch.g_accept {
+                        let lane = &mut lanes[j];
+                        builder.rebuild_spine_from(
+                            frame,
+                            sequence,
+                            lane.torsions,
+                            k,
+                            lane.structure,
+                        );
+                    }
+                }
+                #[cfg(not(feature = "simd"))]
+                for &j in &scratch.g_accept {
+                    let lane = &mut lanes[j];
                     builder.rebuild_spine_from(frame, sequence, lane.torsions, k, lane.structure);
                 }
             }

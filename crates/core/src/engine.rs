@@ -953,11 +953,33 @@ mod tests {
             .concurrency(1)
             .build()
             .unwrap();
-        // With one worker the second job is still queued when the handle
-        // is dropped right after submission.
-        let handle = engine.submit(vec![job_for("1cex", 1), job_for("5pti", 2)]);
+        // A first job heavy enough that the worker is still inside it when
+        // the handle is dropped below — a tiny job can finish (and let the
+        // worker dequeue the second) before this thread reaches the drop.
+        let target = BenchmarkLibrary::standard().target_by_name("1cex").unwrap();
+        let slow = Job::builder(target)
+            .config(
+                SamplerConfig::test_scale()
+                    .to_builder()
+                    .population_size(16)
+                    .n_complexes(2)
+                    .iterations(40)
+                    .seed(1)
+                    .build()
+                    .unwrap(),
+            )
+            .seed(1)
+            .build()
+            .unwrap();
+        let handle = engine.submit(vec![slow, job_for("5pti", 2)]);
         let first = Arc::clone(&handle.tickets[0]);
         let second = Arc::clone(&handle.tickets[1]);
+        // Wait for the single worker to pick the first job up — the second
+        // is then necessarily still queued behind it — and drop the handle
+        // while the first is running.
+        while first.status() == JobStatus::Queued {
+            std::thread::yield_now();
+        }
         drop(handle);
         // The worker drains the queue: the first job runs to completion
         // (drop does not shoot down running jobs), the second is skipped.

@@ -49,6 +49,18 @@ fn equivalence_executors() -> Vec<Executor> {
                 .build()
                 .unwrap(),
         );
+        // Widths that leave the lane-major spine rebuild with ragged
+        // 4-lane groups (6 = 4+2, 7 = 4+3) so its masked-tail path — the
+        // last group repeating a lane — is exercised, not just full
+        // groups.
+        executors.push(ExecutorConfig::simd().ccd_block_width(6).build().unwrap());
+        executors.push(
+            ExecutorConfig::simd()
+                .threads(2)
+                .ccd_block_width(7)
+                .build()
+                .unwrap(),
+        );
     }
     executors
 }

@@ -10,6 +10,18 @@
 //! evaluation is a pure table lookup per residue, which is why it is by far
 //! the cheapest of the three objectives (0.04 % of device time in the
 //! paper's Table II).
+//!
+//! ## Why there is no wide (SIMD) variant of this kernel
+//!
+//! Unlike the VDW/BURIAL distance passes, this kernel has no wide-f64
+//! arithmetic to exploit: per residue it is a branchy angle wrap
+//! ([`torsion_bin`](crate::library::torsion_bin)), three integer bin
+//! computations and one table load — gather-dominated, with the only
+//! floating-point reduction being the sequential `total +=` whose
+//! association is part of the bit-identity contract.  Widening the sum
+//! would reassociate it; widening the lookups would serialise on the
+//! gathers anyway.  The SIMD build therefore intentionally leaves TRIPLET
+//! on the scalar path.
 
 use crate::library::KnowledgeBase;
 use crate::traits::ScoringFunction;

@@ -15,12 +15,17 @@
 //! * between every loop atom / centroid and the fixed environment atoms
 //!   within a cutoff, queried through the per-target candidate cell list
 //!   ([`EnvCandidates::gather_within`]) so each site pays O(local density)
-//!   rather than O(all candidates).  Gathered indices are sorted back into
-//!   ascending order before accumulation, which restores the exhaustive
-//!   linear scan's floating-point summation order — the two paths are
-//!   bit-identical (property-tested in `tests/cell_list_equivalence.rs`;
-//!   the linear scan stays available as
-//!   [`VdwScore::environment_term_linear`]).
+//!   rather than O(all candidates).  Production scoring batches the queries
+//!   into **per-residue candidate windows**: one gather per residue,
+//!   centred on its Cα with a radius covering every site's own contact
+//!   reach, sorted once and shared by all of the residue's ~5 sites (each
+//!   site keeps its exact d²/σ² filter).  Gathered indices are always
+//!   sorted back into ascending order before accumulation, which restores
+//!   the exhaustive linear scan's floating-point summation order — the
+//!   window pass, the per-site pass
+//!   ([`VdwScore::environment_term_per_site`]) and the linear scan
+//!   ([`VdwScore::environment_term_linear`]) are all bit-identical
+//!   (property-tested in `tests/cell_list_equivalence.rs`).
 
 use crate::traits::ScoringFunction;
 use crate::workspace::ScoreScratch;
@@ -245,8 +250,8 @@ impl VdwScore {
     /// of the target's precomputed SoA candidate set.  Candidates beyond
     /// overlap range contribute exactly 0, so the conservative candidate
     /// superset changes nothing but speed.  This is the *reference* path:
-    /// production scoring goes through
-    /// [`VdwScore::against_environment_cells`], which must (and does)
+    /// production scoring goes through the per-residue window pass
+    /// ([`VdwScore::against_environment_windows`]), which must (and does)
     /// reproduce this sum bit for bit.
     fn against_environment_linear(&self, s: &ScoreScratch, env: &EnvCandidates) -> f64 {
         let (ex, ey, ez) = (env.xs(), env.ys(), env.zs());
@@ -271,10 +276,13 @@ impl VdwScore {
         total
     }
 
-    /// Loop-to-environment clash contribution via the candidate cell list:
-    /// each site gathers only the candidates in cells overlapping its
-    /// contact reach `(rₐ + max_env_radius) · softness`, so per-site cost
-    /// tracks *local* density instead of the total candidate count.
+    /// Loop-to-environment clash contribution via *per-site* candidate
+    /// cell-list queries: each site gathers only the candidates in cells
+    /// overlapping its contact reach `(rₐ + max_env_radius) · softness`, so
+    /// per-site cost tracks *local* density instead of the total candidate
+    /// count.  Kept as the comparison path for the per-residue window pass
+    /// ([`VdwScore::against_environment_windows`]), which amortises the
+    /// gather+sort over a residue's sites.
     ///
     /// Two details keep this bit-identical to
     /// [`VdwScore::against_environment_linear`]:
@@ -331,29 +339,48 @@ impl VdwScore {
         total
     }
 
-    /// The shared VDW + BURIAL environment pass: identical to
-    /// [`VdwScore::against_environment_cells`] except that Cα sites widen
-    /// their cell-list query to also cover `burial_radius` and derive the
-    /// residue's environment contact count from the *same* gathered index
-    /// list — the burial objective costs one extra distance filter, not a
-    /// second gather.
+    /// The production loop-to-environment pass, over **per-residue
+    /// candidate windows**: one cell-list gather per residue, centred on
+    /// its Cα with a radius covering every site's own contact reach
+    /// (`|site − Cα| + (r_site + max_env_radius)·softness`, plus
+    /// `burial_radius` when the BURIAL piggyback is enabled), sorted once
+    /// and shared by all of the residue's ~5 sites.  This amortises the
+    /// dominant gather + sort cost ~5× while each site keeps its exact
+    /// d²/σ² filter.
     ///
-    /// Exactness of both consumers:
-    /// * the VDW sum is bit-identical to the plain cells pass — widening a
-    ///   query only grows the conservative superset, excluded candidates
-    ///   contribute exactly 0, and the ascending re-sort fixes the
-    ///   accumulation order;
-    /// * the burial count is an integer under an exact distance cutoff, so
-    ///   any superset gathers to the identical count.
-    fn against_environment_cells_and_burial(
+    /// Bit-identity to the per-site pass (and hence the linear reference):
+    /// * the window is a superset of each site's own gather — any
+    ///   contributing candidate satisfies `d < σ ≤ reach`, so by the
+    ///   triangle inequality it lies within `|site − Cα| + reach` of the
+    ///   Cα, and [`WINDOW_SLACK`] absorbs the few-ulp rounding of that
+    ///   bound;
+    /// * superset membership is harmless — excluded or extra candidates
+    ///   contribute exactly 0 to the penalty sum and pass through an exact
+    ///   integer distance filter in the burial count, so only the
+    ///   *surviving* pairs matter, and those are identical;
+    /// * the window indices are sorted ascending once, so every site
+    ///   accumulates its surviving contributions in the linear scan's
+    ///   order.
+    ///
+    /// With `burial_radius = Some(r)`, each residue's environment contact
+    /// count within `r` of its Cα is derived from the same window into
+    /// `scratch.burial_counts` — the burial objective still costs one
+    /// extra distance filter, not a second gather.  When wide lanes are
+    /// enabled, the per-candidate d² staging and the burial count go
+    /// through the wide kernels ([`stage_wide_d2_gather`],
+    /// [`EnvCandidates::count_within_wide`]); per-lane IEEE arithmetic and
+    /// integer counts keep both bit-identical to the scalar path.
+    fn against_environment_windows(
         &self,
         s: &mut ScoreScratch,
         env: &EnvCandidates,
         n_residues: usize,
-        burial_radius: f64,
+        burial_radius: Option<f64>,
     ) -> f64 {
-        s.burial_counts.clear();
-        s.burial_counts.resize(n_residues, 0);
+        if burial_radius.is_some() {
+            s.burial_counts.clear();
+            s.burial_counts.resize(n_residues, 0);
+        }
         if env.is_empty() {
             return 0.0;
         }
@@ -361,41 +388,89 @@ impl VdwScore {
             s.env_idx.clear();
             s.env_idx.reserve(env.len());
         }
+        // The wide d² staging buffer mirrors env_idx one-to-one; reserve it
+        // to the same bound up front so an unusually large window appearing
+        // after warm-up can never force a steady-state regrowth (the
+        // zero-alloc invariant).
+        if s.wide_d2.capacity() < env.len() {
+            s.wide_d2.clear();
+            s.wide_d2.reserve(env.len());
+        }
         let softness = self.radii.softness;
         let max_reach = env.max_radius();
+        let (ex, ey, ez) = (env.xs(), env.ys(), env.zs());
+        let (er, ec) = (env.radii(), env.centroid_flags());
+        let n = s.site_x.len();
         let mut total = 0.0;
-        for a in 0..s.site_x.len() {
-            let (xa, ya, za) = (s.site_x[a], s.site_y[a], s.site_z[a]);
-            let (ra, ca) = (s.site_r[a], s.site_centroid[a]);
-            let is_ca = s.site_is_ca[a];
-            let vdw_reach = (ra + max_reach) * softness;
-            let query_radius = if is_ca {
-                vdw_reach.max(burial_radius)
-            } else {
-                vdw_reach
-            };
-            s.env_idx.clear();
-            env.gather_within(Vec3::new(xa, ya, za), query_radius, &mut s.env_idx);
-            s.env_idx.sort_unstable();
-            if is_ca {
-                let count = env.count_within(Vec3::new(xa, ya, za), burial_radius, &s.env_idx);
-                s.burial_counts[s.site_res[a] as usize] = count;
+        let mut start = 0;
+        while start < n {
+            let res = s.site_res[start];
+            let mut end = start + 1;
+            while end < n && s.site_res[end] == res {
+                end += 1;
             }
-            let (ex, ey, ez) = (env.xs(), env.ys(), env.zs());
-            let (er, ec) = (env.radii(), env.centroid_flags());
-            for &b in &s.env_idx {
-                let b = b as usize;
-                let dx = xa - ex[b];
-                let dy = ya - ey[b];
-                let dz = za - ez[b];
-                let d2 = dx * dx + dy * dy + dz * dz;
-                let sigma = (ra + er[b]) * softness;
-                if d2 >= sigma * sigma || sigma <= 0.0 {
+            // The residue's Cα anchors the window (sites are staged
+            // N, Cα, C', O[, centroid] — located by flag for robustness).
+            let ca_i = (start..end)
+                .find(|&a| s.site_is_ca[a])
+                .expect("every residue stages a Cα site");
+            let ca = Vec3::new(s.site_x[ca_i], s.site_y[ca_i], s.site_z[ca_i]);
+            let mut window = burial_radius.unwrap_or(0.0);
+            for a in start..end {
+                let dx = s.site_x[a] - ca.x;
+                let dy = s.site_y[a] - ca.y;
+                let dz = s.site_z[a] - ca.z;
+                let dist = (dx * dx + dy * dy + dz * dz).sqrt();
+                let reach = (s.site_r[a] + max_reach) * softness;
+                window = window.max(dist + reach);
+            }
+            s.env_idx.clear();
+            env.gather_within(ca, window + WINDOW_SLACK, &mut s.env_idx);
+            s.env_idx.sort_unstable();
+            if let Some(r) = burial_radius {
+                #[cfg(feature = "simd")]
+                let count = if self.wide {
+                    env.count_within_wide(ca, r, &s.env_idx)
+                } else {
+                    env.count_within(ca, r, &s.env_idx)
+                };
+                #[cfg(not(feature = "simd"))]
+                let count = env.count_within(ca, r, &s.env_idx);
+                s.burial_counts[res as usize] = count;
+            }
+            for a in start..end {
+                let (xa, ya, za) = (s.site_x[a], s.site_y[a], s.site_z[a]);
+                let (ra, a_centroid) = (s.site_r[a], s.site_centroid[a]);
+                #[cfg(feature = "simd")]
+                if self.wide {
+                    stage_wide_d2_gather(&s.env_idx, ex, ey, ez, (xa, ya, za), &mut s.wide_d2);
+                    for (g, &b) in s.env_idx.iter().enumerate() {
+                        let b = b as usize;
+                        let d2 = s.wide_d2[g];
+                        let sigma = (ra + er[b]) * softness;
+                        if d2 >= sigma * sigma || sigma <= 0.0 {
+                            continue;
+                        }
+                        total += self.contact_weight(a_centroid, ec[b])
+                            * self.overlap_penalty(d2.sqrt(), ra + er[b]);
+                    }
                     continue;
                 }
-                total +=
-                    self.contact_weight(ca, ec[b]) * self.overlap_penalty(d2.sqrt(), ra + er[b]);
+                for &b in &s.env_idx {
+                    let b = b as usize;
+                    let dx = xa - ex[b];
+                    let dy = ya - ey[b];
+                    let dz = za - ez[b];
+                    let d2 = dx * dx + dy * dy + dz * dz;
+                    let sigma = (ra + er[b]) * softness;
+                    if d2 >= sigma * sigma || sigma <= 0.0 {
+                        continue;
+                    }
+                    total += self.contact_weight(a_centroid, ec[b])
+                        * self.overlap_penalty(d2.sqrt(), ra + er[b]);
+                }
             }
+            start = end;
         }
         total
     }
@@ -489,63 +564,6 @@ impl VdwScore {
         total
     }
 
-    /// Wide variant of [`VdwScore::against_environment_cells_and_burial`]:
-    /// the burial count and the gather/sort discipline are untouched; only
-    /// the per-candidate d² computation moves into the staged wide kernel.
-    #[cfg(feature = "simd")]
-    fn against_environment_cells_and_burial_wide(
-        &self,
-        s: &mut ScoreScratch,
-        env: &EnvCandidates,
-        n_residues: usize,
-        burial_radius: f64,
-    ) -> f64 {
-        s.burial_counts.clear();
-        s.burial_counts.resize(n_residues, 0);
-        if env.is_empty() {
-            return 0.0;
-        }
-        if s.env_idx.capacity() < env.len() {
-            s.env_idx.clear();
-            s.env_idx.reserve(env.len());
-        }
-        let softness = self.radii.softness;
-        let max_reach = env.max_radius();
-        let mut total = 0.0;
-        for a in 0..s.site_x.len() {
-            let (xa, ya, za) = (s.site_x[a], s.site_y[a], s.site_z[a]);
-            let (ra, ca) = (s.site_r[a], s.site_centroid[a]);
-            let is_ca = s.site_is_ca[a];
-            let vdw_reach = (ra + max_reach) * softness;
-            let query_radius = if is_ca {
-                vdw_reach.max(burial_radius)
-            } else {
-                vdw_reach
-            };
-            s.env_idx.clear();
-            env.gather_within(Vec3::new(xa, ya, za), query_radius, &mut s.env_idx);
-            s.env_idx.sort_unstable();
-            if is_ca {
-                let count = env.count_within(Vec3::new(xa, ya, za), burial_radius, &s.env_idx);
-                s.burial_counts[s.site_res[a] as usize] = count;
-            }
-            let (ex, ey, ez) = (env.xs(), env.ys(), env.zs());
-            let (er, ec) = (env.radii(), env.centroid_flags());
-            stage_wide_d2_gather(&s.env_idx, ex, ey, ez, (xa, ya, za), &mut s.wide_d2);
-            for (g, &b) in s.env_idx.iter().enumerate() {
-                let b = b as usize;
-                let d2 = s.wide_d2[g];
-                let sigma = (ra + er[b]) * softness;
-                if d2 >= sigma * sigma || sigma <= 0.0 {
-                    continue;
-                }
-                total +=
-                    self.contact_weight(ca, ec[b]) * self.overlap_penalty(d2.sqrt(), ra + er[b]);
-            }
-        }
-        total
-    }
-
     /// Dispatch between the scalar and wide intra-loop passes.
     #[inline]
     fn intra_loop_dispatch(&self, s: &mut ScoreScratch, n_residues: usize) -> f64 {
@@ -556,41 +574,12 @@ impl VdwScore {
         self.intra_loop(s, n_residues)
     }
 
-    /// Dispatch between the scalar and wide environment cell passes.
-    #[inline]
-    fn against_environment_cells_dispatch(&self, s: &mut ScoreScratch, env: &EnvCandidates) -> f64 {
-        #[cfg(feature = "simd")]
-        if self.wide {
-            return self.against_environment_cells_wide(s, env);
-        }
-        self.against_environment_cells(s, env)
-    }
-
-    /// Dispatch between the scalar and wide shared VDW+BURIAL passes.
-    #[inline]
-    fn against_environment_cells_and_burial_dispatch(
-        &self,
-        s: &mut ScoreScratch,
-        env: &EnvCandidates,
-        n_residues: usize,
-        burial_radius: f64,
-    ) -> f64 {
-        #[cfg(feature = "simd")]
-        if self.wide {
-            return self.against_environment_cells_and_burial_wide(
-                s,
-                env,
-                n_residues,
-                burial_radius,
-            );
-        }
-        self.against_environment_cells_and_burial(s, env, n_residues, burial_radius)
-    }
-
     /// The loop-to-environment term of [`VdwScore::score_target_with`] in
-    /// isolation, evaluated through the candidate cell list (the production
-    /// path).  Exposed so equivalence tests and benchmarks can compare it
-    /// against [`VdwScore::environment_term_linear`].
+    /// isolation, evaluated through per-residue candidate windows over the
+    /// cell list (the production path).  Exposed so equivalence tests and
+    /// benchmarks can compare it against
+    /// [`VdwScore::environment_term_linear`] and
+    /// [`VdwScore::environment_term_per_site`].
     pub fn environment_term(
         &self,
         target: &LoopTarget,
@@ -598,7 +587,32 @@ impl VdwScore {
         scratch: &mut ScoreScratch,
     ) -> f64 {
         self.fill_sites(target, structure, scratch);
-        self.against_environment_cells_dispatch(scratch, target.env_candidates())
+        self.against_environment_windows(
+            scratch,
+            target.env_candidates(),
+            structure.n_residues(),
+            None,
+        )
+    }
+
+    /// The same environment term via the original per-site gather
+    /// discipline: one cell-list query + sort per interaction site instead
+    /// of one per residue.  Kept as the comparison path for the window
+    /// pass — the CCD benchmark tracks the window speedup against this,
+    /// and the equivalence tests pin both to the linear reference.
+    /// Honours [`VdwScore::with_wide_lanes`] like the production path.
+    pub fn environment_term_per_site(
+        &self,
+        target: &LoopTarget,
+        structure: &LoopStructure,
+        scratch: &mut ScoreScratch,
+    ) -> f64 {
+        self.fill_sites(target, structure, scratch);
+        #[cfg(feature = "simd")]
+        if self.wide {
+            return self.against_environment_cells_wide(scratch, target.env_candidates());
+        }
+        self.against_environment_cells(scratch, target.env_candidates())
     }
 
     /// The same environment term via the exhaustive linear SoA scan — the
@@ -631,7 +645,12 @@ impl VdwScore {
         );
         self.fill_sites(target, structure, scratch);
         let intra = self.intra_loop_dispatch(scratch, structure.n_residues());
-        let inter = self.against_environment_cells_dispatch(scratch, target.env_candidates());
+        let inter = self.against_environment_windows(
+            scratch,
+            target.env_candidates(),
+            structure.n_residues(),
+            None,
+        );
         (intra + inter) / structure.n_residues() as f64
     }
 
@@ -658,11 +677,11 @@ impl VdwScore {
         );
         self.fill_sites(target, structure, scratch);
         let intra = self.intra_loop_dispatch(scratch, structure.n_residues());
-        let inter = self.against_environment_cells_and_burial_dispatch(
+        let inter = self.against_environment_windows(
             scratch,
             target.env_candidates(),
             structure.n_residues(),
-            burial_radius,
+            Some(burial_radius),
         );
         (intra + inter) / structure.n_residues() as f64
     }
@@ -673,6 +692,14 @@ impl VdwScore {
         self.score_target_with(target, structure, &mut scratch)
     }
 }
+
+/// Slack (Å) added to each per-residue window radius so floating-point
+/// rounding in the `|site − Cα| + reach` covering bound can never exclude a
+/// contributing candidate.  Orders of magnitude above the few-ulp rounding
+/// error of the bound at protein scales, and harmless when over-generous:
+/// extra candidates are removed by the exact d²/σ² filter and the exact
+/// burial distance filter, so the scores stay bit-identical.
+const WINDOW_SLACK: f64 = 1e-9;
 
 /// Stage the squared distances from one probe point to a contiguous run of
 /// SoA sites, four lanes at a time with a scalar tail, into `out`
@@ -889,6 +916,54 @@ mod tests {
         }
     }
 
+    #[test]
+    fn per_residue_windows_match_per_site_gathers_and_linear() {
+        let lib = BenchmarkLibrary::standard();
+        let builder = LoopBuilder::default();
+        for name in ["1cex", "1xyz", "5pti"] {
+            let target = lib.target_by_name(name).unwrap();
+            for torsions in [
+                target.native_torsions.clone(),
+                Torsions::zeros(target.n_residues()),
+            ] {
+                let structure = target.build(&builder, &torsions);
+                let s = VdwScore::default();
+                let mut scratch = ScoreScratch::new();
+                let windows = s.environment_term(&target, &structure, &mut scratch);
+                let per_site = s.environment_term_per_site(&target, &structure, &mut scratch);
+                let linear = s.environment_term_linear(&target, &structure, &mut scratch);
+                assert_eq!(windows.to_bits(), per_site.to_bits(), "{name}: per-site");
+                assert_eq!(windows.to_bits(), linear.to_bits(), "{name}: linear");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_burial_counts_match_linear_reference() {
+        let s = VdwScore::default();
+        let lib = BenchmarkLibrary::standard();
+        let builder = LoopBuilder::default();
+        for name in ["1cex", "1xyz"] {
+            let target = lib.target_by_name(name).unwrap();
+            let clashing = target.build(&builder, &Torsions::zeros(target.n_residues()));
+            let mut scratch = ScoreScratch::new();
+            s.score_target_with_burial(
+                &target,
+                &clashing,
+                &mut scratch,
+                crate::burial::BURIAL_RADIUS,
+            );
+            let env = target.env_candidates();
+            for (i, res) in clashing.residues.iter().enumerate() {
+                assert_eq!(
+                    scratch.burial_counts()[i],
+                    env.count_within_linear(res.ca, crate::burial::BURIAL_RADIUS),
+                    "{name} residue {i}"
+                );
+            }
+        }
+    }
+
     #[cfg(feature = "simd")]
     #[test]
     fn wide_passes_are_bit_identical_to_scalar() {
@@ -917,6 +992,10 @@ mod tests {
                 let a = scalar.environment_term(&target, &structure, &mut ss);
                 let b = wide.environment_term(&target, &structure, &mut sw);
                 assert_eq!(a.to_bits(), b.to_bits(), "{name}: environment_term");
+
+                let a = scalar.environment_term_per_site(&target, &structure, &mut ss);
+                let b = wide.environment_term_per_site(&target, &structure, &mut sw);
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}: per-site term");
 
                 let r = crate::burial::BURIAL_RADIUS;
                 let a = scalar.score_target_with_burial(&target, &structure, &mut ss, r);

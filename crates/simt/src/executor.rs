@@ -151,15 +151,57 @@ pub struct Capabilities {
     pub threads: usize,
     /// Lockstep CCD block width the sampler should batch closure with.
     pub ccd_block_width: usize,
+    /// The instruction set the measurement is attributable to.  For the
+    /// SIMD backend this is the wide shim's compiled/dispatched backend
+    /// (`"avx2"`, `"sse2"`, `"sse2+avx2"` when AVX2 kernel clones are
+    /// runtime-dispatched on an SSE2 build, `"neon"`, or `"portable"`);
+    /// for the scalar and parallel backends it is the detected host ISA.
+    pub isa: &'static str,
 }
 
 impl fmt::Display for Capabilities {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} (lane_width={}, threads={}, ccd_block_width={})",
-            self.name, self.lane_width, self.threads, self.ccd_block_width
+            "{} (lane_width={}, threads={}, ccd_block_width={}, isa={})",
+            self.name, self.lane_width, self.threads, self.ccd_block_width, self.isa
         )
+    }
+}
+
+/// The host CPU's best-detected ISA for wide-`f64` work, independent of
+/// what any crate was compiled for.  Used to attribute scalar/parallel
+/// measurements to the machine they ran on.
+fn detected_host_isa() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            "avx2"
+        } else {
+            "sse2"
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        "portable"
+    }
+}
+
+/// The ISA-qualified display name of the SIMD backend, so every
+/// `Capabilities::name` (and thus every `BENCH_*.json` / profiler report)
+/// states which wide backend actually produced the measurement.
+#[cfg(feature = "simd")]
+fn simd_qualified_name() -> &'static str {
+    match wide::dispatch_summary() {
+        "avx2" => "simd[avx2]",
+        "sse2+avx2" => "simd[sse2+avx2]",
+        "sse2" => "simd[sse2]",
+        "neon" => "simd[neon]",
+        _ => "simd[portable]",
     }
 }
 
@@ -478,12 +520,18 @@ impl Executor {
             Backend::Simd => SIMD_LANE_WIDTH,
             _ => 1,
         };
+        let (name, isa) = match backend {
+            #[cfg(feature = "simd")]
+            Backend::Simd => (simd_qualified_name(), wide::dispatch_summary()),
+            _ => (backend.name(), detected_host_isa()),
+        };
         Capabilities {
             backend,
-            name: backend.name(),
+            name,
             lane_width,
             threads: self.thread_count(),
             ccd_block_width: self.ccd_block_width,
+            isa,
         }
     }
 
@@ -732,7 +780,12 @@ mod tests {
         let exec = ExecutorConfig::simd().threads(2).build().unwrap();
         let caps = exec.capabilities();
         assert_eq!(caps.backend, Backend::Simd);
-        assert_eq!(caps.name, "simd");
+        assert!(
+            caps.name.starts_with("simd["),
+            "simd name is ISA-qualified: {}",
+            caps.name
+        );
+        assert_eq!(caps.isa, wide::dispatch_summary());
         assert_eq!(caps.lane_width, SIMD_LANE_WIDTH);
         assert_eq!(exec.lane_width(), wide::f64x4::LANES);
         assert!(exec.is_parallel());

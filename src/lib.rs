@@ -95,16 +95,29 @@
 //! Executors are built through the validated [`prelude::ExecutorConfig`]
 //! builder and slot in behind the same kernel-launch entry point: `scalar`
 //! (sequential baseline), `parallel` (rayon thread pool), and — with the
-//! `simd` cargo feature — `simd`, which adds explicit wide-`f64` lanes to
-//! the dominant CCD-rotation and VDW contact kernels (a measured ~1.11×
-//! on the batched optimal-rotation kernel, tracked as the `simd` ratio in
-//! `BENCH_ccd.json`).  Backend choice **never changes sampled
-//! trajectories** (per-stream RNG discipline plus bit-identical wide
-//! kernels); it only changes how fast they run.  Every
-//! executor reports [`prelude::Capabilities`] (backend name, lane width,
-//! thread budget, CCD block width), which the profiler's Table II report,
-//! the bench JSON artifacts and each [`prelude::JobResult`] carry so
-//! measurements stay attributable.
+//! `simd` cargo feature — `simd`, which runs explicit wide-`f64` lanes
+//! through the hot kernels: the lane-major (member-transposed) NeRF spine
+//! rebuild inside `close_batch`, the batched CCD optimal-rotation kernel,
+//! the VDW/BURIAL contact gathers and the Metropolis dominance reduction
+//! (the `rebuild`, `simd` and `blocks` ratios in `BENCH_ccd.json`).
+//!
+//! The wide lanes compile down through an **arch-gated instruction-set
+//! dispatch** in the vendored `wide` shim, selected in this order: AVX2
+//! intrinsics when the build targets them (`-C target-cpu=native` on a
+//! modern x86_64), else SSE2 intrinsics on x86_64 / NEON intrinsics on
+//! aarch64, else a portable scalar fallback on any other architecture.
+//! On an SSE2-baseline x86_64 build the rebuild drive loop additionally
+//! re-dispatches at **runtime** to AVX2-featured clones when the host CPU
+//! supports it (reported as `"sse2+avx2"`).  Backend choice **never
+//! changes sampled trajectories** (per-stream RNG discipline plus
+//! bit-identical wide kernels — every ISA backend is property-tested
+//! bit-for-bit against the portable reference, NaN/∞ lanes included);
+//! it only changes how fast they run.  Every executor reports
+//! [`prelude::Capabilities`] (backend name, lane width, thread budget,
+//! CCD block width, and the detected ISA), which the profiler's Table II
+//! report, the bench JSON artifacts and each [`prelude::JobResult`] carry
+//! so measurements stay attributable to the instruction set that produced
+//! them.
 //!
 //! ```
 //! use lms::prelude::*;

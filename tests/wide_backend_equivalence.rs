@@ -1,0 +1,165 @@
+//! Property tests pinning the arch-gated wide backends to the portable
+//! reference.
+//!
+//! The vendored `wide` crate routes every `f64x4` operation through one of
+//! four backends selected at compile time (AVX2, SSE2, NEON, portable
+//! scalar).  All of them promise the same per-lane IEEE-754
+//! correctly-rounded semantics — the whole bit-identity story of the SIMD
+//! pipeline rests on that promise — so here the *active* backend (whatever
+//! this build compiled in, reported by `wide::compiled_isa()`) is driven
+//! through randomized operation sequences and compared bit-for-bit against
+//! the always-available [`wide::portable`] reference functions, including
+//! NaN, ±∞, signed-zero and subnormal lanes.
+//!
+//! On an x86_64 host without `-Ctarget-cpu=native` this exercises the SSE2
+//! backend; the CI native pass re-runs it against AVX2, and the aarch64
+//! cross-check compiles the NEON backend against the same reference.
+
+#![cfg(feature = "simd")]
+// The binary operator impls are themselves under test here; rewriting
+// `a = a + b` to `a += b` would route around the surface being pinned.
+#![allow(clippy::assign_op_pattern)]
+
+use proptest::prelude::*;
+use wide::{f64x4, portable};
+
+/// One lane value: mostly finite magnitudes across the dynamic range,
+/// spiked with every IEEE special the kernels can encounter.
+fn arb_lane() -> impl Strategy<Value = f64> {
+    (0..16i32, -1e9..1e9f64).prop_map(|(kind, v)| match kind {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => 5e-324,
+        6 => 1e300,
+        7 => v * 1e-21,
+        _ => v,
+    })
+}
+
+fn arb_lanes() -> impl Strategy<Value = [f64; 4]> {
+    (arb_lane(), arb_lane(), arb_lane(), arb_lane()).prop_map(|(a, b, c, d)| [a, b, c, d])
+}
+
+/// An elementwise operation applied to the running accumulator.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add([f64; 4]),
+    Sub([f64; 4]),
+    Mul([f64; 4]),
+    Div([f64; 4]),
+    Neg,
+    Sqrt,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0..6i32, arb_lanes()).prop_map(|(kind, rhs)| match kind {
+        0 => Op::Add(rhs),
+        1 => Op::Sub(rhs),
+        2 => Op::Mul(rhs),
+        3 => Op::Div(rhs),
+        4 => Op::Neg,
+        _ => Op::Sqrt,
+    })
+}
+
+fn bits(lanes: [f64; 4]) -> [u64; 4] {
+    lanes.map(f64::to_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Random op sequences through the active backend match the portable
+    // reference bit-for-bit on every intermediate value.  The binary
+    // operator impls are the surface under test, so no `+=` sugar here.
+    #[test]
+    fn active_backend_matches_portable_on_op_sequences(
+        seed in arb_lanes(),
+        ops in prop::collection::vec(arb_op(), 24),
+    ) {
+        let mut active = f64x4::from_array(seed);
+        let mut reference = seed;
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Add(rhs) => {
+                    active = active + f64x4::from_array(rhs);
+                    reference = portable::add(reference, rhs);
+                }
+                Op::Sub(rhs) => {
+                    active = active - f64x4::from_array(rhs);
+                    reference = portable::sub(reference, rhs);
+                }
+                Op::Mul(rhs) => {
+                    active = active * f64x4::from_array(rhs);
+                    reference = portable::mul(reference, rhs);
+                }
+                Op::Div(rhs) => {
+                    active = active / f64x4::from_array(rhs);
+                    reference = portable::div(reference, rhs);
+                }
+                Op::Neg => {
+                    active = -active;
+                    reference = portable::neg(reference);
+                }
+                Op::Sqrt => {
+                    active = active.sqrt();
+                    reference = portable::sqrt(reference);
+                }
+            }
+            prop_assert!(
+                bits(active.to_array()) == bits(reference),
+                "step {} ({:?}) diverged on isa {}: {:?} vs {:?}",
+                step,
+                op,
+                wide::compiled_isa().name(),
+                active.to_array(),
+                reference
+            );
+        }
+    }
+
+    // The comparison bitmasks of the active backend match both the
+    // portable reference and the scalar comparison operators (ordered,
+    // quiet: false on NaN) lane by lane.
+    #[test]
+    fn active_backend_comparison_masks_match_scalar(
+        a in arb_lanes(),
+        b in arb_lanes(),
+    ) {
+        let wa = f64x4::from_array(a);
+        let wb = f64x4::from_array(b);
+        let scalar_mask = |cmp: &dyn Fn(f64, f64) -> bool| -> u32 {
+            (0..4).map(|l| (cmp(a[l], b[l]) as u32) << l).sum()
+        };
+        prop_assert_eq!(wa.gt_bitmask(wb), scalar_mask(&|x, y| x > y));
+        prop_assert_eq!(wa.lt_bitmask(wb), scalar_mask(&|x, y| x < y));
+        prop_assert_eq!(wa.le_bitmask(wb), scalar_mask(&|x, y| x <= y));
+        prop_assert_eq!(wa.gt_bitmask(wb), portable::gt_bitmask(a, b));
+        prop_assert_eq!(wa.lt_bitmask(wb), portable::lt_bitmask(a, b));
+        prop_assert_eq!(wa.le_bitmask(wb), portable::le_bitmask(a, b));
+    }
+}
+
+/// The ISA self-report is consistent: the compiled backend is one of the
+/// four known ones, and the dispatch summary agrees with runtime
+/// detection.
+#[test]
+fn isa_report_is_coherent() {
+    let compiled = wide::compiled_isa();
+    let summary = wide::dispatch_summary();
+    match compiled {
+        wide::Isa::Avx2 => assert_eq!(summary, "avx2"),
+        wide::Isa::Sse2 => {
+            if wide::runtime_avx2() {
+                assert_eq!(summary, "sse2+avx2");
+            } else {
+                assert_eq!(summary, "sse2");
+            }
+        }
+        wide::Isa::Neon => assert_eq!(summary, "neon"),
+        wide::Isa::Portable => assert_eq!(summary, "portable"),
+    }
+}

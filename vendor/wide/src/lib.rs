@@ -1,4 +1,5 @@
-//! Offline portable-SIMD shim: explicit wide `f64` lanes.
+//! Offline portable-SIMD shim: explicit wide `f64` lanes with arch-gated
+//! intrinsics backends.
 //!
 //! This vendored crate mirrors the tiny subset of the `wide` crate's API the
 //! workspace uses: a 4-lane `f64` vector with **element-wise IEEE-754
@@ -9,16 +10,460 @@
 //! that loop.  That property is what lets the SIMD executor backend join the
 //! sampler's bit-identity harness without a ULP-tolerance mode.
 //!
-//! The type is a `#[repr(C, align(32))]` wrapper around `[f64; 4]` with
-//! `#[inline(always)]` arithmetic: LLVM reliably auto-vectorizes the
-//! element-wise loops into SSE2/AVX `mulpd`/`addpd`/`subpd` on x86-64 (and
-//! NEON pairs on aarch64), which are exactly the IEEE scalar operations
-//! applied lane-wise — the hand-written intrinsics would emit the same
-//! instructions with the same results.
+//! # Backends
+//!
+//! The type is a `#[repr(C, align(32))]` wrapper around `[f64; 4]`.  Each
+//! arithmetic operation routes through one of four backends, selected at
+//! compile time by `cfg(target_arch)` / `cfg(target_feature)`:
+//!
+//! * [`Isa::Avx2`] — explicit 256-bit `_mm256_*` intrinsics, used when the
+//!   crate is compiled with AVX2 available (`-C target-cpu=native` or
+//!   `-C target-feature=+avx2` on an AVX2 machine).
+//! * [`Isa::Sse2`] — explicit 128-bit `_mm_*` intrinsic pairs, the
+//!   `x86_64` baseline (SSE2 is part of the x86-64 ABI).
+//! * [`Isa::Neon`] — explicit `float64x2_t` intrinsic pairs on `aarch64`
+//!   (NEON is mandatory there).
+//! * [`Isa::Portable`] — plain element-wise scalar loops, used on every
+//!   other architecture.  This backend is *always* compiled (as the public
+//!   [`portable`] module) and serves as the reference implementation the
+//!   intrinsics backends are property-tested against.
+//!
+//! All four backends are bit-identical: addition, subtraction,
+//! multiplication, division and square root are IEEE correctly-rounded
+//! single instructions on every ISA, negation is a sign-bit flip, and the
+//! ordered-quiet comparisons agree with Rust's scalar `>`/`<`/`<=`
+//! (`NaN` compares false).  The selection is therefore purely a
+//! performance decision; results never depend on it.
+//!
+//! # Runtime detection
+//!
+//! Compile-time selection cannot use AVX2 on a generic `x86_64` build even
+//! when the running CPU supports it.  [`detected_isa`] / [`runtime_avx2`]
+//! report what the host actually has (via `is_x86_feature_detected!`), and
+//! [`dispatch_summary`] condenses the compiled-vs-detected pair into a
+//! static label for `Capabilities` / bench metadata.  Kernel crates use
+//! [`runtime_avx2`] to select `#[target_feature(enable = "avx2")]` clones
+//! of their hot loops, which re-compiles the inlined lane arithmetic with
+//! the AVX ISA available (VEX encodings, three-operand forms) without
+//! requiring a `-C target-cpu=native` build.
 
 #![warn(missing_docs)]
 
-use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The reference backend: plain element-wise scalar loops.
+///
+/// Always compiled, on every architecture, so the intrinsics backends can
+/// be property-tested against it (`lms`'s `wide_backend_equivalence`
+/// proptest) and so `f64x4` keeps working on architectures without an
+/// explicit backend.
+pub mod portable {
+    /// Element-wise `a + b`.
+    #[inline(always)]
+    pub fn add(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+        [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+    }
+
+    /// Element-wise `a - b`.
+    #[inline(always)]
+    pub fn sub(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+        [a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]]
+    }
+
+    /// Element-wise `a * b`.
+    #[inline(always)]
+    pub fn mul(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+        [a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]]
+    }
+
+    /// Element-wise `a / b` (IEEE correctly-rounded).
+    #[inline(always)]
+    pub fn div(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+        [a[0] / b[0], a[1] / b[1], a[2] / b[2], a[3] / b[3]]
+    }
+
+    /// Element-wise negation (sign-bit flip, exact).
+    #[inline(always)]
+    pub fn neg(a: [f64; 4]) -> [f64; 4] {
+        [-a[0], -a[1], -a[2], -a[3]]
+    }
+
+    /// Element-wise square root (IEEE correctly-rounded).
+    #[inline(always)]
+    pub fn sqrt(a: [f64; 4]) -> [f64; 4] {
+        [a[0].sqrt(), a[1].sqrt(), a[2].sqrt(), a[3].sqrt()]
+    }
+
+    /// Per-lane `a > b` as a 4-bit mask (bit `i` set iff lane `i` compares
+    /// greater; `NaN` compares false, as scalar `>` does).
+    #[inline(always)]
+    pub fn gt_bitmask(a: [f64; 4], b: [f64; 4]) -> u32 {
+        (a[0] > b[0]) as u32
+            | ((a[1] > b[1]) as u32) << 1
+            | ((a[2] > b[2]) as u32) << 2
+            | ((a[3] > b[3]) as u32) << 3
+    }
+
+    /// Per-lane `a < b` as a 4-bit mask.
+    #[inline(always)]
+    pub fn lt_bitmask(a: [f64; 4], b: [f64; 4]) -> u32 {
+        (a[0] < b[0]) as u32
+            | ((a[1] < b[1]) as u32) << 1
+            | ((a[2] < b[2]) as u32) << 2
+            | ((a[3] < b[3]) as u32) << 3
+    }
+
+    /// Per-lane `a <= b` as a 4-bit mask.
+    #[inline(always)]
+    pub fn le_bitmask(a: [f64; 4], b: [f64; 4]) -> u32 {
+        (a[0] <= b[0]) as u32
+            | ((a[1] <= b[1]) as u32) << 1
+            | ((a[2] <= b[2]) as u32) << 2
+            | ((a[3] <= b[3]) as u32) << 3
+    }
+}
+
+/// 256-bit AVX backend: one `_mm256_*` instruction per operation.
+/// Compiled in only when AVX2 is a compile-time target feature, so the
+/// intrinsics are statically known to be available (no runtime check).
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    #[inline(always)]
+    unsafe fn load(a: [f64; 4]) -> __m256d {
+        _mm256_loadu_pd(a.as_ptr())
+    }
+
+    #[inline(always)]
+    unsafe fn store(v: __m256d) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), v);
+        out
+    }
+
+    macro_rules! binop {
+        ($name:ident, $intr:ident) => {
+            #[inline(always)]
+            pub fn $name(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+                // SAFETY: AVX2 (which implies AVX) is a compile-time
+                // target feature of this module.
+                unsafe { store($intr(load(a), load(b))) }
+            }
+        };
+    }
+
+    binop!(add, _mm256_add_pd);
+    binop!(sub, _mm256_sub_pd);
+    binop!(mul, _mm256_mul_pd);
+    binop!(div, _mm256_div_pd);
+
+    #[inline(always)]
+    pub fn neg(a: [f64; 4]) -> [f64; 4] {
+        // SAFETY: as above.  XOR with the sign mask is exactly scalar
+        // negation (a pure sign-bit flip, NaN payloads preserved).
+        unsafe { store(_mm256_xor_pd(load(a), _mm256_set1_pd(-0.0))) }
+    }
+
+    #[inline(always)]
+    pub fn sqrt(a: [f64; 4]) -> [f64; 4] {
+        // SAFETY: as above.
+        unsafe { store(_mm256_sqrt_pd(load(a))) }
+    }
+
+    macro_rules! cmp {
+        ($name:ident, $imm:expr) => {
+            #[inline(always)]
+            pub fn $name(a: [f64; 4], b: [f64; 4]) -> u32 {
+                // SAFETY: as above.  Ordered-quiet compares match scalar
+                // `>`/`<`/`<=`: NaN lanes compare false.
+                unsafe { _mm256_movemask_pd(_mm256_cmp_pd::<$imm>(load(a), load(b))) as u32 }
+            }
+        };
+    }
+
+    cmp!(gt_bitmask, _CMP_GT_OQ);
+    cmp!(lt_bitmask, _CMP_LT_OQ);
+    cmp!(le_bitmask, _CMP_LE_OQ);
+}
+
+/// 128-bit SSE2 backend: two `_mm_*` instructions per operation.  SSE2 is
+/// part of the x86-64 ABI, so this is the unconditional `x86_64` baseline
+/// when AVX2 is not compiled in.
+#[cfg(all(target_arch = "x86_64", not(target_feature = "avx2")))]
+mod sse2 {
+    use core::arch::x86_64::*;
+
+    #[inline(always)]
+    unsafe fn load(a: &[f64; 4]) -> (__m128d, __m128d) {
+        (_mm_loadu_pd(a.as_ptr()), _mm_loadu_pd(a.as_ptr().add(2)))
+    }
+
+    #[inline(always)]
+    unsafe fn store(lo: __m128d, hi: __m128d) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        _mm_storeu_pd(out.as_mut_ptr(), lo);
+        _mm_storeu_pd(out.as_mut_ptr().add(2), hi);
+        out
+    }
+
+    macro_rules! binop {
+        ($name:ident, $intr:ident) => {
+            #[inline(always)]
+            pub fn $name(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+                // SAFETY: SSE2 is always available on x86_64.
+                unsafe {
+                    let (alo, ahi) = load(&a);
+                    let (blo, bhi) = load(&b);
+                    store($intr(alo, blo), $intr(ahi, bhi))
+                }
+            }
+        };
+    }
+
+    binop!(add, _mm_add_pd);
+    binop!(sub, _mm_sub_pd);
+    binop!(mul, _mm_mul_pd);
+    binop!(div, _mm_div_pd);
+
+    #[inline(always)]
+    pub fn neg(a: [f64; 4]) -> [f64; 4] {
+        // SAFETY: as above.  Sign-bit flip, exact.
+        unsafe {
+            let (lo, hi) = load(&a);
+            let m = _mm_set1_pd(-0.0);
+            store(_mm_xor_pd(lo, m), _mm_xor_pd(hi, m))
+        }
+    }
+
+    #[inline(always)]
+    pub fn sqrt(a: [f64; 4]) -> [f64; 4] {
+        // SAFETY: as above.
+        unsafe {
+            let (lo, hi) = load(&a);
+            store(_mm_sqrt_pd(lo), _mm_sqrt_pd(hi))
+        }
+    }
+
+    macro_rules! cmp {
+        ($name:ident, $intr:ident) => {
+            #[inline(always)]
+            pub fn $name(a: [f64; 4], b: [f64; 4]) -> u32 {
+                // SAFETY: as above.  SSE2 compares are ordered (NaN lanes
+                // compare false), matching scalar `>`/`<`/`<=`.
+                unsafe {
+                    let (alo, ahi) = load(&a);
+                    let (blo, bhi) = load(&b);
+                    let lo = _mm_movemask_pd($intr(alo, blo)) as u32;
+                    let hi = _mm_movemask_pd($intr(ahi, bhi)) as u32;
+                    lo | hi << 2
+                }
+            }
+        };
+    }
+
+    cmp!(gt_bitmask, _mm_cmpgt_pd);
+    cmp!(lt_bitmask, _mm_cmplt_pd);
+    cmp!(le_bitmask, _mm_cmple_pd);
+}
+
+/// NEON backend: two `float64x2_t` instructions per operation (NEON is
+/// mandatory on `aarch64`).
+#[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+mod neon {
+    use core::arch::aarch64::*;
+
+    #[inline(always)]
+    unsafe fn load(a: &[f64; 4]) -> (float64x2_t, float64x2_t) {
+        (vld1q_f64(a.as_ptr()), vld1q_f64(a.as_ptr().add(2)))
+    }
+
+    #[inline(always)]
+    unsafe fn store(lo: float64x2_t, hi: float64x2_t) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        vst1q_f64(out.as_mut_ptr(), lo);
+        vst1q_f64(out.as_mut_ptr().add(2), hi);
+        out
+    }
+
+    macro_rules! binop {
+        ($name:ident, $intr:ident) => {
+            #[inline(always)]
+            pub fn $name(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+                // SAFETY: NEON is a compile-time target feature of this
+                // module (and mandatory on aarch64).
+                unsafe {
+                    let (alo, ahi) = load(&a);
+                    let (blo, bhi) = load(&b);
+                    store($intr(alo, blo), $intr(ahi, bhi))
+                }
+            }
+        };
+    }
+
+    binop!(add, vaddq_f64);
+    binop!(sub, vsubq_f64);
+    binop!(mul, vmulq_f64);
+    binop!(div, vdivq_f64);
+
+    #[inline(always)]
+    pub fn neg(a: [f64; 4]) -> [f64; 4] {
+        // SAFETY: as above.  `vnegq_f64` is a sign-bit flip, exact.
+        unsafe {
+            let (lo, hi) = load(&a);
+            store(vnegq_f64(lo), vnegq_f64(hi))
+        }
+    }
+
+    #[inline(always)]
+    pub fn sqrt(a: [f64; 4]) -> [f64; 4] {
+        // SAFETY: as above.
+        unsafe {
+            let (lo, hi) = load(&a);
+            store(vsqrtq_f64(lo), vsqrtq_f64(hi))
+        }
+    }
+
+    macro_rules! cmp {
+        ($name:ident, $intr:ident) => {
+            #[inline(always)]
+            pub fn $name(a: [f64; 4], b: [f64; 4]) -> u32 {
+                // SAFETY: as above.  NEON compares set all-ones per true
+                // lane and are ordered (NaN lanes compare false).
+                unsafe {
+                    let (alo, ahi) = load(&a);
+                    let (blo, bhi) = load(&b);
+                    let lo = $intr(alo, blo);
+                    let hi = $intr(ahi, bhi);
+                    (vgetq_lane_u64::<0>(lo) & 1) as u32
+                        | ((vgetq_lane_u64::<1>(lo) & 1) as u32) << 1
+                        | ((vgetq_lane_u64::<0>(hi) & 1) as u32) << 2
+                        | ((vgetq_lane_u64::<1>(hi) & 1) as u32) << 3
+                }
+            }
+        };
+    }
+
+    cmp!(gt_bitmask, vcgtq_f64);
+    cmp!(lt_bitmask, vcltq_f64);
+    cmp!(le_bitmask, vcleq_f64);
+}
+
+// Compile-time backend selection: the most specific ISA the build knows it
+// can use.  `portable` remains compiled (and public) regardless.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+use avx2 as active;
+#[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+use neon as active;
+#[cfg(not(any(
+    target_arch = "x86_64",
+    all(target_arch = "aarch64", target_feature = "neon")
+)))]
+use portable as active;
+#[cfg(all(target_arch = "x86_64", not(target_feature = "avx2")))]
+use sse2 as active;
+
+/// The instruction-set backend a `wide` build (or host CPU) provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// 256-bit AVX/AVX2 `_mm256_*` intrinsics.
+    Avx2,
+    /// 128-bit SSE2 `_mm_*` intrinsic pairs (the x86-64 baseline).
+    Sse2,
+    /// 128-bit NEON `float64x2_t` intrinsic pairs (the aarch64 baseline).
+    Neon,
+    /// The element-wise scalar reference backend.
+    Portable,
+}
+
+impl Isa {
+    /// Short lowercase name ("avx2" / "sse2" / "neon" / "portable").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Isa::Avx2 => "avx2",
+            Isa::Sse2 => "sse2",
+            Isa::Neon => "neon",
+            Isa::Portable => "portable",
+        }
+    }
+}
+
+/// The backend this build of the crate routes `f64x4` arithmetic through,
+/// decided at compile time by `cfg(target_arch)` / `cfg(target_feature)`.
+pub const fn compiled_isa() -> Isa {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        Isa::Avx2
+    }
+    #[cfg(all(target_arch = "x86_64", not(target_feature = "avx2")))]
+    {
+        Isa::Sse2
+    }
+    #[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+    {
+        Isa::Neon
+    }
+    #[cfg(not(any(
+        target_arch = "x86_64",
+        all(target_arch = "aarch64", target_feature = "neon")
+    )))]
+    {
+        Isa::Portable
+    }
+}
+
+/// Whether the *running* CPU supports AVX2, regardless of what this build
+/// was compiled for.  Kernel crates use this to select
+/// `#[target_feature(enable = "avx2")]` clones of their hot loops at
+/// runtime (`is_x86_feature_detected!` caches the CPUID probe).
+pub fn runtime_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The best ISA the *running* CPU offers for these lanes (compile-time
+/// arch, runtime feature detection).
+pub fn detected_isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if runtime_avx2() {
+            Isa::Avx2
+        } else {
+            Isa::Sse2
+        }
+    }
+    #[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+    {
+        Isa::Neon
+    }
+    #[cfg(not(any(
+        target_arch = "x86_64",
+        all(target_arch = "aarch64", target_feature = "neon")
+    )))]
+    {
+        Isa::Portable
+    }
+}
+
+/// A static one-token summary of the compiled-backend / detected-ISA pair,
+/// for embedding in `Capabilities` names and bench metadata:
+/// the compiled backend, plus `+avx2` when the host CPU offers AVX2 that
+/// the build only reaches through runtime-dispatched kernel clones.
+pub fn dispatch_summary() -> &'static str {
+    match (compiled_isa(), detected_isa()) {
+        (Isa::Avx2, _) => "avx2",
+        (Isa::Sse2, Isa::Avx2) => "sse2+avx2",
+        (Isa::Sse2, _) => "sse2",
+        (Isa::Neon, _) => "neon",
+        (Isa::Portable, _) => "portable",
+    }
+}
 
 /// Four `f64` lanes with element-wise IEEE arithmetic.
 #[allow(non_camel_case_types)]
@@ -66,12 +511,34 @@ impl f64x4 {
     /// Element-wise square root (IEEE correctly-rounded per lane).
     #[inline(always)]
     pub fn sqrt(self) -> f64x4 {
-        f64x4([
-            self.0[0].sqrt(),
-            self.0[1].sqrt(),
-            self.0[2].sqrt(),
-            self.0[3].sqrt(),
-        ])
+        f64x4(active::sqrt(self.0))
+    }
+
+    /// Per-lane `self > rhs` as a 4-bit mask (bit `i` set iff lane `i`
+    /// compares greater; `NaN` lanes compare false, as scalar `>` does).
+    #[inline(always)]
+    pub fn gt_bitmask(self, rhs: f64x4) -> u32 {
+        active::gt_bitmask(self.0, rhs.0)
+    }
+
+    /// Per-lane `self < rhs` as a 4-bit mask.
+    #[inline(always)]
+    pub fn lt_bitmask(self, rhs: f64x4) -> u32 {
+        active::lt_bitmask(self.0, rhs.0)
+    }
+
+    /// Per-lane `self <= rhs` as a 4-bit mask.
+    #[inline(always)]
+    pub fn le_bitmask(self, rhs: f64x4) -> u32 {
+        active::le_bitmask(self.0, rhs.0)
+    }
+
+    /// Whether every lane satisfies `lane > threshold` (the scalar `>`,
+    /// so `NaN` lanes fail the test).  The lane-major spine kernel's
+    /// whole-group degeneracy guard.
+    #[inline(always)]
+    pub fn all_gt(self, threshold: f64) -> bool {
+        self.gt_bitmask(f64x4::splat(threshold)) == 0b1111
     }
 }
 
@@ -90,17 +557,12 @@ impl From<f64x4> for [f64; 4] {
 }
 
 macro_rules! elementwise_binop {
-    ($trait:ident, $method:ident, $op:tt) => {
+    ($trait:ident, $method:ident, $backend:ident) => {
         impl $trait for f64x4 {
             type Output = f64x4;
             #[inline(always)]
             fn $method(self, rhs: f64x4) -> f64x4 {
-                f64x4([
-                    self.0[0] $op rhs.0[0],
-                    self.0[1] $op rhs.0[1],
-                    self.0[2] $op rhs.0[2],
-                    self.0[3] $op rhs.0[3],
-                ])
+                f64x4(active::$backend(self.0, rhs.0))
             }
         }
         impl $trait<f64> for f64x4 {
@@ -113,9 +575,10 @@ macro_rules! elementwise_binop {
     };
 }
 
-elementwise_binop!(Add, add, +);
-elementwise_binop!(Sub, sub, -);
-elementwise_binop!(Mul, mul, *);
+elementwise_binop!(Add, add, add);
+elementwise_binop!(Sub, sub, sub);
+elementwise_binop!(Mul, mul, mul);
+elementwise_binop!(Div, div, div);
 
 impl AddAssign for f64x4 {
     #[inline(always)]
@@ -138,11 +601,18 @@ impl MulAssign for f64x4 {
     }
 }
 
+impl DivAssign for f64x4 {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: f64x4) {
+        *self = *self / rhs;
+    }
+}
+
 impl Neg for f64x4 {
     type Output = f64x4;
     #[inline(always)]
     fn neg(self) -> f64x4 {
-        f64x4([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+        f64x4(active::neg(self.0))
     }
 }
 
@@ -157,11 +627,13 @@ mod tests {
         let sum = (a + b).to_array();
         let dif = (a - b).to_array();
         let prod = (a * b).to_array();
+        let quot = (a / b).to_array();
         let (aa, bb) = (a.to_array(), b.to_array());
         for i in 0..4 {
             assert_eq!(sum[i].to_bits(), (aa[i] + bb[i]).to_bits());
             assert_eq!(dif[i].to_bits(), (aa[i] - bb[i]).to_bits());
             assert_eq!(prod[i].to_bits(), (aa[i] * bb[i]).to_bits());
+            assert_eq!(quot[i].to_bits(), (aa[i] / bb[i]).to_bits());
         }
     }
 
@@ -210,9 +682,81 @@ mod tests {
         v += f64x4::splat(2.0);
         v *= f64x4::splat(3.0);
         v -= f64x4::splat(4.0);
-        assert_eq!(v.to_array(), [5.0; 4]);
+        v /= f64x4::splat(2.0);
+        assert_eq!(v.to_array(), [2.5; 4]);
         assert_eq!((f64x4::splat(1.0) + 2.0).to_array(), [3.0; 4]);
         assert_eq!((f64x4::splat(6.0) * 0.5).to_array(), [3.0; 4]);
         assert_eq!((f64x4::splat(6.0) - 1.5).to_array(), [4.5; 4]);
+        assert_eq!((f64x4::splat(6.0) / 4.0).to_array(), [1.5; 4]);
+    }
+
+    #[test]
+    fn comparison_bitmasks_match_scalar_comparisons() {
+        let a = f64x4::from_array([1.0, f64::NAN, -0.0, 3.0]);
+        let b = f64x4::from_array([0.5, 1.0, 0.0, 3.0]);
+        let (aa, bb) = (a.to_array(), b.to_array());
+        let mut gt = 0u32;
+        let mut lt = 0u32;
+        let mut le = 0u32;
+        for i in 0..4 {
+            gt |= ((aa[i] > bb[i]) as u32) << i;
+            lt |= ((aa[i] < bb[i]) as u32) << i;
+            le |= ((aa[i] <= bb[i]) as u32) << i;
+        }
+        assert_eq!(a.gt_bitmask(b), gt);
+        assert_eq!(a.lt_bitmask(b), lt);
+        assert_eq!(a.le_bitmask(b), le);
+        // NaN fails every ordered comparison, including the group guard.
+        assert!(!a.all_gt(-10.0));
+        assert!(f64x4::splat(1e-11).all_gt(1e-12));
+        assert!(!f64x4::from_array([1.0, 1.0, 1e-13, 1.0]).all_gt(1e-12));
+    }
+
+    #[test]
+    fn active_backend_matches_portable_reference() {
+        // Spot check: the proptest in the facade crate covers randomized
+        // sequences; this is the in-crate smoke test.
+        let a = [1.5e-300, -7.25, f64::INFINITY, 0.1];
+        let b = [3.0, f64::NAN, 2.0, -0.3];
+        let (wa, wb) = (f64x4::from_array(a), f64x4::from_array(b));
+        assert_eq!(
+            (wa + wb).to_array().map(f64::to_bits),
+            portable::add(a, b).map(f64::to_bits)
+        );
+        assert_eq!(
+            (wa - wb).to_array().map(f64::to_bits),
+            portable::sub(a, b).map(f64::to_bits)
+        );
+        assert_eq!(
+            (wa * wb).to_array().map(f64::to_bits),
+            portable::mul(a, b).map(f64::to_bits)
+        );
+        assert_eq!(
+            (wa / wb).to_array().map(f64::to_bits),
+            portable::div(a, b).map(f64::to_bits)
+        );
+        assert_eq!(
+            (-wa).to_array().map(f64::to_bits),
+            portable::neg(a).map(f64::to_bits)
+        );
+        assert_eq!(
+            wa.sqrt().to_array().map(f64::to_bits),
+            portable::sqrt(a).map(f64::to_bits)
+        );
+        assert_eq!(wa.gt_bitmask(wb), portable::gt_bitmask(a, b));
+        assert_eq!(wa.lt_bitmask(wb), portable::lt_bitmask(a, b));
+        assert_eq!(wa.le_bitmask(wb), portable::le_bitmask(a, b));
+    }
+
+    #[test]
+    fn isa_reporting_is_consistent() {
+        let compiled = compiled_isa();
+        let detected = detected_isa();
+        assert!(!compiled.name().is_empty());
+        assert!(!detected.name().is_empty());
+        let summary = dispatch_summary();
+        assert!(summary.starts_with(compiled.name()), "{summary}");
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(runtime_avx2(), detected == Isa::Avx2);
     }
 }
